@@ -1,0 +1,193 @@
+// Ablation studies for the design knobs DESIGN.md calls out:
+//   (a) the eq. (2) governor epsilon — "it can be set to zero, but setting
+//       it to a non-zero value will keep the protocol from running too
+//       fast" (paper §3.5): throughput vs traffic trade-off;
+//   (b) adaptive vs fixed Delta_bnd under a mis-estimated network delay
+//       (paper §1: adapting to an unknown communication-delay bound);
+//   (c) gossip push threshold — push-everything vs advertise-and-pull as a
+//       function of block size (the ICC1 sub-layer's core decision);
+//   (d) catch-up-package interval — rejoin delay of a recovering replica.
+#include <cstdio>
+
+#include "harness/cluster.hpp"
+
+namespace {
+using namespace icc;
+
+// --- (a) epsilon governor ---------------------------------------------------
+
+void ablation_epsilon() {
+  std::printf("(a) governor epsilon sweep (ICC0, n = 7, delta = 10 ms fixed)\n");
+  std::printf("    %10s | %10s | %14s\n", "epsilon", "blocks/s", "kB/s per node");
+  for (int eps_ms : {0, 50, 200, 500, 1000}) {
+    harness::ClusterOptions o;
+    o.n = 7;
+    o.t = 2;
+    o.seed = 91;
+    o.delta_bnd = sim::msec(300);
+    o.epsilon = sim::msec(eps_ms);
+    o.payload_size = 2048;
+    o.record_payloads = false;
+    o.prune_lag = 8;
+    o.delay_model = [](size_t, uint64_t) {
+      return std::make_unique<sim::FixedDelay>(sim::msec(10));
+    };
+    harness::Cluster c(o);
+    c.run_for(sim::seconds(20));
+    double bps = c.blocks_per_second(sim::seconds(20));
+    double kbs = static_cast<double>(c.sim().network().metrics().bytes_sent[0]) / 20.0 / 1024;
+    std::printf("    %7d ms | %10.2f | %14.1f\n", eps_ms, bps, kbs);
+  }
+  std::printf("    epsilon throttles the block rate (reciprocal throughput\n"
+              "    2*delta + epsilon) and with it the per-node signalling traffic.\n\n");
+}
+
+// --- (b) adaptive delta ------------------------------------------------------
+
+void ablation_adaptive() {
+  std::printf("(b) Delta_bnd estimation (ICC0, n = 7, real delta = 25 ms)\n");
+  std::printf("    %-22s | %10s | %12s | %12s\n", "configuration", "rounds",
+              "finalized/rd", "local Delta");
+  auto run = [](sim::Duration delta_bnd, bool adaptive, const char* label) {
+    harness::ClusterOptions o;
+    o.n = 7;
+    o.t = 2;
+    o.seed = 92;
+    o.delta_bnd = delta_bnd;
+    o.prune_lag = 8;
+    o.record_payloads = false;
+    o.adaptive.enabled = adaptive;
+    o.adaptive.floor = sim::msec(1);
+    o.delay_model = [](size_t, uint64_t) {
+      return std::make_unique<sim::FixedDelay>(sim::msec(25));
+    };
+    harness::Cluster c(o);
+    c.run_for(sim::seconds(30));
+    double rounds = static_cast<double>(c.party(0)->current_round());
+    double ratio = rounds > 0 ? c.party(0)->committed().size() / rounds : 0;
+    std::printf("    %-22s | %10.0f | %12.2f | %9.0f ms\n", label, rounds, ratio,
+                sim::to_ms(c.party(0)->delta_bound()));
+  };
+  run(sim::msec(2), false, "fixed, 12x too small");
+  run(sim::msec(2), true, "adaptive from 2 ms");
+  run(sim::msec(300), false, "fixed, well chosen");
+  run(sim::msec(2000), false, "fixed, 80x too large");
+  run(sim::msec(2000), true, "adaptive from 2 s");
+  std::printf("    An underestimated fixed bound costs finalizations (rounds end\n"
+              "    with multiple endorsed blocks); adaptation recovers it. An\n"
+              "    overestimated bound is harmless when leaders are honest\n"
+              "    (optimistic responsiveness) — adaptation merely tightens the\n"
+              "    corrupt-leader penalty.\n\n");
+}
+
+// --- (c) gossip push threshold ----------------------------------------------
+
+void ablation_gossip() {
+  std::printf("(c) block dissemination strategy (n = 10, 128 kB blocks)\n");
+  std::printf("    %-26s | %16s | %12s\n", "mode", "bottleneck kB/rd", "latency ms");
+  auto run = [](harness::Protocol proto, size_t push_threshold, const char* label) {
+    harness::ClusterOptions o;
+    o.n = 10;
+    o.t = 3;
+    o.seed = 93;
+    o.protocol = proto;
+    o.delta_bnd = sim::msec(300);
+    o.payload_size = 128 * 1024;
+    o.record_payloads = false;
+    o.prune_lag = 4;
+    o.max_round = 12;
+    o.gossip.push_threshold = push_threshold;
+    o.delay_model = [](size_t, uint64_t) {
+      return std::make_unique<sim::FixedDelay>(sim::msec(15));
+    };
+    harness::Cluster c(o);
+    c.run_for(sim::seconds(30));
+    size_t rounds = c.party(0)->current_round();
+    double bottleneck =
+        static_cast<double>(c.sim().network().metrics().max_bytes_sent()) / rounds / 1024;
+    std::printf("    %-26s | %16.0f | %12.1f\n", label, bottleneck, c.avg_latency_ms());
+  };
+  run(harness::Protocol::kIcc0, 0, "ICC0: blind echo-push");
+  run(harness::Protocol::kIcc1, SIZE_MAX, "ICC1: dedup push");
+  run(harness::Protocol::kIcc1, 4096, "ICC1: advertise + pull");
+  std::printf("    Content-addressed dedup alone removes the echo storm (each party\n"
+              "    ships a block at most once); advert/pull additionally lets slow or\n"
+              "    selective receivers fetch from *any* holder — same bottleneck here\n"
+              "    on a homogeneous network, two extra hops of latency, but unlike\n"
+              "    dedup-push it keeps the leader's upload bounded when receivers\n"
+              "    re-request (see F-RBC for the cross-protocol comparison).\n\n");
+}
+
+// --- (d) CUP interval ---------------------------------------------------------
+
+class PartitionOne final : public sim::DelayModel {
+ public:
+  PartitionOne(sim::PartyIndex victim, sim::Time heal_at, sim::Duration base)
+      : victim_(victim), heal_at_(heal_at), base_(base) {}
+  sim::Duration delay(sim::PartyIndex from, sim::PartyIndex to, sim::Time now, size_t,
+                      Xoshiro256&) override {
+    if ((from == victim_ || to == victim_) && now < heal_at_)
+      return sim::seconds(100000);  // dropped
+    return base_;
+  }
+
+ private:
+  sim::PartyIndex victim_;
+  sim::Time heal_at_;
+  sim::Duration base_;
+};
+
+void ablation_cup() {
+  std::printf("(d) catch-up packages: rejoin latency of a replica that lost 20 s of\n"
+              "    history (n = 4, pruned pools, partition-era traffic dropped)\n");
+  std::printf("    %-14s | %-26s\n", "CUPs", "time to reach the tip");
+  for (types::Round interval : {10u, 0u}) {
+    harness::ClusterOptions o;
+    o.n = 4;
+    o.t = 1;
+    o.seed = 94;
+    o.delta_bnd = sim::msec(100);
+    o.cup_interval = interval;
+    o.lag_threshold = 8;
+    o.prune_lag = 4;
+    o.delay_model = [](size_t, uint64_t) -> std::unique_ptr<sim::DelayModel> {
+      return std::make_unique<PartitionOne>(3, sim::seconds(20), sim::msec(10));
+    };
+    harness::Cluster c(o);
+    c.run_until(sim::seconds(20));  // partition heals here
+    sim::Time rejoined = -1;
+    for (sim::Time t = sim::seconds(20); t <= sim::seconds(40); t += sim::msec(100)) {
+      c.run_until(t);
+      long behind = static_cast<long>(c.party(0)->last_finalized_round()) -
+                    static_cast<long>(c.party(3)->last_finalized_round());
+      if (behind <= 5) {
+        rejoined = t - sim::seconds(20);
+        break;
+      }
+    }
+    if (rejoined >= 0) {
+      std::printf("    %-14s | %.1f s\n", interval ? "every 10 rds" : "disabled",
+                  sim::to_sec(rejoined));
+    } else {
+      std::printf("    %-14s | never (stuck %ld rounds behind)\n",
+                  interval ? "every 10 rds" : "disabled",
+                  static_cast<long>(c.party(0)->last_finalized_round()) -
+                      static_cast<long>(c.party(3)->last_finalized_round()));
+    }
+  }
+  std::printf("    Without CUPs a rejoining replica can never validate blocks whose\n"
+              "    ancestors were pruned everywhere; with them it is back at the tip\n"
+              "    in seconds (request -> threshold-signed package -> live chase).\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation studies (design choices; see DESIGN.md)\n"
+              "=================================================\n\n");
+  ablation_epsilon();
+  ablation_adaptive();
+  ablation_gossip();
+  ablation_cup();
+  return 0;
+}

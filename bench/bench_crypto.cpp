@@ -1,0 +1,187 @@
+// F-CRY: microbenchmarks of every cryptographic and coding primitive the
+// protocols rely on (google-benchmark). Establishes that the from-scratch
+// substrate is fast enough for the simulation workloads and documents the
+// cost hierarchy (hashing << signatures << threshold-beacon operations).
+#include <benchmark/benchmark.h>
+
+#include "codec/merkle.hpp"
+#include "codec/reed_solomon.hpp"
+#include "crypto/beacon.hpp"
+#include "crypto/multisig.hpp"
+#include "crypto/provider.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace icc;
+using namespace icc::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(Sha256::hash(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(1024 * 1024);
+
+void BM_Sha512(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(Sha512::hash(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(1024 * 1024);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  Bytes seed = rng.bytes(32);
+  auto kp = ed25519_keypair(seed.data());
+  Bytes msg = rng.bytes(256);
+  for (auto _ : state) benchmark::DoNotOptimize(ed25519_sign(kp, msg));
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  Bytes seed = rng.bytes(32);
+  auto kp = ed25519_keypair(seed.data());
+  Bytes msg = rng.bytes(256);
+  auto sig = ed25519_sign(kp, msg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ed25519_verify(kp.public_key.data(), msg, sig.data()));
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_PointMulBase(benchmark::State& state) {
+  Xoshiro256 rng(4);
+  Sc25519 k = random_scalar(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(Point::mul_base(k));
+}
+BENCHMARK(BM_PointMulBase);
+
+void BM_PointMulArbitrary(benchmark::State& state) {
+  Xoshiro256 rng(5);
+  Sc25519 k = random_scalar(rng);
+  Point p = Point::mul_base(random_scalar(rng));
+  for (auto _ : state) benchmark::DoNotOptimize(p.mul(k));
+}
+BENCHMARK(BM_PointMulArbitrary);
+
+void BM_HashToPoint(benchmark::State& state) {
+  Xoshiro256 rng(6);
+  Bytes msg = rng.bytes(48);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    msg[0] = static_cast<uint8_t>(i++);
+    benchmark::DoNotOptimize(hash_to_point("bench", msg));
+  }
+}
+BENCHMARK(BM_HashToPoint);
+
+void BM_BeaconSignShare(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  auto keys = beacon_keygen(13, 4, rng);
+  Bytes msg = rng.bytes(32);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(beacon_sign_share(msg, 0, keys.secret_shares[0], keys.pub));
+}
+BENCHMARK(BM_BeaconSignShare);
+
+void BM_BeaconVerifyShare(benchmark::State& state) {
+  Xoshiro256 rng(8);
+  auto keys = beacon_keygen(13, 4, rng);
+  Bytes msg = rng.bytes(32);
+  auto share = beacon_sign_share(msg, 0, keys.secret_shares[0], keys.pub);
+  for (auto _ : state) benchmark::DoNotOptimize(beacon_verify_share(msg, share, keys.pub));
+}
+BENCHMARK(BM_BeaconVerifyShare);
+
+void BM_BeaconCombine(benchmark::State& state) {
+  Xoshiro256 rng(9);
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t t = (n - 1) / 3;
+  auto keys = beacon_keygen(n, t, rng);
+  Bytes msg = rng.bytes(32);
+  std::vector<BeaconShare> shares;
+  for (size_t i = 0; i <= t; ++i)
+    shares.push_back(beacon_sign_share(msg, static_cast<uint32_t>(i), keys.secret_shares[i],
+                                       keys.pub));
+  for (auto _ : state) benchmark::DoNotOptimize(beacon_combine(shares, keys.pub));
+}
+BENCHMARK(BM_BeaconCombine)->Arg(4)->Arg(13)->Arg(40);
+
+void BM_MultisigVerify(benchmark::State& state) {
+  Xoshiro256 rng(10);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Ed25519KeyPair> kps;
+  std::vector<std::array<uint8_t, 32>> pks;
+  for (size_t i = 0; i < n; ++i) {
+    Bytes s = rng.bytes(32);
+    kps.push_back(ed25519_keypair(s.data()));
+    pks.push_back(kps.back().public_key);
+  }
+  Bytes msg = rng.bytes(40);
+  std::vector<MultiSigShare> shares;
+  for (size_t i = 0; i < n; ++i)
+    shares.push_back({static_cast<uint32_t>(i), ed25519_sign(kps[i], msg)});
+  size_t h = n - (n - 1) / 3;
+  auto ms = multisig_combine(shares, h, n);
+  for (auto _ : state) benchmark::DoNotOptimize(multisig_verify(*ms, pks, msg, h));
+}
+BENCHMARK(BM_MultisigVerify)->Arg(13)->Arg(40);
+
+void BM_FastProviderRoundTrip(benchmark::State& state) {
+  auto p = make_fast_provider(40, 13, 1);
+  Bytes msg = Bytes(40, 7);
+  for (auto _ : state) {
+    Bytes sig = p->sign(0, msg);
+    benchmark::DoNotOptimize(p->verify(0, msg, sig));
+  }
+}
+BENCHMARK(BM_FastProviderRoundTrip);
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  Xoshiro256 rng(11);
+  Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
+  codec::ReedSolomon rs(14, 40);
+  for (auto _ : state) benchmark::DoNotOptimize(rs.encode(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReedSolomonEncode)->Arg(128 * 1024)->Arg(1024 * 1024);
+
+void BM_ReedSolomonDecode(benchmark::State& state) {
+  Xoshiro256 rng(12);
+  Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
+  codec::ReedSolomon rs(14, 40);
+  auto frags = rs.encode(data);
+  // Worst case: all parity fragments.
+  std::vector<codec::Fragment> subset(frags.begin() + 26, frags.end());
+  for (auto _ : state) benchmark::DoNotOptimize(rs.decode(subset, data.size()));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReedSolomonDecode)->Arg(128 * 1024)->Arg(1024 * 1024);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  Xoshiro256 rng(13);
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 40; ++i) leaves.push_back(rng.bytes(32 * 1024));
+  for (auto _ : state) benchmark::DoNotOptimize(codec::MerkleTree(leaves).root());
+}
+BENCHMARK(BM_MerkleBuild);
+
+void BM_MerkleVerify(benchmark::State& state) {
+  Xoshiro256 rng(14);
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 40; ++i) leaves.push_back(rng.bytes(1024));
+  codec::MerkleTree tree(leaves);
+  auto proof = tree.prove(17);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(codec::MerkleTree::verify(tree.root(), 40, leaves[17], proof));
+}
+BENCHMARK(BM_MerkleVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// F-BOT: the leader bottleneck as *latency*, under egress-bandwidth
+// queueing (the observation of Mir-BFT [35] that motivates ICC1/ICC2:
+// "it is not the communication complexity that is important, but the
+// communication bottlenecks").
+//
+// Every party gets a 100 Mbit/s uplink through which its sends serialize.
+// With ICC0, a proposer's broadcast of a large block is n-1 sequential
+// uploads — at 1 MB and n = 13 that is ~1 s of wire time before the last
+// peer even starts receiving, and every echoing party pays it again. ICC1's
+// pull gossip and ICC2's erasure-coded dispersal cut the serialized volume
+// per party to ~1 and ~n/k block equivalents respectively.
+#include <cstdio>
+
+#include "harness/cluster.hpp"
+
+namespace {
+using namespace icc;
+
+double commit_latency_ms(harness::Protocol proto, size_t block_size) {
+  harness::ClusterOptions o;
+  o.n = 13;
+  o.t = 4;
+  o.seed = 97;
+  o.protocol = proto;
+  o.delta_bnd = sim::seconds(4);  // generous; we measure the happy path
+  o.payload_size = block_size;
+  o.record_payloads = false;
+  o.prune_lag = 4;
+  o.max_round = 10;
+  o.delay_model = [](size_t n, uint64_t) {
+    // 10 ms propagation + 100 Mbit/s (12.5 B/us) serialized uplink per party.
+    return std::make_unique<sim::QueuedDelay>(
+        std::make_unique<sim::FixedDelay>(sim::msec(10)), n, 12.5);
+  };
+  harness::Cluster c(o);
+  c.run_for(sim::seconds(120));
+  return c.avg_latency_ms();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F-BOT: commit latency with 100 Mbit/s per-party uplinks (n = 13)\n");
+  std::printf("%10s | %12s | %12s | %12s\n", "block S", "ICC0 ms", "ICC1 ms", "ICC2 ms");
+  std::printf("-----------+--------------+--------------+-------------\n");
+  for (size_t s : {16u * 1024, 128u * 1024, 512u * 1024, 1024u * 1024}) {
+    double icc0 = commit_latency_ms(harness::Protocol::kIcc0, s);
+    double icc1 = commit_latency_ms(harness::Protocol::kIcc1, s);
+    double icc2 = commit_latency_ms(harness::Protocol::kIcc2, s);
+    std::printf("%7zu KB | %12.1f | %12.1f | %12.1f\n", s / 1024, icc0, icc1, icc2);
+  }
+  std::printf("\nExpected: at small S all protocols sit near their 3-4 hop floors;\n"
+              "as S grows, ICC0's latency blows up with the n-1 sequential uploads\n"
+              "per (re)broadcast, ICC1 grows like ~2 upload units (pull + serve),\n"
+              "and ICC2 like ~n/k fragment uploads — the bottleneck argument of\n"
+              "[35], reproduced as end-to-end latency.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// F-RBC: block dissemination cost — per-party bits per round vs block size.
+//
+// Paper (Section 1): with blocks of size S = Omega(n lambda log n), the
+// total number of bits transmitted by each party per ICC2 round is O(S)
+// (erasure-coded reliable broadcast), versus the leader transmitting
+// O(n * S) under direct push (ICC0) — the bottleneck problem; ICC1's gossip
+// also spreads the load but still moves ~S per party plus pull overhead.
+//
+// This bench sweeps S for n = 13 and n = 40 and reports, per protocol:
+//   max-bytes-sent-per-party / S   (the bottleneck, in block-size units)
+//   total-bytes / (n * S)          (aggregate dissemination efficiency)
+#include <cstdio>
+
+#include "harness/cluster.hpp"
+
+namespace {
+using namespace icc;
+
+struct Cost {
+  double bottleneck_over_s;
+  double total_over_ns;
+};
+
+Cost run(harness::Protocol proto, size_t n, size_t t, size_t block_size) {
+  harness::ClusterOptions o;
+  o.n = n;
+  o.t = t;
+  o.seed = 51;
+  o.protocol = proto;
+  o.delta_bnd = sim::msec(400);
+  o.payload_size = block_size;
+  o.record_payloads = false;
+  o.prune_lag = 4;
+  o.max_round = 6;
+  o.delay_model = [](size_t, uint64_t) {
+    return std::make_unique<sim::FixedDelay>(sim::msec(15));
+  };
+  harness::Cluster c(o);
+  c.run_for(sim::seconds(30));
+  size_t rounds = c.party(0)->current_round();
+  if (rounds < 2) return {0, 0};
+  const auto& m = c.sim().network().metrics();
+  double per_round_bottleneck =
+      static_cast<double>(m.max_bytes_sent()) / static_cast<double>(rounds);
+  double per_round_total =
+      static_cast<double>(m.total_bytes) / static_cast<double>(rounds);
+  Cost cost;
+  cost.bottleneck_over_s = per_round_bottleneck / static_cast<double>(block_size);
+  cost.total_over_ns =
+      per_round_total / (static_cast<double>(n) * static_cast<double>(block_size));
+  return cost;
+}
+}  // namespace
+
+int main() {
+  for (auto [n, t] : {std::pair<size_t, size_t>{13, 4}, std::pair<size_t, size_t>{40, 13}}) {
+    std::printf("F-RBC: n = %zu (k = n - 2t = %zu). Entries: bottleneck/S, total/(nS)\n",
+                n, n - 2 * t);
+    std::printf("%10s | %16s | %16s | %16s\n", "block S", "ICC0 (push)", "ICC1 (gossip)",
+                "ICC2 (RS-RBC)");
+    std::printf("-----------+------------------+------------------+------------------\n");
+    for (size_t s : {64u * 1024, 256u * 1024, 1024u * 1024}) {
+      Cost c0 = run(harness::Protocol::kIcc0, n, t, s);
+      Cost c1 = run(harness::Protocol::kIcc1, n, t, s);
+      Cost c2 = run(harness::Protocol::kIcc2, n, t, s);
+      std::printf("%7zu KB | %7.1f, %6.2f | %7.1f, %6.2f | %7.1f, %6.2f\n", s / 1024,
+                  c0.bottleneck_over_s, c0.total_over_ns, c1.bottleneck_over_s,
+                  c1.total_over_ns, c2.bottleneck_over_s, c2.total_over_ns);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected: ICC0's bottleneck is ~n block-copies per round and grows\n"
+              "with n (every party pushes the block it echoes to all peers); ICC1\n"
+              "drops to a handful of copies at the busiest party, roughly flat in n;\n"
+              "ICC2's bottleneck is ~n/k ~ 3 copies *independent of n*, and its\n"
+              "total/(nS) stays ~n/k (the erasure-code rate) — the O(S)-per-party\n"
+              "claim of the paper.\n");
+  return 0;
+}

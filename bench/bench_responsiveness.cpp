@@ -1,0 +1,68 @@
+// F-OPT: optimistic responsiveness — round time tracks the actual network
+// delay delta, not the pessimistic bound Delta_bnd.
+//
+// Paper (Section 1): "the ICC protocols enjoy the property known as
+// optimistic responsiveness [30], meaning that the protocol will run as fast
+// as the network will allow in those rounds where the leader is honest."
+// Tendermint is the contrast: its rounds take O(Delta_bnd) regardless.
+//
+// Sweep delta with Delta_bnd pinned at 300 ms; print mean round time.
+#include <cstdio>
+
+#include "harness/baseline_cluster.hpp"
+#include "harness/cluster.hpp"
+
+namespace {
+using namespace icc;
+
+double icc_round_ms(sim::Duration delta) {
+  harness::ClusterOptions o;
+  o.n = 7;
+  o.t = 2;
+  o.seed = 61;
+  o.delta_bnd = sim::msec(300);
+  o.payload_size = 128;
+  o.record_payloads = false;
+  o.prune_lag = 8;
+  o.delay_model = [delta](size_t, uint64_t) {
+    return std::make_unique<sim::FixedDelay>(delta);
+  };
+  harness::Cluster c(o);
+  c.run_for(sim::seconds(20));
+  size_t rounds = c.party(0)->current_round();
+  return rounds > 1 ? 20000.0 / static_cast<double>(rounds) : 0;
+}
+
+double tendermint_round_ms(sim::Duration delta) {
+  harness::BaselineOptions o;
+  o.kind = harness::BaselineKind::kTendermint;
+  o.n = 7;
+  o.t = 2;
+  o.seed = 61;
+  o.delta_bnd = sim::msec(300);
+  o.payload_size = 128;
+  o.record_payloads = false;
+  o.delay_model = [delta](size_t, uint64_t) {
+    return std::make_unique<sim::FixedDelay>(delta);
+  };
+  harness::BaselineCluster c(o);
+  c.run_for(sim::seconds(20));
+  size_t heights = c.party(0)->committed().size();
+  return heights > 1 ? 20000.0 / static_cast<double>(heights) : 0;
+}
+}  // namespace
+
+int main() {
+  std::printf("F-OPT: mean round time with Delta_bnd = 300 ms fixed (n = 7, honest)\n");
+  std::printf("%-10s | %-16s | %-20s\n", "delta", "ICC0 (~2*delta)", "Tendermint (~Delta_bnd)");
+  std::printf("-----------+------------------+----------------------\n");
+  for (int d : {2, 5, 10, 25, 50, 100}) {
+    double icc = icc_round_ms(sim::msec(d));
+    double tm = tendermint_round_ms(sim::msec(d));
+    std::printf("%6d ms  | %12.1f ms  | %16.1f ms\n", d, icc, tm);
+  }
+  std::printf("\nExpected: the ICC column scales ~2x delta (plus scheduling slack);\n"
+              "the Tendermint column is pinned near Delta_bnd + 3*delta — it cannot\n"
+              "exploit a fast network (not optimistically responsive).\n");
+  return 0;
+}

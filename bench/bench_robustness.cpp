@@ -1,0 +1,158 @@
+// F-ROB: robust consensus — graceful degradation under Byzantine behaviour.
+//
+// Paper (Section 1, "Robust consensus", citing Clement et al. [15]):
+//   * a corrupt-leader round finishes in O(Delta_bnd) instead of O(delta) —
+//     the *only* degradation ICC suffers;
+//   * PBFT-style protocols see throughput collapse to ~zero under a silent
+//     leader until a view change fires (and repeatedly so with several
+//     corrupt parties in the leader schedule).
+//
+// Output: (a) windowed throughput time series for ICC0 and PBFT-lite with
+// faults switching on at t = 10 s; (b) ICC round duration distribution split
+// by honest-leader vs corrupt-leader rounds.
+#include <cstdio>
+
+#include "harness/baseline_cluster.hpp"
+#include "harness/cluster.hpp"
+
+namespace {
+using namespace icc;
+
+std::vector<double> windowed_throughput(const std::vector<sim::Time>& commits,
+                                        sim::Duration window, sim::Time end) {
+  std::vector<double> out;
+  for (sim::Time t0 = 0; t0 < end; t0 += window) {
+    size_t count = 0;
+    for (sim::Time c : commits)
+      if (c >= t0 && c < t0 + window) ++count;
+    out.push_back(static_cast<double>(count) / sim::to_sec(window));
+  }
+  return out;
+}
+}  // namespace
+
+int main() {
+  const sim::Duration window = sim::seconds(5);
+  const sim::Time end = sim::seconds(40);
+
+  // --- (a) windowed throughput, faults from the start -------------------
+  std::printf("F-ROB (a): committed blocks/s in 5-s windows, n = 7, t = 2 corrupt\n\n");
+
+  std::vector<sim::Time> icc_commits;
+  {
+    harness::ClusterOptions o;
+    o.n = 7;
+    o.t = 2;
+    o.seed = 41;
+    o.delta_bnd = sim::msec(300);
+    o.payload_size = 128;
+    o.record_payloads = false;
+    o.prune_lag = 8;
+    o.delay_model = [](size_t, uint64_t) {
+      return std::make_unique<sim::FixedDelay>(sim::msec(10));
+    };
+    consensus::ByzantineBehavior b;
+    b.withhold_proposal = true;  // corrupt leaders propose nothing
+    b.withhold_finalization = true;
+    o.corrupt = {{1, b}, {4, b}};
+    o.on_commit = [&](sim::PartyIndex self, const consensus::CommittedBlock& blk) {
+      if (self == 0) icc_commits.push_back(blk.committed_at);
+    };
+    harness::Cluster c(o);
+    c.run_for(end);
+    auto safety = c.check_safety();
+    if (safety) std::fprintf(stderr, "SAFETY: %s\n", safety->c_str());
+  }
+
+  auto run_pbft = [&](bool crash_leaders, bool throttle_leader) {
+    harness::BaselineOptions o;
+    o.kind = harness::BaselineKind::kPbft;
+    o.n = 7;
+    o.t = 2;
+    o.seed = 41;
+    o.delta_bnd = sim::msec(300);
+    o.payload_size = 128;
+    o.record_payloads = false;
+    if (crash_leaders) o.crashed = {0, 1};
+    if (throttle_leader) {
+      // Stay just under the 4 * Delta_bnd = 1200 ms view-change timeout:
+      // undetectable, caps throughput at < 1 block/s forever ([15]).
+      o.pbft_propose_delay[0] = sim::msec(1100);
+    }
+    harness::BaselineCluster c(o);
+    c.run_for(end);
+    std::vector<sim::Time> commits;
+    for (const auto& blk : c.party(crash_leaders ? 2 : 3)->committed())
+      commits.push_back(blk.committed_at);
+    return commits;
+  };
+
+  auto icc_tp = windowed_throughput(icc_commits, window, end);
+  auto pbft_crash_tp = windowed_throughput(run_pbft(true, false), window, end);
+  auto pbft_slow_tp = windowed_throughput(run_pbft(false, true), window, end);
+  std::printf("%-22s", "window");
+  for (size_t i = 0; i < icc_tp.size(); ++i) std::printf(" %5zu-%zus", i * 5, i * 5 + 5);
+  std::printf("\n%-22s", "ICC0 (2 withholding)");
+  for (double v : icc_tp) std::printf(" %8.2f", v);
+  std::printf("\n%-22s", "PBFT (leaders crash)");
+  for (double v : pbft_crash_tp) std::printf(" %8.2f", v);
+  std::printf("\n%-22s", "PBFT (slow leader)");
+  for (double v : pbft_slow_tp) std::printf(" %8.2f", v);
+  std::printf("\n\nICC degrades smoothly and keeps a steady rate forever (corrupt-leader\n"
+              "rounds just take ~Delta_bnd). PBFT with crashed leaders stalls at ~0\n"
+              "through its view changes, then races (a stable honest leader remains);\n"
+              "but a *throttling* leader — the undetectable attack of [15] — caps PBFT\n"
+              "below 1 block/s indefinitely, the \"throughput drops to zero\" failure\n"
+              "mode the paper's robustness argument targets.\n\n");
+
+  // --- (b) round duration by leader honesty -----------------------------
+  std::printf("F-ROB (b): ICC0 round duration by round-leader honesty\n");
+  {
+    harness::ClusterOptions o;
+    o.n = 7;
+    o.t = 2;
+    o.seed = 43;
+    o.delta_bnd = sim::msec(300);
+    o.payload_size = 128;
+    o.record_payloads = false;
+    o.prune_lag = 8;
+    o.delay_model = [](size_t, uint64_t) {
+      return std::make_unique<sim::FixedDelay>(sim::msec(10));
+    };
+    consensus::ByzantineBehavior b;
+    b.withhold_proposal = true;
+    o.corrupt = {{1, b}, {4, b}};
+
+    // Round durations from party 0's commit times (P1: one block per round;
+    // the duration distribution is bimodal — fast mode ~O(delta) when the
+    // leader is honest, slow mode ~Delta_ntry(1) = 2*Delta_bnd when the
+    // (withholding) corrupt leader's rank-1 backup steps in).
+    std::vector<sim::Time> commit_at;
+    o.on_commit = [&](sim::PartyIndex self, const consensus::CommittedBlock& blk) {
+      if (self == 0) commit_at.push_back(blk.committed_at);
+    };
+    harness::Cluster c(o);
+    c.run_for(sim::seconds(60));
+
+    size_t fast = 0, slow = 0;
+    double fast_sum = 0, slow_sum = 0;
+    for (size_t i = 1; i < commit_at.size(); ++i) {
+      double dur = sim::to_ms(commit_at[i] - commit_at[i - 1]);
+      if (dur < 300.0) {
+        fast++;
+        fast_sum += dur;
+      } else {
+        slow++;
+        slow_sum += dur;
+      }
+    }
+    double slow_frac = (fast + slow) ? static_cast<double>(slow) / (fast + slow) : 0;
+    std::printf("  fast rounds (honest leader):  %4zu, avg %6.1f ms  (O(delta) ~ 30 ms)\n",
+                fast, fast ? fast_sum / fast : 0);
+    std::printf("  slow rounds (corrupt leader): %4zu, avg %6.1f ms  (O(Delta_bnd) ~ 600 ms)\n",
+                slow, slow ? slow_sum / slow : 0);
+    std::printf("  slow fraction %.2f vs corrupt fraction 2/7 = %.2f — the beacon picks\n"
+                "  a corrupt leader with exactly that probability.\n", slow_frac, 2.0 / 7.0);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// F-RND: round complexity — rounds until a block is finalized.
+//
+// Paper (Section 1): under a static adversary the number of rounds until a
+// committed (finalized) block is O(1) in expectation and O(log n) w.h.p.
+// Finalization in round k requires that no honest party notarization-shared
+// two blocks in round k — an honest leader on a synchronous network gives
+// this immediately, so gaps between finalized rounds are geometric with
+// p >= 2/3.
+//
+// This bench runs ICC0 with t Byzantine parties (equivocating + withholding
+// finalization — the behaviour that maximizes finalization gaps) and prints
+// the distribution of gaps between consecutive finalized rounds.
+#include <cstdio>
+#include <map>
+
+#include "harness/cluster.hpp"
+
+namespace {
+using namespace icc;
+}
+
+int main() {
+  std::printf("F-RND: gaps between consecutive finalized rounds (ICC0, t Byzantine)\n");
+  std::printf("%4s | %8s | %8s | %22s | gap histogram (1,2,3,4+)\n", "n", "rounds",
+              "mean gap", "p99 gap (O(log n)?)");
+  std::printf("-----+----------+----------+------------------------+------------------\n");
+
+  for (size_t n : {4, 7, 13, 19, 31}) {
+    size_t t = (n - 1) / 3;
+    harness::ClusterOptions o;
+    o.n = n;
+    o.t = t;
+    o.seed = 31 + n;
+    o.delta_bnd = sim::msec(120);
+    o.payload_size = 64;
+    o.record_payloads = false;
+    o.prune_lag = 8;
+    o.delay_model = [](size_t, uint64_t) {
+      return std::make_unique<sim::FixedDelay>(sim::msec(8));
+    };
+    consensus::ByzantineBehavior b;
+    b.equivocate = true;
+    b.withhold_finalization = true;
+    for (size_t i = 0; i < t; ++i)
+      o.corrupt.emplace_back(static_cast<sim::PartyIndex>(2 * i + 1), b);
+    harness::Cluster c(o);
+    c.run_for(sim::seconds(60));
+
+    // Gap sequence from the first honest party's committed rounds.
+    const consensus::Icc0Party* p = nullptr;
+    for (size_t i = 0; i < n && !p; ++i)
+      if (c.is_honest(i)) p = c.party(i);
+    std::vector<uint32_t> finalized_rounds;
+    // committed() lists every round (each round commits exactly one block);
+    // a "finalized round" is one where the commit happened because of its own
+    // finalization — approximate via commit-time grouping: all blocks sharing
+    // one committed_at belong to one finalization.
+    std::map<sim::Time, uint32_t> last_round_at;
+    for (const auto& blk : p->committed()) {
+      last_round_at[blk.committed_at] = std::max(last_round_at[blk.committed_at], blk.round);
+    }
+    std::vector<uint32_t> gaps;
+    uint32_t prev = 0;
+    for (const auto& [at, round] : last_round_at) {
+      gaps.push_back(round - prev);
+      prev = round;
+    }
+    if (gaps.empty()) {
+      std::printf("%4zu | (no finalizations)\n", n);
+      continue;
+    }
+    double mean = 0;
+    std::map<uint32_t, size_t> hist;
+    for (uint32_t g : gaps) {
+      mean += g;
+      hist[std::min<uint32_t>(g, 4)]++;
+    }
+    mean /= static_cast<double>(gaps.size());
+    std::vector<uint32_t> sorted = gaps;
+    std::sort(sorted.begin(), sorted.end());
+    uint32_t p99 = sorted[(sorted.size() * 99) / 100];
+    std::printf("%4zu | %8u | %8.2f | %22u | %zu, %zu, %zu, %zu\n", n, prev, mean, p99,
+                hist[1], hist[2], hist[3], hist[4]);
+  }
+  std::printf("\nExpected: mean gap stays O(1) (< ~2) across n; the p99 gap grows at\n"
+              "most logarithmically. Every round still adds one block to the chain\n"
+              "(P1) — gaps only delay *when* rounds get finalized, not throughput.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Byzantine playground: watch ICC degrade gracefully (the paper's "robust
+// consensus" discussion, Section 1) under a menu of attacks, and compare
+// with PBFT's collapse under a silent leader [15].
+#include <cstdio>
+
+#include "harness/baseline_cluster.hpp"
+#include "harness/cluster.hpp"
+
+namespace {
+
+using namespace icc;
+
+struct ScenarioResult {
+  double blocks_per_s;
+  double latency_ms;
+  bool safe;
+};
+
+ScenarioResult run_icc(const char* name,
+                       std::vector<std::pair<sim::PartyIndex, harness::CorruptBehavior>>
+                           corrupt) {
+  harness::ClusterOptions o;
+  o.n = 7;
+  o.t = 2;
+  o.seed = 99;
+  o.delta_bnd = sim::msec(300);
+  o.payload_size = 256;
+  o.corrupt = std::move(corrupt);
+  o.delay_model = [](size_t, uint64_t) {
+    return std::make_unique<sim::UniformDelay>(sim::msec(5), sim::msec(25));
+  };
+  harness::Cluster c(o);
+  c.run_for(sim::seconds(30));
+  ScenarioResult r;
+  r.blocks_per_s = c.blocks_per_second(sim::seconds(30));
+  r.latency_ms = c.avg_latency_ms();
+  r.safe = !c.check_safety().has_value() && !c.check_p2().has_value();
+  std::printf("  %-28s %6.2f blocks/s   latency %7.1f ms   safety %s\n", name,
+              r.blocks_per_s, r.latency_ms, r.safe ? "OK" : "VIOLATED");
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using consensus::ByzantineBehavior;
+
+  std::printf("ICC0, n = 7, t = 2, two corrupt parties per scenario\n");
+  std::printf("----------------------------------------------------\n");
+
+  run_icc("baseline (all honest)", {});
+
+  run_icc("crashed", {{1, harness::Crashed{}}, {4, harness::Crashed{}}});
+
+  ByzantineBehavior eq;
+  eq.equivocate = true;
+  run_icc("equivocating proposers", {{1, eq}, {4, eq}});
+
+  ByzantineBehavior censor;
+  censor.empty_payload = true;
+  run_icc("censoring (empty blocks)", {{1, censor}, {4, censor}});
+
+  ByzantineBehavior withhold;
+  withhold.withhold_finalization = true;
+  withhold.withhold_notarization = true;
+  run_icc("withholding shares", {{1, withhold}, {4, withhold}});
+
+  ByzantineBehavior mute;
+  mute.mute_after = 20;
+  run_icc("crash mid-run (round 20)", {{1, mute}, {4, mute}});
+
+  std::printf("\nPBFT-lite under a silent leader (contrast, [15]):\n");
+  std::printf("----------------------------------------------------\n");
+  for (bool leader_dead : {false, true}) {
+    harness::BaselineOptions o;
+    o.kind = harness::BaselineKind::kPbft;
+    o.n = 7;
+    o.t = 2;
+    o.seed = 99;
+    o.delta_bnd = sim::msec(300);
+    if (leader_dead) o.crashed = {0, 1};  // two consecutive leaders dead
+    harness::BaselineCluster c(o);
+    c.run_for(sim::seconds(30));
+    std::printf("  %-28s %6.2f blocks/s\n",
+                leader_dead ? "two leaders silent" : "all honest",
+                static_cast<double>(c.min_honest_committed()) / 30.0);
+  }
+
+  std::printf("\nICC keeps committing at a steady rate in every scenario; PBFT\n"
+              "stalls through each view-change timeout before recovering.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// icc_simulate — a parameterized simulation driver for the whole library.
+//
+//   icc_sim [options]
+//     --protocol icc0|icc1|icc2      (default icc1)
+//     --n <int>                      parties (default 13)
+//     --t <int>                      corruption bound (default (n-1)/3)
+//     --seconds <int>                virtual run time (default 30)
+//     --delta-ms <int>               fixed one-way delay; 0 = WAN model (default 0)
+//     --delta-bnd-ms <int>           partial-synchrony bound (default 600)
+//     --epsilon-ms <int>             eq. 2 governor (default 0)
+//     --payload <bytes>              block payload size (default 4096)
+//     --crash <int>                  # crashed parties (default 0)
+//     --equivocate <int>             # equivocating parties (default 0)
+//     --censor <int>                 # empty-payload proposers (default 0)
+//     --adaptive                     adaptive Delta_bnd
+//     --cup <interval>               catch-up packages every <interval> rounds
+//     --real-crypto                  Ed25519/DVRF instead of the fast oracle
+//     --async <from_s> <to_s>        add an asynchrony window
+//     --seed <int>
+//
+// Prints a run report: rounds, commits, latency percentiles, traffic, and
+// the invariant checks. Exit code 1 on any invariant violation.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/cluster.hpp"
+#include "harness/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icc;
+
+  harness::ClusterOptions o;
+  o.n = 13;
+  o.t = 0;  // resolved below
+  o.protocol = harness::Protocol::kIcc1;
+  o.seed = 42;
+  o.delta_bnd = sim::msec(600);
+  o.payload_size = 4096;
+  o.prune_lag = 16;
+  int seconds = 30;
+  int delta_ms = 0;
+  int crash = 0, equivocate = 0, censor = 0;
+  std::vector<std::pair<int, int>> async_windows;
+
+  for (int i = 1; i < argc; ++i) {
+    auto is = [&](const char* flag) { return std::strcmp(argv[i], flag) == 0; };
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (is("--protocol")) {
+      const char* v = next();
+      if (!std::strcmp(v, "icc0")) o.protocol = harness::Protocol::kIcc0;
+      else if (!std::strcmp(v, "icc1")) o.protocol = harness::Protocol::kIcc1;
+      else if (!std::strcmp(v, "icc2")) o.protocol = harness::Protocol::kIcc2;
+      else {
+        std::fprintf(stderr, "unknown protocol %s\n", v);
+        return 2;
+      }
+    } else if (is("--n")) o.n = static_cast<size_t>(atoi(next()));
+    else if (is("--t")) o.t = static_cast<size_t>(atoi(next()));
+    else if (is("--seconds")) seconds = atoi(next());
+    else if (is("--delta-ms")) delta_ms = atoi(next());
+    else if (is("--delta-bnd-ms")) o.delta_bnd = sim::msec(atoi(next()));
+    else if (is("--epsilon-ms")) o.epsilon = sim::msec(atoi(next()));
+    else if (is("--payload")) o.payload_size = static_cast<size_t>(atoi(next()));
+    else if (is("--crash")) crash = atoi(next());
+    else if (is("--equivocate")) equivocate = atoi(next());
+    else if (is("--censor")) censor = atoi(next());
+    else if (is("--adaptive")) o.adaptive.enabled = true;
+    else if (is("--cup")) o.cup_interval = static_cast<types::Round>(atoi(next()));
+    else if (is("--real-crypto")) o.crypto = harness::CryptoKind::kReal;
+    else if (is("--seed")) o.seed = static_cast<uint64_t>(atoll(next()));
+    else if (is("--async")) {
+      int from = atoi(next());
+      int to = atoi(next());
+      async_windows.emplace_back(from, to);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (see header of examples/icc_simulate.cpp)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (o.t == 0) o.t = (o.n - 1) / 3;
+
+  // Corrupt slot assignment: spread the behaviours over distinct indices.
+  size_t corrupted = 0;
+  auto assign = [&](harness::CorruptBehavior b, int count) {
+    for (int j = 0; j < count && corrupted < o.n; ++j) {
+      o.corrupt.emplace_back(static_cast<sim::PartyIndex>(1 + 3 * corrupted % o.n), b);
+      ++corrupted;
+    }
+  };
+  assign(harness::Crashed{}, crash);
+  consensus::ByzantineBehavior eq;
+  eq.equivocate = true;
+  assign(eq, equivocate);
+  consensus::ByzantineBehavior cen;
+  cen.empty_payload = true;
+  assign(cen, censor);
+  if (corrupted > o.t) {
+    std::fprintf(stderr, "warning: %zu corrupt parties exceed t = %zu — the protocol's\n"
+                         "guarantees no longer apply (running anyway)\n",
+                 corrupted, o.t);
+  }
+
+  if (delta_ms > 0) {
+    o.delay_model = [delta_ms](size_t, uint64_t) {
+      return std::make_unique<sim::FixedDelay>(sim::msec(delta_ms));
+    };
+  } else {
+    o.delay_model = [](size_t n, uint64_t seed) {
+      sim::WanDelay::Config wan;
+      wan.n = n;
+      wan.seed = seed;
+      return std::make_unique<sim::WanDelay>(wan);
+    };
+  }
+
+  harness::Cluster cluster(o);
+  for (auto [from, to] : async_windows) {
+    cluster.sim().network().synchrony().add_async_window(sim::seconds(from),
+                                                         sim::seconds(to));
+  }
+
+  const char* proto_name = o.protocol == harness::Protocol::kIcc0   ? "ICC0"
+                           : o.protocol == harness::Protocol::kIcc1 ? "ICC1"
+                                                                    : "ICC2";
+  std::printf("icc_simulate: %s, n=%zu t=%zu, %d s virtual, %s network, %s crypto\n",
+              proto_name, o.n, o.t, seconds, delta_ms > 0 ? "fixed-delay" : "WAN",
+              o.crypto == harness::CryptoKind::kReal ? "real" : "fast");
+  cluster.run_for(sim::seconds(seconds));
+
+  // --- report ---
+  harness::Summary latency;
+  for (const auto& s : cluster.latencies()) latency.add(sim::to_ms(s.propose_to_commit));
+  const auto& m = cluster.sim().network().metrics();
+  double secs = static_cast<double>(seconds);
+
+  std::printf("\nrounds reached:       %zu\n", cluster.max_honest_round());
+  std::printf("blocks committed:     %zu  (%.2f blocks/s)\n",
+              cluster.min_honest_committed(),
+              static_cast<double>(cluster.min_honest_committed()) / secs);
+  if (latency.count() > 0) {
+    std::printf("commit latency ms:    p50 %.1f   p99 %.1f   max %.1f\n",
+                latency.percentile(0.5), latency.percentile(0.99), latency.max());
+  }
+  std::printf("messages sent:        %lu  (%.0f /s)\n",
+              static_cast<unsigned long>(m.total_messages),
+              static_cast<double>(m.total_messages) / secs);
+  std::printf("traffic per node:     %.2f Mb/s avg, %.2f Mb/s peak\n",
+              static_cast<double>(m.total_bytes) * 8 / 1e6 / secs /
+                  static_cast<double>(o.n),
+              static_cast<double>(m.max_bytes_sent()) * 8 / 1e6 / secs);
+
+  auto safety = cluster.check_safety();
+  auto p2 = cluster.check_p2();
+  std::printf("safety:               %s\n", safety ? safety->c_str() : "OK");
+  std::printf("P2 (unique finality): %s\n", p2 ? p2->c_str() : "OK");
+  return (safety || p2) ? 1 : 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: run a 4-party Internet Computer Consensus (ICC0) instance on a
+// simulated network and watch blocks finalize.
+//
+//   $ ./examples/quickstart
+//
+// Shows the minimal embedding: build a Cluster, run virtual time forward,
+// read the committed chain back from any party.
+#include <cstdio>
+
+#include "harness/cluster.hpp"
+
+int main() {
+  using namespace icc;
+
+  harness::ClusterOptions options;
+  options.n = 4;                          // parties
+  options.t = 1;                          // tolerated corruptions (t < n/3)
+  options.protocol = harness::Protocol::kIcc0;
+  options.crypto = harness::CryptoKind::kReal;  // full Ed25519 + DVRF beacon
+  options.seed = 2024;
+  options.delta_bnd = sim::msec(300);     // partial-synchrony bound
+  options.payload_size = 64;
+  options.delay_model = [](size_t, uint64_t) {
+    return std::make_unique<sim::UniformDelay>(sim::msec(5), sim::msec(25));
+  };
+
+  harness::Cluster cluster(options);
+  std::printf("running 4-party ICC0 for 10 s of virtual time "
+              "(real Ed25519 signatures, DDH threshold beacon)...\n\n");
+  cluster.run_for(sim::seconds(10));
+
+  const auto& chain = cluster.party(0)->committed();
+  std::printf("party 0 committed %zu blocks:\n", chain.size());
+  for (size_t i = 0; i < chain.size() && i < 8; ++i) {
+    const auto& b = chain[i];
+    std::printf("  round %2u  proposer P%u  hash %02x%02x%02x%02x...  committed at %.1f ms\n",
+                b.round, b.proposer, b.hash[0], b.hash[1], b.hash[2], b.hash[3],
+                sim::to_ms(b.committed_at));
+  }
+  if (chain.size() > 8) std::printf("  ... and %zu more\n", chain.size() - 8);
+
+  auto safety = cluster.check_safety();
+  std::printf("\nsafety (all outputs prefix-consistent): %s\n",
+              safety ? safety->c_str() : "OK");
+  std::printf("average commit latency: %.1f ms\n", cluster.avg_latency_ms());
+  std::printf("throughput: %.2f blocks/s\n",
+              cluster.blocks_per_second(sim::seconds(10)));
+  return safety ? 1 : 0;
+}

@@ -1,0 +1,31 @@
+// Common scaffolding for the baseline protocols (chained HotStuff,
+// Tendermint-lite, PBFT-lite) the paper compares against in Section 1.1.
+//
+// The baselines share the ICC substrate (simulator, crypto provider, payload
+// builder) so performance comparisons measure protocol structure, not
+// implementation accidents. They are deliberately reduced to the mechanisms
+// that drive the compared metrics — latency, reciprocal throughput,
+// responsiveness, leader-failure robustness and traffic shape — and their
+// simplifications are documented in DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "consensus/config.hpp"
+#include "sim/network.hpp"
+
+namespace icc::baselines {
+
+using consensus::CommittedBlock;
+using consensus::PartyConfig;
+using types::Hash;
+using types::PartyIndex;
+using types::Round;
+
+class BaselineParty : public sim::Process {
+ public:
+  virtual const std::vector<CommittedBlock>& committed() const = 0;
+  virtual uint64_t current_height() const = 0;
+};
+
+}  // namespace icc::baselines

@@ -1,0 +1,283 @@
+#include "baselines/hotstuff.hpp"
+
+#include "crypto/sha256.hpp"
+#include "support/serial.hpp"
+
+namespace icc::baselines {
+
+namespace {
+constexpr uint8_t kTagProposal = 0x20;
+constexpr uint8_t kTagVote = 0x21;
+constexpr uint8_t kTagNewView = 0x22;
+
+const types::Hash& genesis_hash() {
+  static const types::Hash h = crypto::Sha256::hash("hotstuff-genesis");
+  return h;
+}
+}  // namespace
+
+Bytes HotStuffParty::Node::serialize() const {
+  Writer w;
+  w.u8(kTagProposal);
+  w.u64(view);
+  w.u32(proposer);
+  w.raw(BytesView(parent.data(), parent.size()));
+  w.bytes(payload);
+  w.bytes(justify_qc);
+  w.u64(justify_view);
+  return std::move(w).take();
+}
+
+types::Hash HotStuffParty::Node::hash() const { return crypto::Sha256::hash(serialize()); }
+
+HotStuffParty::HotStuffParty(PartyIndex self, const HotStuffConfig& config)
+    : self_(self), config_(config), crypto_(config.crypto) {
+  Node genesis;
+  genesis.view = 0;
+  nodes_.emplace(genesis_hash(), genesis);
+  high_qc_block_ = genesis_hash();
+}
+
+Bytes HotStuffParty::vote_message(uint64_t view, const Hash& h) const {
+  Writer w;
+  w.u8(0x2F);  // vote domain
+  w.u64(view);
+  w.raw(BytesView(h.data(), h.size()));
+  return std::move(w).take();
+}
+
+void HotStuffParty::start(sim::Context& ctx) {
+  enter_view(ctx, 1);
+}
+
+void HotStuffParty::enter_view(sim::Context& ctx, uint64_t view) {
+  if (view < view_) return;
+  view_ = view;
+  if (config_.max_view != 0 && view_ > config_.max_view) return;
+  arm_pacemaker(ctx);
+  // The happy-path leader proposes only once it holds the QC for the
+  // previous view (it may enter the view earlier, when casting its own
+  // vote); stale-QC proposals happen only on the pacemaker timeout path.
+  if (leader_of(view_) == self_ && high_qc_view_ + 1 == view_) propose(ctx);
+}
+
+void HotStuffParty::arm_pacemaker(sim::Context& ctx) {
+  const uint64_t epoch = ++pacemaker_epoch_;
+  const uint64_t armed_view = view_;
+  sim::Context c = ctx;
+  ctx.set_timer(config_.view_timeout, [this, c, epoch, armed_view]() mutable {
+    if (pacemaker_epoch_ != epoch || view_ != armed_view) return;  // progressed
+    if (config_.max_view != 0 && view_ + 1 > config_.max_view) return;
+    // View change: advance, ship our highest QC to the new leader.
+    view_++;
+    Writer w;
+    w.u8(kTagNewView);
+    w.u64(view_);
+    w.u64(high_qc_view_);
+    w.raw(BytesView(high_qc_block_.data(), high_qc_block_.size()));
+    w.bytes(high_qc_);
+    c.send(leader_of(view_), std::move(w).take());
+    if (leader_of(view_) == self_) propose(c);
+    arm_pacemaker(c);
+  });
+}
+
+void HotStuffParty::propose(sim::Context& ctx) {
+  if (last_proposed_view_ == view_) return;  // once per view
+  last_proposed_view_ = view_;
+  const Node* parent = &nodes_.at(high_qc_block_);
+  Node n;
+  n.view = view_;
+  n.proposer = self_;
+  n.parent = high_qc_block_;
+  std::vector<const types::Block*> no_chain;
+  n.payload = config_.payload->build(static_cast<Round>(view_), self_, no_chain);
+  n.justify_qc = high_qc_;
+  n.justify_view = high_qc_view_;
+  (void)parent;
+
+  Hash h = n.hash();
+  proposal_times_[h] = ctx.now();
+  if (config_.on_propose) config_.on_propose(self_, view_, h, ctx.now());
+  ctx.broadcast(n.serialize());  // leader pushes the full block to everyone
+}
+
+void HotStuffParty::receive(sim::Context& ctx, sim::PartyIndex /*from*/, BytesView bytes) {
+  if (bytes.empty()) return;
+  if (config_.max_view != 0 && view_ > config_.max_view) return;
+  switch (bytes[0]) {
+    case kTagProposal: handle_proposal(ctx, bytes); break;
+    case kTagVote: handle_vote(ctx, bytes); break;
+    case kTagNewView: handle_new_view(ctx, bytes); break;
+    default: break;
+  }
+}
+
+void HotStuffParty::handle_proposal(sim::Context& ctx, BytesView bytes) {
+  Node n;
+  try {
+    Reader r(bytes);
+    r.u8();
+    n.view = r.u64();
+    n.proposer = r.u32();
+    Bytes ph = r.raw(32);
+    std::copy(ph.begin(), ph.end(), n.parent.begin());
+    n.payload = r.bytes();
+    n.justify_qc = r.bytes();
+    n.justify_view = r.u64();
+    r.expect_done();
+  } catch (const ParseError&) {
+    return;
+  }
+  if (n.proposer != leader_of(n.view)) return;
+  if (n.view < view_) return;  // stale
+
+  // Validate the justify QC (genesis needs none).
+  if (n.justify_view == 0) {
+    if (!(n.parent == genesis_hash())) return;
+  } else {
+    if (!crypto_->threshold_verify(crypto::Scheme::kNotary,
+                                   vote_message(n.justify_view, n.parent), n.justify_qc)) {
+      return;
+    }
+  }
+
+  Hash h = n.hash();
+  nodes_.emplace(h, n);
+  if (n.justify_view > high_qc_view_) {
+    high_qc_view_ = n.justify_view;
+    high_qc_block_ = n.parent;
+    high_qc_ = n.justify_qc;
+  }
+  try_commit(ctx, n.parent);
+
+  // Vote, send to the next leader, advance.
+  Bytes share = crypto_->threshold_sign_share(crypto::Scheme::kNotary, self_,
+                                              vote_message(n.view, h));
+  Writer w;
+  w.u8(kTagVote);
+  w.u64(n.view);
+  w.raw(BytesView(h.data(), h.size()));
+  w.u32(self_);
+  w.bytes(share);
+  ctx.send(leader_of(n.view + 1), std::move(w).take());
+  enter_view(ctx, n.view + 1);
+}
+
+void HotStuffParty::handle_vote(sim::Context& ctx, BytesView bytes) {
+  uint64_t view;
+  Hash h;
+  PartyIndex signer;
+  Bytes share;
+  try {
+    Reader r(bytes);
+    r.u8();
+    view = r.u64();
+    Bytes hb = r.raw(32);
+    std::copy(hb.begin(), hb.end(), h.begin());
+    signer = r.u32();
+    share = r.bytes();
+    r.expect_done();
+  } catch (const ParseError&) {
+    return;
+  }
+  if (leader_of(view + 1) != self_) return;
+  if (!crypto_->threshold_verify_share(crypto::Scheme::kNotary, signer,
+                                       vote_message(view, h), share)) {
+    return;
+  }
+  auto it = vote_target_.find(view);
+  if (it == vote_target_.end()) {
+    vote_target_[view] = h;
+  } else if (!(it->second == h)) {
+    return;  // conflicting vote target; ignore
+  }
+  auto& shares = votes_[view];
+  for (const auto& [s, _] : shares)
+    if (s == signer) return;
+  shares.emplace_back(signer, share);
+  if (shares.size() < crypto_->quorum()) return;
+
+  Bytes qc = crypto_->threshold_combine(crypto::Scheme::kNotary, vote_message(view, h), shares);
+  if (qc.empty()) return;
+  if (view > high_qc_view_) {
+    high_qc_view_ = view;
+    high_qc_block_ = h;
+    high_qc_ = qc;
+  }
+  try_commit(ctx, h);
+  // Responsiveness: the QC lets the next view start immediately.
+  enter_view(ctx, view + 1);
+}
+
+void HotStuffParty::handle_new_view(sim::Context& ctx, BytesView bytes) {
+  try {
+    Reader r(bytes);
+    r.u8();
+    uint64_t view = r.u64();
+    uint64_t qc_view = r.u64();
+    Hash qc_block;
+    Bytes hb = r.raw(32);
+    std::copy(hb.begin(), hb.end(), qc_block.begin());
+    Bytes qc = r.bytes();
+    r.expect_done();
+    if (qc_view > high_qc_view_ &&
+        crypto_->threshold_verify(crypto::Scheme::kNotary, vote_message(qc_view, qc_block),
+                                  qc)) {
+      high_qc_view_ = qc_view;
+      high_qc_block_ = qc_block;
+      high_qc_ = qc;
+    }
+    (void)view;
+    (void)ctx;
+  } catch (const ParseError&) {
+  }
+}
+
+void HotStuffParty::try_commit(sim::Context& ctx, const Hash& head) {
+  // 3-chain rule: QC exists for `head` (= b2); if b2.parent = b1 and
+  // b1.parent = b0 with consecutive views, b0 (and its ancestors) commit.
+  auto it2 = nodes_.find(head);
+  if (it2 == nodes_.end()) return;
+  const Node& b2 = it2->second;
+  auto it1 = nodes_.find(b2.parent);
+  if (it1 == nodes_.end()) return;
+  const Node& b1 = it1->second;
+  if (b1.view + 1 != b2.view) return;
+  auto it0 = nodes_.find(b1.parent);
+  if (it0 == nodes_.end()) return;
+  const Node& b0 = it0->second;
+  if (b0.view + 1 != b1.view) return;
+  if (b0.view <= last_committed_view_) return;
+
+  // Collect the chain from b0 down to the last committed view.
+  std::vector<const Node*> chain;
+  const Node* cur = &b0;
+  Hash cur_hash = b1.parent;
+  while (cur->view > last_committed_view_) {
+    chain.push_back(cur);
+    if (cur->view == 0) break;
+    auto pit = nodes_.find(cur->parent);
+    if (pit == nodes_.end()) break;  // missing ancestry; commit what we have
+    cur_hash = cur->parent;
+    cur = &pit->second;
+  }
+  (void)cur_hash;
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    const Node* node = *rit;
+    if (node->view == 0) continue;
+    CommittedBlock c;
+    c.round = static_cast<Round>(node->view);
+    c.proposer = node->proposer;
+    // Recompute the hash (nodes_ key); cheap relative to block size.
+    c.hash = node->hash();
+    c.payload_size = node->payload.size();
+    if (config_.record_payloads) c.payload = node->payload;
+    c.committed_at = ctx.now();
+    if (config_.on_commit) config_.on_commit(self_, c);
+    committed_.push_back(std::move(c));
+  }
+  last_committed_view_ = b0.view;
+}
+
+}  // namespace icc::baselines

@@ -1,0 +1,91 @@
+// Chained HotStuff baseline [36].
+//
+// One block per view; the leader of view v+1 collects votes on the view-v
+// block into a quorum certificate (QC) and proposes the next block carrying
+// that QC; a block commits under the 3-chain rule (three blocks with
+// consecutive views chained by parent links commit the first). Leaders
+// rotate round-robin; a pacemaker timer fires view changes when a view
+// stalls (new-view messages carry the highest QC to the next leader).
+//
+// The properties the comparison benches exercise (Section 1.1 of the ICC
+// paper): optimistic responsiveness, reciprocal throughput 2*delta but
+// latency 6*delta (vs ICC0's 3*delta), leader-push block dissemination (the
+// bottleneck ICC1/ICC2 remove), and no built-in reliable block dissemination.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "baselines/baseline.hpp"
+#include "crypto/provider.hpp"
+#include "types/block.hpp"
+
+namespace icc::baselines {
+
+struct HotStuffConfig {
+  crypto::CryptoProvider* crypto = nullptr;
+  std::shared_ptr<consensus::PayloadBuilder> payload;
+  sim::Duration view_timeout = sim::msec(1200);  ///< pacemaker (~4 * delta_bnd)
+  bool record_payloads = true;
+  uint64_t max_view = 0;  ///< stop after this view (0 = unbounded)
+  std::function<void(PartyIndex, const CommittedBlock&)> on_commit;
+  std::function<void(PartyIndex, uint64_t view, const Hash&, sim::Time)> on_propose;
+};
+
+class HotStuffParty final : public BaselineParty {
+ public:
+  HotStuffParty(PartyIndex self, const HotStuffConfig& config);
+
+  void start(sim::Context& ctx) override;
+  void receive(sim::Context& ctx, sim::PartyIndex from, BytesView payload) override;
+
+  const std::vector<CommittedBlock>& committed() const override { return committed_; }
+  uint64_t current_height() const override { return view_; }
+
+ private:
+  struct Node {
+    uint64_t view = 0;
+    PartyIndex proposer = 0;
+    Hash parent{};
+    Bytes payload;
+    Bytes justify_qc;      // QC over the parent (empty for the first block)
+    uint64_t justify_view = 0;
+
+    Bytes serialize() const;
+    Hash hash() const;
+  };
+
+  PartyIndex leader_of(uint64_t view) const {
+    return static_cast<PartyIndex>(view % config_.crypto->n());
+  }
+
+  void enter_view(sim::Context& ctx, uint64_t view);
+  void propose(sim::Context& ctx);
+  void handle_proposal(sim::Context& ctx, BytesView bytes);
+  void handle_vote(sim::Context& ctx, BytesView bytes);
+  void handle_new_view(sim::Context& ctx, BytesView bytes);
+  void try_commit(sim::Context& ctx, const Hash& head);
+  void arm_pacemaker(sim::Context& ctx);
+
+  Bytes vote_message(uint64_t view, const Hash& h) const;
+
+  PartyIndex self_;
+  HotStuffConfig config_;
+  crypto::CryptoProvider* crypto_;
+
+  uint64_t view_ = 1;
+  std::unordered_map<Hash, Node, types::HashHasher> nodes_;
+  Hash high_qc_block_{};   // block certified by the highest known QC
+  Bytes high_qc_;          // the QC itself
+  uint64_t high_qc_view_ = 0;
+  std::map<uint64_t, std::vector<std::pair<crypto::PartyIndex, Bytes>>> votes_;  // by view
+  std::map<uint64_t, Hash> vote_target_;  // block being voted on per view
+  uint64_t last_committed_view_ = 0;
+  uint64_t last_proposed_view_ = 0;
+  uint64_t pacemaker_epoch_ = 0;
+  std::vector<CommittedBlock> committed_;
+  std::unordered_map<Hash, sim::Time, types::HashHasher> proposal_times_;
+};
+
+}  // namespace icc::baselines

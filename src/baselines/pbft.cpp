@@ -1,0 +1,233 @@
+#include "baselines/pbft.hpp"
+
+#include "crypto/sha256.hpp"
+#include "support/serial.hpp"
+
+namespace icc::baselines {
+
+namespace {
+constexpr uint8_t kTagPrePrepare = 0x40;
+constexpr uint8_t kTagPrepare = 0x41;
+constexpr uint8_t kTagCommit = 0x42;
+constexpr uint8_t kTagViewChange = 0x43;
+
+types::Hash digest_of(uint64_t view, uint64_t seq, BytesView payload) {
+  Writer w;
+  w.u8(0x4F);
+  w.u64(view);
+  w.u64(seq);
+  w.bytes(payload);
+  return crypto::Sha256::hash(w.data());
+}
+}  // namespace
+
+PbftParty::PbftParty(PartyIndex self, const PbftConfig& config)
+    : self_(self), config_(config), crypto_(config.crypto) {}
+
+void PbftParty::start(sim::Context& ctx) {
+  arm_progress_timer(ctx);
+  maybe_propose(ctx);
+}
+
+Bytes PbftParty::phase_msg(bool commit_phase, uint64_t view, uint64_t seq,
+                           const Hash& h) const {
+  Writer w;
+  w.u8(commit_phase ? 0x4E : 0x4D);
+  w.u64(view);
+  w.u64(seq);
+  w.raw(BytesView(h.data(), h.size()));
+  return std::move(w).take();
+}
+
+void PbftParty::maybe_propose(sim::Context& ctx) {
+  if (leader_of(view_) != self_) return;
+  if (config_.max_seq != 0 && next_seq_ > config_.max_seq) return;
+  if (states_.count({view_, next_seq_})) return;  // already proposed
+
+  if (config_.propose_delay > 0 && !delay_pending_) {
+    // Throttling leader: sit on the proposal for as long as the view-change
+    // timer allows.
+    delay_pending_ = true;
+    const uint64_t seq = next_seq_;
+    const uint64_t view = view_;
+    sim::Context c = ctx;
+    ctx.set_timer(config_.propose_delay, [this, c, seq, view]() mutable {
+      delay_pending_ = false;
+      if (view_ != view || next_seq_ != seq) return;
+      sim::Duration saved = config_.propose_delay;
+      config_.propose_delay = 0;
+      maybe_propose(c);
+      config_.propose_delay = saved;
+    });
+    return;
+  }
+
+  std::vector<const types::Block*> no_chain;
+  Bytes payload = config_.payload->build(static_cast<Round>(next_seq_), self_, no_chain);
+  Hash d = digest_of(view_, next_seq_, payload);
+  if (config_.on_propose) config_.on_propose(self_, next_seq_, d, ctx.now());
+  Writer w;
+  w.u8(kTagPrePrepare);
+  w.u64(view_);
+  w.u64(next_seq_);
+  w.u32(self_);
+  w.bytes(payload);
+  w.bytes(crypto_->sign(self_, Bytes(d.begin(), d.end())));
+  ctx.broadcast(std::move(w).take());
+}
+
+void PbftParty::receive(sim::Context& ctx, sim::PartyIndex, BytesView bytes) {
+  if (bytes.empty()) return;
+  switch (bytes[0]) {
+    case kTagPrePrepare: handle_preprepare(ctx, bytes); break;
+    case kTagPrepare: handle_phase_vote(ctx, bytes, false); break;
+    case kTagCommit: handle_phase_vote(ctx, bytes, true); break;
+    case kTagViewChange: handle_view_change(ctx, bytes); break;
+    default: break;
+  }
+}
+
+void PbftParty::handle_preprepare(sim::Context& ctx, BytesView bytes) {
+  uint64_t view, seq;
+  PartyIndex proposer;
+  Bytes payload, sig;
+  try {
+    Reader r(bytes);
+    r.u8();
+    view = r.u64();
+    seq = r.u64();
+    proposer = r.u32();
+    payload = r.bytes();
+    sig = r.bytes();
+    r.expect_done();
+  } catch (const ParseError&) {
+    return;
+  }
+  if (view != view_ || proposer != leader_of(view)) return;
+  if (seq != next_seq_) return;
+  Hash d = digest_of(view, seq, payload);
+  if (!crypto_->verify(proposer, Bytes(d.begin(), d.end()), sig)) return;
+
+  SeqState& st = states_[{view, seq}];
+  if (!st.payload.empty()) return;  // duplicate pre-prepare
+  st.payload = std::move(payload);
+  st.proposer = proposer;
+  st.digest = d;
+
+  Bytes share = crypto_->threshold_sign_share(crypto::Scheme::kNotary, self_,
+                                              phase_msg(false, view, seq, d));
+  Writer w;
+  w.u8(kTagPrepare);
+  w.u64(view);
+  w.u64(seq);
+  w.raw(BytesView(d.data(), d.size()));
+  w.u32(self_);
+  w.bytes(share);
+  ctx.broadcast(std::move(w).take());
+}
+
+void PbftParty::handle_phase_vote(sim::Context& ctx, BytesView bytes, bool commit_phase) {
+  uint64_t view, seq;
+  Hash d;
+  PartyIndex signer;
+  Bytes share;
+  try {
+    Reader r(bytes);
+    r.u8();
+    view = r.u64();
+    seq = r.u64();
+    Bytes db = r.raw(32);
+    std::copy(db.begin(), db.end(), d.begin());
+    signer = r.u32();
+    share = r.bytes();
+    r.expect_done();
+  } catch (const ParseError&) {
+    return;
+  }
+  if (view != view_) return;
+  if (!crypto_->threshold_verify_share(crypto::Scheme::kNotary, signer,
+                                       phase_msg(commit_phase, view, seq, d), share)) {
+    return;
+  }
+  SeqState& st = states_[{view, seq}];
+  auto& bucket = commit_phase ? st.commits : st.prepares;
+  for (const auto& [s, _] : bucket)
+    if (s == signer) return;
+  bucket.emplace_back(signer, share);
+
+  if (!commit_phase) {
+    if (st.prepared || st.prepares.size() < crypto_->quorum()) return;
+    if (st.payload.empty() || !(st.digest == d)) return;  // need the pre-prepare body
+    st.prepared = true;
+    Bytes cshare = crypto_->threshold_sign_share(crypto::Scheme::kNotary, self_,
+                                                 phase_msg(true, view, seq, d));
+    Writer w;
+    w.u8(kTagCommit);
+    w.u64(view);
+    w.u64(seq);
+    w.raw(BytesView(d.data(), d.size()));
+    w.u32(self_);
+    w.bytes(cshare);
+    ctx.broadcast(std::move(w).take());
+    return;
+  }
+
+  if (st.committed || st.commits.size() < crypto_->quorum()) return;
+  if (st.payload.empty() || !(st.digest == d) || seq != next_seq_) return;
+  st.committed = true;
+
+  CommittedBlock c;
+  c.round = static_cast<Round>(seq);
+  c.proposer = st.proposer;
+  c.hash = d;
+  c.payload_size = st.payload.size();
+  if (config_.record_payloads) c.payload = st.payload;
+  c.committed_at = ctx.now();
+  if (config_.on_commit) config_.on_commit(self_, c);
+  committed_.push_back(std::move(c));
+
+  next_seq_ = seq + 1;
+  arm_progress_timer(ctx);  // progress made: reset the view-change clock
+  maybe_propose(ctx);
+}
+
+void PbftParty::arm_progress_timer(sim::Context& ctx) {
+  const uint64_t epoch = ++timer_epoch_;
+  if (config_.max_seq != 0 && next_seq_ > config_.max_seq) return;
+  sim::Context c = ctx;
+  ctx.set_timer(config_.view_timeout, [this, c, epoch]() mutable {
+    if (timer_epoch_ != epoch) return;  // progress or later re-arm happened
+    // No progress: demand a view change.
+    Writer w;
+    w.u8(kTagViewChange);
+    w.u64(view_ + 1);
+    w.u32(self_);
+    w.bytes(c.rng().bytes(64));  // stand-in for a signed VC certificate
+    c.broadcast(std::move(w).take());
+    arm_progress_timer(c);
+  });
+}
+
+void PbftParty::handle_view_change(sim::Context& ctx, BytesView bytes) {
+  uint64_t new_view;
+  PartyIndex voter;
+  try {
+    Reader r(bytes);
+    r.u8();
+    new_view = r.u64();
+    voter = r.u32();
+    (void)r.bytes();
+    r.expect_done();
+  } catch (const ParseError&) {
+    return;
+  }
+  if (new_view <= view_) return;
+  auto& votes = view_change_votes_[new_view];
+  votes.insert(voter);
+  if (votes.size() < crypto_->quorum()) return;
+  view_ = new_view;
+  arm_progress_timer(ctx);
+  maybe_propose(ctx);
+}
+
+}  // namespace icc::baselines

@@ -1,0 +1,83 @@
+// PBFT-lite baseline [13].
+//
+// Stable leader with pre-prepare / prepare / commit phases and a view-change
+// triggered by a progress timeout. The robustness comparison (Section 1,
+// "Robust consensus", citing [15]) is the point: a silent or slow Byzantine
+// leader stalls PBFT for a full view-change timeout — repeatedly, if several
+// consecutive leaders are corrupt — whereas ICC merely degrades one round.
+//
+// Simplifications (DESIGN.md): one outstanding sequence number at a time (no
+// watermark window), view-change certificates carry only the new view number
+// (our benches never need state transfer across view changes because a
+// sequence commits before the next starts).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "baselines/baseline.hpp"
+#include "crypto/provider.hpp"
+
+namespace icc::baselines {
+
+struct PbftConfig {
+  crypto::CryptoProvider* crypto = nullptr;
+  std::shared_ptr<consensus::PayloadBuilder> payload;
+  sim::Duration view_timeout = sim::msec(1000);
+  /// If this party is leader, delay each proposal by this much — the
+  /// undetectable-throttling attack of Clement et al. [15]: staying just
+  /// under the view-change timeout caps throughput indefinitely.
+  sim::Duration propose_delay = 0;
+  bool record_payloads = true;
+  uint64_t max_seq = 0;
+  std::function<void(PartyIndex, const CommittedBlock&)> on_commit;
+  std::function<void(PartyIndex, uint64_t seq, const Hash&, sim::Time)> on_propose;
+};
+
+class PbftParty final : public BaselineParty {
+ public:
+  PbftParty(PartyIndex self, const PbftConfig& config);
+
+  void start(sim::Context& ctx) override;
+  void receive(sim::Context& ctx, sim::PartyIndex from, BytesView payload) override;
+
+  const std::vector<CommittedBlock>& committed() const override { return committed_; }
+  uint64_t current_height() const override { return next_seq_; }
+  uint64_t view() const { return view_; }
+
+ private:
+  PartyIndex leader_of(uint64_t view) const {
+    return static_cast<PartyIndex>(view % config_.crypto->n());
+  }
+
+  void maybe_propose(sim::Context& ctx);
+  void handle_preprepare(sim::Context& ctx, BytesView bytes);
+  void handle_phase_vote(sim::Context& ctx, BytesView bytes, bool commit_phase);
+  void handle_view_change(sim::Context& ctx, BytesView bytes);
+  void arm_progress_timer(sim::Context& ctx);
+  Bytes phase_msg(bool commit_phase, uint64_t view, uint64_t seq, const Hash& h) const;
+
+  PartyIndex self_;
+  PbftConfig config_;
+  crypto::CryptoProvider* crypto_;
+
+  uint64_t view_ = 0;
+  uint64_t next_seq_ = 1;  ///< lowest uncommitted sequence number
+  uint64_t timer_epoch_ = 0;
+  bool delay_pending_ = false;
+
+  struct SeqState {
+    Bytes payload;
+    PartyIndex proposer = 0;
+    Hash digest{};
+    bool prepared = false;
+    bool committed = false;
+    std::vector<std::pair<crypto::PartyIndex, Bytes>> prepares;
+    std::vector<std::pair<crypto::PartyIndex, Bytes>> commits;
+  };
+  std::map<std::pair<uint64_t, uint64_t>, SeqState> states_;  // by (view, seq)
+  std::map<uint64_t, std::set<PartyIndex>> view_change_votes_;
+  std::vector<CommittedBlock> committed_;
+};
+
+}  // namespace icc::baselines

@@ -1,0 +1,207 @@
+#include "baselines/tendermint.hpp"
+
+#include "crypto/sha256.hpp"
+#include "support/serial.hpp"
+
+namespace icc::baselines {
+
+namespace {
+constexpr uint8_t kTagProposal = 0x30;
+constexpr uint8_t kTagPrevote = 0x31;
+constexpr uint8_t kTagPrecommit = 0x32;
+
+types::Hash proposal_hash(uint64_t h, uint32_t r, PartyIndex proposer, BytesView payload) {
+  Writer w;
+  w.u8(0x3F);
+  w.u64(h);
+  w.u32(r);
+  w.u32(proposer);
+  w.bytes(payload);
+  return crypto::Sha256::hash(w.data());
+}
+}  // namespace
+
+TendermintParty::TendermintParty(PartyIndex self, const TendermintConfig& config)
+    : self_(self), config_(config), crypto_(config.crypto) {}
+
+void TendermintParty::start(sim::Context& ctx) { enter_round(ctx, 1, 0); }
+
+Bytes TendermintParty::vote_msg(bool precommit, uint64_t h, uint32_t r,
+                                const std::optional<Hash>& v) const {
+  Writer w;
+  w.u8(precommit ? 0x3E : 0x3D);
+  w.u64(h);
+  w.u32(r);
+  w.u8(v.has_value() ? 1 : 0);
+  if (v) w.raw(BytesView(v->data(), v->size()));
+  return std::move(w).take();
+}
+
+void TendermintParty::enter_round(sim::Context& ctx, uint64_t height, uint32_t round) {
+  if (config_.max_height != 0 && height > config_.max_height) return;
+  height_ = height;
+  round_ = round;
+  step_ = Step::kPropose;
+  prevoted_ = false;
+  precommitted_ = false;
+  const uint64_t epoch = ++timer_epoch_;
+
+  if (proposer_of(height, round) == self_) {
+    std::vector<const types::Block*> no_chain;
+    Bytes payload = config_.payload->build(static_cast<Round>(height), self_, no_chain);
+    Hash h = proposal_hash(height, round, self_, payload);
+    if (config_.on_propose) config_.on_propose(self_, height, h, ctx.now());
+    Writer w;
+    w.u8(kTagProposal);
+    w.u64(height);
+    w.u32(round);
+    w.u32(self_);
+    w.bytes(payload);
+    w.bytes(crypto_->sign(self_, Bytes(h.begin(), h.end())));
+    ctx.broadcast(std::move(w).take());
+  }
+
+  // Prevote nil if no proposal shows up in time.
+  sim::Context c = ctx;
+  ctx.set_timer(config_.timeout_propose, [this, c, epoch]() mutable {
+    if (timer_epoch_ != epoch || step_ != Step::kPropose) return;
+    step_ = Step::kPrevote;
+    broadcast_vote(c, false, std::nullopt);
+  });
+}
+
+void TendermintParty::receive(sim::Context& ctx, sim::PartyIndex, BytesView bytes) {
+  if (bytes.empty()) return;
+  switch (bytes[0]) {
+    case kTagProposal: handle_proposal(ctx, bytes); break;
+    case kTagPrevote: handle_vote(ctx, bytes, false); break;
+    case kTagPrecommit: handle_vote(ctx, bytes, true); break;
+    default: break;
+  }
+}
+
+void TendermintParty::handle_proposal(sim::Context& ctx, BytesView bytes) {
+  uint64_t h;
+  uint32_t r;
+  PartyIndex proposer;
+  Bytes payload, sig;
+  try {
+    Reader rd(bytes);
+    rd.u8();
+    h = rd.u64();
+    r = rd.u32();
+    proposer = rd.u32();
+    payload = rd.bytes();
+    sig = rd.bytes();
+    rd.expect_done();
+  } catch (const ParseError&) {
+    return;
+  }
+  if (proposer != proposer_of(h, r)) return;
+  Hash ph = proposal_hash(h, r, proposer, payload);
+  if (!crypto_->verify(proposer, Bytes(ph.begin(), ph.end()), sig)) return;
+  proposals_[{h, r}] = {payload, proposer};
+
+  if (h == height_ && r == round_ && step_ == Step::kPropose && !prevoted_) {
+    step_ = Step::kPrevote;
+    prevoted_ = true;
+    broadcast_vote(ctx, false, ph);
+  }
+}
+
+void TendermintParty::broadcast_vote(sim::Context& ctx, bool precommit,
+                                     const std::optional<Hash>& value) {
+  Bytes canonical = vote_msg(precommit, height_, round_, value);
+  Bytes share = crypto_->threshold_sign_share(crypto::Scheme::kNotary, self_, canonical);
+  Writer w;
+  w.u8(precommit ? kTagPrecommit : kTagPrevote);
+  w.u64(height_);
+  w.u32(round_);
+  w.u8(value.has_value() ? 1 : 0);
+  if (value) w.raw(BytesView(value->data(), value->size()));
+  w.u32(self_);
+  w.bytes(share);
+  ctx.broadcast(std::move(w).take());
+}
+
+void TendermintParty::handle_vote(sim::Context& ctx, BytesView bytes, bool precommit) {
+  uint64_t h;
+  uint32_t r;
+  std::optional<Hash> value;
+  PartyIndex signer;
+  Bytes share;
+  try {
+    Reader rd(bytes);
+    rd.u8();
+    h = rd.u64();
+    r = rd.u32();
+    if (rd.u8() == 1) {
+      Bytes vb = rd.raw(32);
+      Hash v;
+      std::copy(vb.begin(), vb.end(), v.begin());
+      value = v;
+    }
+    signer = rd.u32();
+    share = rd.bytes();
+    rd.expect_done();
+  } catch (const ParseError&) {
+    return;
+  }
+  if (!crypto_->threshold_verify_share(crypto::Scheme::kNotary, signer,
+                                       vote_msg(precommit, h, r, value), share)) {
+    return;
+  }
+  auto& shares = votes_[{h, r, precommit, value}];
+  for (const auto& [s, _] : shares)
+    if (s == signer) return;
+  shares.emplace_back(signer, share);
+  if (shares.size() < crypto_->quorum()) return;
+  if (h != height_ || r != round_) return;
+
+  if (!precommit) {
+    if (step_ != Step::kPrevote && step_ != Step::kPropose) return;
+    if (precommitted_) return;
+    precommitted_ = true;
+    step_ = Step::kPrecommit;
+    broadcast_vote(ctx, true, value);
+    return;
+  }
+
+  // Quorum of precommits.
+  if (step_ == Step::kDone) return;
+  if (value.has_value()) {
+    commit(ctx, *value);
+  } else {
+    enter_round(ctx, height_, round_ + 1);  // nil round: try the next proposer
+  }
+}
+
+void TendermintParty::commit(sim::Context& ctx, const Hash& h) {
+  auto it = proposals_.find({height_, round_});
+  if (it == proposals_.end()) return;  // body missing; will commit when it arrives
+  const ProposalRecord& rec = it->second;
+  if (!(proposal_hash(height_, round_, rec.proposer, rec.payload) == h)) return;
+  step_ = Step::kDone;
+
+  CommittedBlock c;
+  c.round = static_cast<Round>(height_);
+  c.proposer = rec.proposer;
+  c.hash = h;
+  c.payload_size = rec.payload.size();
+  if (config_.record_payloads) c.payload = rec.payload;
+  c.committed_at = ctx.now();
+  if (config_.on_commit) config_.on_commit(self_, c);
+  committed_.push_back(std::move(c));
+
+  // The non-responsive wait: a fixed timeout_commit before the next height,
+  // regardless of how fast the network actually was.
+  const uint64_t next = height_ + 1;
+  const uint64_t epoch = ++timer_epoch_;
+  sim::Context ctx2 = ctx;
+  ctx.set_timer(config_.timeout_commit, [this, ctx2, next, epoch]() mutable {
+    if (timer_epoch_ != epoch) return;
+    enter_round(ctx2, next, 0);
+  });
+}
+
+}  // namespace icc::baselines

@@ -1,0 +1,92 @@
+// Tendermint-lite baseline [8].
+//
+// One block per height; rounds within a height rotate the proposer.
+// propose -> prevote (all-to-all) -> precommit (all-to-all) -> commit, with
+// nil votes driving round changes when the proposer fails. The property the
+// ICC comparison highlights is *non-responsiveness*: Tendermint waits a
+// fixed timeout (timeout_commit, a function of Delta_bnd) before starting
+// the next height, so a round costs O(Delta_bnd) even with an honest
+// proposer and a fast network.
+//
+// Simplifications (documented in DESIGN.md): no value locking (our
+// comparison benches run it fault-free or with crash faults only, where
+// locking never triggers), gossip replaced by direct broadcast.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "baselines/baseline.hpp"
+#include "crypto/provider.hpp"
+
+namespace icc::baselines {
+
+struct TendermintConfig {
+  crypto::CryptoProvider* crypto = nullptr;
+  std::shared_ptr<consensus::PayloadBuilder> payload;
+  sim::Duration timeout_propose = sim::msec(300);  ///< ~Delta_bnd
+  sim::Duration timeout_commit = sim::msec(300);   ///< ~Delta_bnd (the non-responsive wait)
+  bool record_payloads = true;
+  uint64_t max_height = 0;
+  std::function<void(PartyIndex, const CommittedBlock&)> on_commit;
+  std::function<void(PartyIndex, uint64_t height, const Hash&, sim::Time)> on_propose;
+};
+
+class TendermintParty final : public BaselineParty {
+ public:
+  TendermintParty(PartyIndex self, const TendermintConfig& config);
+
+  void start(sim::Context& ctx) override;
+  void receive(sim::Context& ctx, sim::PartyIndex from, BytesView payload) override;
+
+  const std::vector<CommittedBlock>& committed() const override { return committed_; }
+  uint64_t current_height() const override { return height_; }
+
+ private:
+  enum class Step { kPropose, kPrevote, kPrecommit, kDone };
+
+  PartyIndex proposer_of(uint64_t height, uint32_t round) const {
+    return static_cast<PartyIndex>((height + round) % config_.crypto->n());
+  }
+
+  void enter_round(sim::Context& ctx, uint64_t height, uint32_t round);
+  void handle_proposal(sim::Context& ctx, BytesView bytes);
+  void handle_vote(sim::Context& ctx, BytesView bytes, bool precommit);
+  void broadcast_vote(sim::Context& ctx, bool precommit, const std::optional<Hash>& value);
+  void commit(sim::Context& ctx, const Hash& h);
+  Bytes vote_msg(bool precommit, uint64_t h, uint32_t r, const std::optional<Hash>& v) const;
+
+  PartyIndex self_;
+  TendermintConfig config_;
+  crypto::CryptoProvider* crypto_;
+
+  uint64_t height_ = 1;
+  uint32_t round_ = 0;
+  Step step_ = Step::kPropose;
+  uint64_t timer_epoch_ = 0;
+
+  struct ProposalRecord {
+    Bytes payload;
+    PartyIndex proposer;
+  };
+  std::map<std::pair<uint64_t, uint32_t>, ProposalRecord> proposals_;  // by (h, r)
+  // Votes keyed by (h, r, precommit?, value-or-nil).
+  struct VoteKey {
+    uint64_t h;
+    uint32_t r;
+    bool precommit;
+    std::optional<Hash> value;
+    bool operator<(const VoteKey& o) const {
+      if (h != o.h) return h < o.h;
+      if (r != o.r) return r < o.r;
+      if (precommit != o.precommit) return precommit < o.precommit;
+      return value < o.value;
+    }
+  };
+  std::map<VoteKey, std::vector<std::pair<crypto::PartyIndex, Bytes>>> votes_;
+  bool prevoted_ = false;
+  bool precommitted_ = false;
+  std::vector<CommittedBlock> committed_;
+};
+
+}  // namespace icc::baselines

@@ -1,0 +1,63 @@
+#include "codec/gf256.hpp"
+
+#include <stdexcept>
+
+namespace icc::codec {
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t = [] {
+    Tables t{};
+    // Build exp/log tables by repeated multiplication by the generator using
+    // the carry-less "Russian peasant" multiply (no tables available yet).
+    auto slow_mul = [](uint8_t a, uint8_t b) {
+      uint8_t p = 0;
+      while (b) {
+        if (b & 1) p ^= a;
+        bool hi = a & 0x80;
+        a <<= 1;
+        if (hi) a ^= 0x1b;  // reduce by x^8 + x^4 + x^3 + x + 1
+        b >>= 1;
+      }
+      return p;
+    };
+    uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      t.exp[i] = x;
+      t.log[x] = static_cast<uint8_t>(i);
+      x = slow_mul(x, kGenerator);
+    }
+    for (int i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+    t.log[0] = 0;  // undefined; guarded by callers
+    return t;
+  }();
+  return t;
+}
+
+uint8_t GF256::mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t GF256::div(uint8_t a, uint8_t b) {
+  if (b == 0) throw std::domain_error("GF256: division by zero");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+uint8_t GF256::inv(uint8_t a) {
+  if (a == 0) throw std::domain_error("GF256: inverse of zero");
+  const auto& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+uint8_t GF256::pow(uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  unsigned le = (static_cast<unsigned>(t.log[a]) * e) % 255;
+  return t.exp[le];
+}
+
+}  // namespace icc::codec

@@ -1,0 +1,35 @@
+// GF(2^8) arithmetic with the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11b).
+//
+// Backing field for the Reed–Solomon erasure codes used by Protocol ICC2's
+// reliable broadcast. Log/antilog tables make multiplication a couple of
+// table lookups, which is what makes erasure coding megabyte-sized blocks
+// practical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace icc::codec {
+
+class GF256 {
+ public:
+  static uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t sub(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t mul(uint8_t a, uint8_t b);
+  static uint8_t div(uint8_t a, uint8_t b);  ///< b must be non-zero
+  static uint8_t inv(uint8_t a);             ///< a must be non-zero
+  static uint8_t pow(uint8_t a, unsigned e);
+
+  /// The generator used for the tables (3 generates the multiplicative group
+  /// under the AES polynomial).
+  static constexpr uint8_t kGenerator = 3;
+
+ private:
+  struct Tables {
+    std::array<uint8_t, 256> log;
+    std::array<uint8_t, 512> exp;  // doubled to skip a mod 255
+  };
+  static const Tables& tables();
+};
+
+}  // namespace icc::codec

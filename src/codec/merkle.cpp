@@ -1,0 +1,118 @@
+#include "codec/merkle.hpp"
+
+#include <stdexcept>
+
+#include "support/serial.hpp"
+
+namespace icc::codec {
+
+namespace {
+
+crypto::Sha256Digest hash_pair(const crypto::Sha256Digest& a, const crypto::Sha256Digest& b) {
+  crypto::Sha256 h;
+  uint8_t prefix = 0x01;
+  h.update(BytesView(&prefix, 1));
+  h.update(BytesView(a.data(), a.size()));
+  h.update(BytesView(b.data(), b.size()));
+  return h.digest();
+}
+
+}  // namespace
+
+crypto::Sha256Digest MerkleTree::hash_leaf(BytesView data) {
+  crypto::Sha256 h;
+  uint8_t prefix = 0x00;
+  h.update(BytesView(&prefix, 1));
+  h.update(data);
+  return h.digest();
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) {
+  if (leaves.empty()) throw std::invalid_argument("MerkleTree: need >= 1 leaf");
+  std::vector<crypto::Sha256Digest> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(hash_leaf(leaf));
+  levels_.push_back(std::move(level));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<crypto::Sha256Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      const auto& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(hash_pair(prev[i], right));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleProof MerkleTree::prove(size_t index) const {
+  if (index >= levels_[0].size()) throw std::out_of_range("MerkleTree::prove");
+  MerkleProof proof;
+  proof.leaf_index = static_cast<uint32_t>(index);
+  size_t idx = index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    size_t sibling = (idx % 2 == 0) ? idx + 1 : idx - 1;
+    if (sibling >= level.size()) sibling = idx;  // odd node pairs with itself
+    proof.path.push_back(level[sibling]);
+    idx /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const MerkleRoot& root, size_t leaf_count, BytesView leaf_data,
+                        const MerkleProof& proof) {
+  if (leaf_count == 0 || proof.leaf_index >= leaf_count) return false;
+  // Expected path length = tree height.
+  size_t height = 0;
+  for (size_t w = leaf_count; w > 1; w = (w + 1) / 2) ++height;
+  if (proof.path.size() != height) return false;
+
+  crypto::Sha256Digest acc = hash_leaf(leaf_data);
+  size_t idx = proof.leaf_index;
+  size_t width = leaf_count;
+  for (const auto& sibling : proof.path) {
+    // An odd node at the end of a level hashes with itself; enforce that the
+    // prover supplied exactly that digest so proofs stay canonical.
+    const bool self_pair = (idx % 2 == 0) && (idx + 1 >= width);
+    if (self_pair && sibling != acc) return false;
+    if (idx % 2 == 0) {
+      acc = hash_pair(acc, sibling);
+    } else {
+      acc = hash_pair(sibling, acc);
+    }
+    idx /= 2;
+    width = (width + 1) / 2;
+  }
+  return acc == root;
+}
+
+Bytes MerkleProof::serialize() const {
+  Writer w;
+  w.u32(leaf_index);
+  w.u32(static_cast<uint32_t>(path.size()));
+  for (const auto& d : path) w.raw(BytesView(d.data(), d.size()));
+  return std::move(w).take();
+}
+
+std::optional<MerkleProof> MerkleProof::deserialize(BytesView bytes) {
+  try {
+    Reader r(bytes);
+    MerkleProof p;
+    p.leaf_index = r.u32();
+    uint32_t len = r.u32();
+    if (len > 64) return std::nullopt;  // trees deeper than 2^64 don't exist
+    for (uint32_t i = 0; i < len; ++i) {
+      Bytes d = r.raw(32);
+      crypto::Sha256Digest dig;
+      std::copy(d.begin(), d.end(), dig.begin());
+      p.path.push_back(dig);
+    }
+    r.expect_done();
+    return p;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace icc::codec

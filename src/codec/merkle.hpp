@@ -1,0 +1,55 @@
+// Binary Merkle trees over SHA-256.
+//
+// ICC2's reliable broadcast authenticates erasure-coded fragments against the
+// proposer's block hash: the proposer Merkle-commits to the n fragments, and
+// each fragment travels with its authentication path, so any party can check
+// a fragment against the root before echoing it (preventing corrupt parties
+// from poisoning reconstruction).
+//
+// Construction notes: leaves are hashed with a 0x00 prefix and interior nodes
+// with 0x01 (domain separation prevents leaf/node confusion attacks); an odd
+// node at any level is paired with itself.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace icc::codec {
+
+using MerkleRoot = crypto::Sha256Digest;
+
+struct MerkleProof {
+  uint32_t leaf_index = 0;
+  std::vector<crypto::Sha256Digest> path;  ///< sibling hashes, leaf level first
+
+  Bytes serialize() const;
+  static std::optional<MerkleProof> deserialize(BytesView bytes);
+};
+
+class MerkleTree {
+ public:
+  /// Build a tree over the given leaf payloads. Requires >= 1 leaf.
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  const MerkleRoot& root() const { return levels_.back()[0]; }
+  size_t leaf_count() const { return levels_[0].size(); }
+
+  /// Authentication path for leaf `index`.
+  MerkleProof prove(size_t index) const;
+
+  /// Verify `leaf_data` at `proof.leaf_index` against `root` for a tree of
+  /// `leaf_count` leaves.
+  static bool verify(const MerkleRoot& root, size_t leaf_count, BytesView leaf_data,
+                     const MerkleProof& proof);
+
+  static crypto::Sha256Digest hash_leaf(BytesView data);
+
+ private:
+  std::vector<std::vector<crypto::Sha256Digest>> levels_;  // [0] = leaves
+};
+
+}  // namespace icc::codec

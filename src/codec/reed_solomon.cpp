@@ -1,0 +1,120 @@
+#include "codec/reed_solomon.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "codec/gf256.hpp"
+
+namespace icc::codec {
+
+namespace {
+
+/// Lagrange basis coefficient L_j(y) for interpolation points xs:
+///   L_j(y) = prod_{m != j} (y - xs[m]) / (xs[j] - xs[m]).
+uint8_t lagrange_coeff(const std::vector<uint8_t>& xs, size_t j, uint8_t y) {
+  uint8_t num = 1, den = 1;
+  for (size_t m = 0; m < xs.size(); ++m) {
+    if (m == j) continue;
+    num = GF256::mul(num, GF256::sub(y, xs[m]));
+    den = GF256::mul(den, GF256::sub(xs[j], xs[m]));
+  }
+  return GF256::div(num, den);
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(size_t k, size_t n) : k_(k), n_(n) {
+  if (k == 0 || k > n || n > 255)
+    throw std::invalid_argument("ReedSolomon: need 0 < k <= n <= 255");
+}
+
+std::vector<Fragment> ReedSolomon::encode(BytesView data) const {
+  const size_t frag_len = fragment_size(data.size());
+  // Zero-padded data matrix: k fragments of frag_len bytes.
+  Bytes padded(k_ * frag_len, 0);
+  std::copy(data.begin(), data.end(), padded.begin());
+
+  std::vector<Fragment> out(n_);
+  for (size_t i = 0; i < k_; ++i) {
+    out[i].index = static_cast<uint32_t>(i);
+    out[i].data.assign(padded.begin() + i * frag_len, padded.begin() + (i + 1) * frag_len);
+  }
+  if (n_ == k_) return out;
+
+  // Parity coefficients: row j (fragment k+j) = [L_i(k+j)]_i over data
+  // points 0..k-1. Independent of the column, so computed once.
+  std::vector<uint8_t> data_points(k_);
+  for (size_t i = 0; i < k_; ++i) data_points[i] = static_cast<uint8_t>(i);
+
+  for (size_t j = k_; j < n_; ++j) {
+    std::vector<uint8_t> coeff(k_);
+    for (size_t i = 0; i < k_; ++i)
+      coeff[i] = lagrange_coeff(data_points, i, static_cast<uint8_t>(j));
+    Fragment& f = out[j];
+    f.index = static_cast<uint32_t>(j);
+    f.data.assign(frag_len, 0);
+    for (size_t i = 0; i < k_; ++i) {
+      const uint8_t c = coeff[i];
+      if (c == 0) continue;
+      const uint8_t* src = padded.data() + i * frag_len;
+      for (size_t b = 0; b < frag_len; ++b)
+        f.data[b] = GF256::add(f.data[b], GF256::mul(c, src[b]));
+    }
+  }
+  return out;
+}
+
+std::optional<Bytes> ReedSolomon::decode(std::span<const Fragment> fragments) const {
+  // Select k fragments with distinct, in-range indices and equal sizes.
+  std::vector<const Fragment*> use;
+  std::unordered_set<uint32_t> seen;
+  size_t frag_len = 0;
+  for (const auto& f : fragments) {
+    if (f.index >= n_) continue;
+    if (!seen.insert(f.index).second) continue;
+    if (use.empty()) {
+      frag_len = f.data.size();
+    } else if (f.data.size() != frag_len) {
+      continue;
+    }
+    use.push_back(&f);
+    if (use.size() == k_) break;
+  }
+  if (use.size() < k_) return std::nullopt;
+
+  std::vector<uint8_t> xs(k_);
+  for (size_t j = 0; j < k_; ++j) xs[j] = static_cast<uint8_t>(use[j]->index);
+
+  Bytes out(k_ * frag_len, 0);
+  for (size_t target = 0; target < k_; ++target) {
+    uint8_t* dst = out.data() + target * frag_len;
+    // Fast path: the systematic fragment for this target is present.
+    bool copied = false;
+    for (size_t j = 0; j < k_; ++j) {
+      if (use[j]->index == target) {
+        std::copy(use[j]->data.begin(), use[j]->data.end(), dst);
+        copied = true;
+        break;
+      }
+    }
+    if (copied) continue;
+    for (size_t j = 0; j < k_; ++j) {
+      const uint8_t c = lagrange_coeff(xs, j, static_cast<uint8_t>(target));
+      if (c == 0) continue;
+      const uint8_t* src = use[j]->data.data();
+      for (size_t b = 0; b < frag_len; ++b) dst[b] = GF256::add(dst[b], GF256::mul(c, src[b]));
+    }
+  }
+  return out;
+}
+
+std::optional<Bytes> ReedSolomon::decode(std::span<const Fragment> fragments,
+                                         size_t data_len) const {
+  auto padded = decode(fragments);
+  if (!padded) return std::nullopt;
+  if (padded->size() < data_len) return std::nullopt;
+  padded->resize(data_len);
+  return padded;
+}
+
+}  // namespace icc::codec

@@ -1,0 +1,54 @@
+// Systematic Reed–Solomon erasure coding over GF(256).
+//
+// The ICC2 reliable-broadcast subprotocol (paper Section 1: "a subprotocol
+// based on erasure codes") splits a block into k = n - 2t data fragments and
+// n - k parity fragments; any k fragments reconstruct the block. We use a
+// systematic Lagrange-interpolation code: data fragment i is the evaluation
+// of the (per-byte-column) degree-(k-1) polynomial at point i, with data
+// occupying points 0..k-1, so the first k fragments are the data itself.
+//
+// Limits: n <= 255 (field size); this covers every realistic subnet (the
+// Internet Computer's largest subnets have 40 nodes).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace icc::codec {
+
+struct Fragment {
+  uint32_t index = 0;  ///< evaluation point / fragment id, in [0, n)
+  Bytes data;
+};
+
+class ReedSolomon {
+ public:
+  /// Code with k data fragments out of n total. Requires 0 < k <= n <= 255.
+  ReedSolomon(size_t k, size_t n);
+
+  size_t k() const { return k_; }
+  size_t n() const { return n_; }
+
+  /// Split `data` into n fragments of equal size ceil(|data| / k). The
+  /// original length is recoverable only if the caller records it (encode
+  /// pads with zeros); fragment size is returned by fragment_size().
+  std::vector<Fragment> encode(BytesView data) const;
+
+  size_t fragment_size(size_t data_len) const { return (data_len + k_ - 1) / k_; }
+
+  /// Reconstruct the padded data (k * fragment_size bytes) from any >= k
+  /// fragments with distinct valid indices. Returns nullopt if fewer than k
+  /// distinct usable fragments or inconsistent sizes.
+  std::optional<Bytes> decode(std::span<const Fragment> fragments) const;
+
+  /// Reconstruct and trim to the original length.
+  std::optional<Bytes> decode(std::span<const Fragment> fragments, size_t data_len) const;
+
+ private:
+  size_t k_, n_;
+};
+
+}  // namespace icc::codec

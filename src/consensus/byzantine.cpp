@@ -1,0 +1,59 @@
+#include "consensus/byzantine.hpp"
+
+namespace icc::consensus {
+
+bool ByzantineParty::propose_block(sim::Context& ctx) {
+  if (behavior_.withhold_proposal || muted()) return false;
+
+  if (behavior_.empty_payload) {
+    emit_proposal(ctx, Bytes{});
+    return true;
+  }
+
+  if (behavior_.equivocate) {
+    // Two conflicting blocks for the same (round, rank); half the parties
+    // get block A, the other half block B. Honest parties that see both
+    // will disqualify this rank (Fig. 1 clause (c)).
+    auto parents = pool_.notarized_blocks_at(round_ - 1);
+    if (parents.empty()) return false;
+    const Hash parent = parents.front();
+    std::vector<const types::Block*> chain;
+    if (parent != types::root_hash()) chain = pool_.chain_to(parent);
+
+    types::Block a, b;
+    a.round = b.round = round_;
+    a.proposer = b.proposer = self_;
+    a.parent_hash = b.parent_hash = parent;
+    a.payload = config_.payload->build(round_, self_, chain);
+    b.payload = a.payload;
+    b.payload.push_back(0xEE);  // any difference yields a distinct hash
+
+    types::ProposalMsg pa = build_proposal(a);
+    types::ProposalMsg pb = build_proposal(b);
+    Bytes wire_a = types::serialize_message(types::Message{pa});
+    Bytes wire_b = types::serialize_message(types::Message{pb});
+    for (sim::PartyIndex i = 0; i < ctx.n(); ++i) {
+      ctx.send(i, (i % 2 == 0) ? wire_a : wire_b);
+    }
+    pool_.add_proposal(pa);  // track one of them locally
+    return true;
+  }
+
+  return Icc0Party::propose_block(ctx);
+}
+
+void ByzantineParty::disseminate(sim::Context& ctx, const types::Message& msg,
+                                 bool is_block_bearing) {
+  if (muted()) return;
+  if (behavior_.withhold_notarization &&
+      std::holds_alternative<types::NotarizationShareMsg>(msg)) {
+    return;
+  }
+  if (behavior_.withhold_finalization &&
+      std::holds_alternative<types::FinalizationShareMsg>(msg)) {
+    return;
+  }
+  Icc0Party::disseminate(ctx, msg, is_block_bearing);
+}
+
+}  // namespace icc::consensus

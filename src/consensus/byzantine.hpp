@@ -1,0 +1,59 @@
+// Adversarial party implementations.
+//
+// The paper assumes a static adversary corrupting up to t < n/3 parties
+// (Section 3.1) and distinguishes crash failures, "consistent" failures
+// (not conspicuously incorrect) and full Byzantine behaviour. These process
+// implementations realize the attacks the evaluation cares about:
+//
+//   * CrashParty        — never sends anything (also models the "one third
+//                         of the nodes refuses to participate" scenario of
+//                         Table 1);
+//   * ByzantineParty    — an Icc0Party subclass with attack toggles:
+//       - equivocate:             propose two different blocks, each to half
+//                                 of the parties (rank disqualification path);
+//       - empty_payload:          censorship — propose payload-free blocks;
+//       - withhold_proposal:      never propose (consistent failure);
+//       - withhold_notarization:  never send notarization shares;
+//       - withhold_finalization:  never send finalization shares (delays
+//                                 commits without violating safety);
+//       - mute_after:             crash at a given round.
+//
+// All toggles compose; everything not toggled follows the honest protocol.
+#pragma once
+
+#include "consensus/icc0.hpp"
+
+namespace icc::consensus {
+
+class CrashParty final : public sim::Process {
+ public:
+  void start(sim::Context&) override {}
+  void receive(sim::Context&, sim::PartyIndex, BytesView) override {}
+};
+
+struct ByzantineBehavior {
+  bool equivocate = false;
+  bool empty_payload = false;
+  bool withhold_proposal = false;
+  bool withhold_notarization = false;
+  bool withhold_finalization = false;
+  Round mute_after = 0;  ///< 0 = never mute
+};
+
+class ByzantineParty : public Icc0Party {
+ public:
+  ByzantineParty(PartyIndex self, const PartyConfig& config, const ByzantineBehavior& b)
+      : Icc0Party(self, config), behavior_(b) {}
+
+ protected:
+  bool propose_block(sim::Context& ctx) override;
+  void disseminate(sim::Context& ctx, const types::Message& msg,
+                   bool is_block_bearing) override;
+
+ private:
+  bool muted() const { return behavior_.mute_after != 0 && round_ > behavior_.mute_after; }
+
+  ByzantineBehavior behavior_;
+};
+
+}  // namespace icc::consensus

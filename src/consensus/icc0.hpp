@@ -1,0 +1,148 @@
+// Protocol ICC0 — the honest party (paper Section 3, Figures 1 and 2).
+//
+// The party is event-driven rather than thread-blocking: every pool change
+// and every delay-function timer triggers evaluate(), which repeatedly fires
+// whichever Fig. 1 clause is enabled until none is. This is an exact
+// operational reading of the paper's "wait for" semantics (the pool is not
+// modified while a clause executes).
+//
+// Dissemination is factored behind two virtual hooks so ICC1 (gossip) and
+// ICC2 (erasure-coded reliable broadcast) can reuse the full consensus logic
+// and replace only how large artifacts travel:
+//   * disseminate(msg)      — how a consensus message reaches everyone;
+//   * on_wire(from, bytes)  — how raw network bytes become consensus
+//                             messages (base: parse + ingest directly).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "consensus/config.hpp"
+#include "consensus/permutation.hpp"
+#include "sim/network.hpp"
+#include "types/messages.hpp"
+#include "types/pool.hpp"
+
+namespace icc::consensus {
+
+class Icc0Party : public sim::Process {
+ public:
+  Icc0Party(PartyIndex self, const PartyConfig& config);
+
+  void start(sim::Context& ctx) override;
+  void receive(sim::Context& ctx, sim::PartyIndex from, BytesView payload) override;
+
+  // --- observability (tests, benches, examples) ---
+  const std::vector<CommittedBlock>& committed() const { return committed_; }
+  Round current_round() const { return round_; }
+  Round last_finalized_round() const { return k_max_; }
+  const types::Pool& pool() const { return pool_; }
+  PartyIndex index() const { return self_; }
+
+  /// Blocks this party notarization-shared in the current round (the set N
+  /// of Fig. 1) — exposed for protocol-invariant tests.
+  const std::map<Hash, uint32_t>& shared_blocks() const { return notarized_set_; }
+
+ protected:
+  // --- dissemination hooks (overridden by ICC1 / ICC2) ---
+  /// Send a consensus message to all parties. `is_block_bearing` marks
+  /// messages containing a full block (the expensive ones).
+  virtual void disseminate(sim::Context& ctx, const types::Message& msg,
+                           bool is_block_bearing);
+  /// Translate raw bytes into zero or more consensus messages, feeding them
+  /// to ingest(). The base implementation parses and ingests directly.
+  virtual void on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes);
+
+  /// Byzantine-behaviour hook: called instead of honest proposal logic when
+  /// overridden (see byzantine.hpp). Returns true if a proposal was made.
+  virtual bool propose_block(sim::Context& ctx);
+
+  /// Called after the pool is pruned below `round` (sub-layers can drop
+  /// their own per-round state).
+  virtual void on_prune(Round round) { (void)round; }
+
+  /// Insert a parsed message into the pool / beacon state. Returns true if
+  /// state changed. `from` identifies the wire sender (used to answer
+  /// catch-up requests point-to-point; untrusted otherwise).
+  bool ingest(sim::Context& ctx, sim::PartyIndex from, const types::Message& msg);
+
+  /// Drive the protocol until no clause fires.
+  void evaluate(sim::Context& ctx);
+
+  /// Construct and disseminate a proposal extending a notarized round-(k-1)
+  /// block. Used by propose_block and by Byzantine variants.
+  void emit_proposal(sim::Context& ctx, const Bytes& payload);
+  types::ProposalMsg build_proposal(const Block& block);
+
+  // --- shared state (accessible to Byzantine subclasses) ---
+  PartyIndex self_;
+  PartyConfig config_;
+  crypto::CryptoProvider* crypto_;
+  types::Pool pool_;
+
+  // Beacon pipeline.
+  std::map<Round, Bytes> beacon_values_;  // beacon_values_[0] = genesis
+  std::map<Round, std::map<PartyIndex, Bytes>> pending_beacon_shares_;
+  std::map<Round, std::vector<std::pair<crypto::PartyIndex, Bytes>>> verified_beacon_shares_;
+  std::set<Round> beacon_share_broadcast_;  // rounds whose share we already sent
+
+  // Round state (Fig. 1).
+  Round round_ = 1;
+  bool in_round_ = false;  // false: awaiting the round_ beacon
+  sim::Time t0_ = 0;
+  bool proposed_ = false;
+  RoundRanks ranks_;
+  std::map<Hash, uint32_t> notarized_set_;  // N: block hash -> rank
+  std::set<uint32_t> disqualified_;         // D
+
+  // Finalization subprotocol (Fig. 2).
+  Round k_max_ = 0;
+  std::vector<CommittedBlock> committed_;
+
+  // Proposal timestamps (for latency measurements; local blocks only).
+  std::map<Hash, sim::Time> proposal_times_;
+
+  // Adaptive delay bound (== config delta_bnd unless adaptation is on).
+  sim::Duration delta_local_;
+
+  // Catch-up packages.
+  std::optional<types::CupMsg> latest_cup_;
+  std::map<Round, std::pair<Hash, Bytes>> cup_round_info_;  // my (hash, beacon) per checkpoint
+  std::map<Round, std::map<PartyIndex, Bytes>> cup_shares_;
+  sim::Time last_cup_request_ = -1;
+
+ public:
+  /// Current local delay bound (for tests of the adaptive mode).
+  sim::Duration delta_bound() const { return delta_local_; }
+  /// Latest combined catch-up package held (for tests).
+  const std::optional<types::CupMsg>& latest_cup() const { return latest_cup_; }
+
+ private:
+  sim::Duration prop_delay(size_t rank) const {
+    return 2 * delta_local_ * static_cast<sim::Duration>(rank);
+  }
+  sim::Duration ntry_delay(size_t rank) const {
+    return 2 * delta_local_ * static_cast<sim::Duration>(rank) + config_.delays.epsilon;
+  }
+  void adapt_delays(bool clean_round);
+
+  void handle_cup_share(sim::Context& ctx, const types::CupShareMsg& msg);
+  void handle_cup_request(sim::Context& ctx, sim::PartyIndex from,
+                          const types::CupRequestMsg& msg);
+  bool adopt_cup(sim::Context& ctx, const types::CupMsg& msg);
+  void maybe_emit_cup_share(sim::Context& ctx, const CommittedBlock& block);
+  void maybe_request_cup(sim::Context& ctx, Round observed_round);
+
+  void try_advance_beacon(sim::Context& ctx);
+  void enter_round(sim::Context& ctx);
+  bool fire_finish_round(sim::Context& ctx);   // clause (a)
+  bool fire_propose(sim::Context& ctx);        // clause (b)
+  bool fire_echo_notarize(sim::Context& ctx);  // clause (c)
+  void check_finalization(sim::Context& ctx);  // Fig. 2
+  void broadcast_beacon_share(sim::Context& ctx, Round round);
+  void ingest_beacon_share(sim::Context& ctx, const types::BeaconShareMsg& msg);
+  void drain_pending_beacon_shares(sim::Context& ctx, Round round);
+};
+
+}  // namespace icc::consensus

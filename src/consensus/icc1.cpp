@@ -1,0 +1,56 @@
+#include "consensus/icc1.hpp"
+
+namespace icc::consensus {
+
+void Icc1Party::disseminate(sim::Context& ctx, const types::Message& msg,
+                            bool is_block_bearing) {
+  Bytes raw = types::serialize_message(msg);
+  if (!is_block_bearing) {
+    // Small artifacts travel as in ICC0 (all-to-all push). The paper keeps
+    // these pushes: they are never the byte bottleneck.
+    ctx.broadcast(std::move(raw));
+    return;
+  }
+  // Block-bearing artifact: hold it and hand ourselves a copy (own pool).
+  // Small blocks are pushed whole (pulling costs two extra hops); large ones
+  // are advertised and pulled on demand.
+  Round round = current_round();
+  if (gossip_.store(raw, round)) {
+    if (raw.size() <= gossip_.config().push_threshold) {
+      ctx.broadcast(std::move(raw));  // includes self-delivery
+      return;
+    }
+    ctx.send(ctx.self(), raw);  // immediate self-delivery
+    ctx.broadcast(types::serialize_message(types::Message{gossip_.advert_for(raw, round)}));
+  }
+}
+
+void Icc1Party::on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes) {
+  auto msg = types::parse_message(bytes);
+  if (!msg) return;
+
+  if (auto* advert = std::get_if<types::AdvertMsg>(&*msg)) {
+    gossip_.on_advert(ctx, from, *advert);
+    return;
+  }
+  if (auto* request = std::get_if<types::RequestMsg>(&*msg)) {
+    gossip_.on_request(ctx, from, *request);
+    return;
+  }
+
+  // A block body (pushed by ICC0-style echo of a peer, or pulled): become a
+  // source for it and tell the others, then feed consensus as usual.
+  if (std::holds_alternative<types::ProposalMsg>(*msg)) {
+    Bytes raw(bytes.begin(), bytes.end());
+    const auto& block = std::get<types::ProposalMsg>(*msg).block;
+    if (gossip_.store(raw, block.round)) {
+      ctx.broadcast(
+          types::serialize_message(types::Message{gossip_.advert_for(raw, block.round)}));
+    }
+  }
+
+  ingest(ctx, from, *msg);
+  evaluate(ctx);
+}
+
+}  // namespace icc::consensus

@@ -1,0 +1,35 @@
+// Protocol ICC2 — ICC1's consensus logic with block dissemination replaced
+// by the erasure-coded reliable broadcast subprotocol (rbc::RbcLayer).
+//
+// Small artifacts remain all-to-all pushes. Proposals are dispersed as
+// Reed–Solomon fragments; an *echo* of a block the party already
+// reconstructed only re-broadcasts the party's own fragment (cheap), since
+// the RBC itself guarantees totality of delivery.
+#pragma once
+
+#include "consensus/icc0.hpp"
+#include "rbc/rbc.hpp"
+
+namespace icc::consensus {
+
+class Icc2Party : public Icc0Party {
+ public:
+  Icc2Party(PartyIndex self, const PartyConfig& config)
+      : Icc0Party(self, config),
+        rbc_(*config.crypto, self, [this](sim::Context& ctx, const Bytes& raw) {
+          on_rbc_deliver(ctx, raw);
+        }) {}
+
+ protected:
+  void disseminate(sim::Context& ctx, const types::Message& msg,
+                   bool is_block_bearing) override;
+  void on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes) override;
+  void on_prune(Round round) override { rbc_.prune_below(round); }
+
+ private:
+  void on_rbc_deliver(sim::Context& ctx, const Bytes& raw);
+
+  rbc::RbcLayer rbc_;
+};
+
+}  // namespace icc::consensus

@@ -1,0 +1,33 @@
+#include "consensus/permutation.hpp"
+
+#include <numeric>
+
+#include "support/rng.hpp"
+
+namespace icc::consensus {
+
+RoundRanks ranks_from_beacon(BytesView beacon_value, size_t n) {
+  // Seed a PRG from the beacon value. The beacon is already a hash output
+  // (indistinguishable from random under the ROM argument of Section 2.3),
+  // so folding it to 64 bits for xoshiro seeding preserves uniformity.
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < beacon_value.size(); ++i) {
+    seed ^= static_cast<uint64_t>(beacon_value[i]) << (8 * (i % 8));
+    if (i % 8 == 7) seed = seed * 0xff51afd7ed558ccdULL + 1;
+  }
+  Xoshiro256 rng(seed);
+
+  RoundRanks ranks;
+  ranks.by_rank.resize(n);
+  std::iota(ranks.by_rank.begin(), ranks.by_rank.end(), 0);
+  // Fisher–Yates.
+  for (size_t i = n - 1; i > 0; --i) {
+    size_t j = rng.below(i + 1);
+    std::swap(ranks.by_rank[i], ranks.by_rank[j]);
+  }
+  ranks.rank_of.resize(n);
+  for (size_t r = 0; r < n; ++r) ranks.rank_of[ranks.by_rank[r]] = static_cast<uint32_t>(r);
+  return ranks;
+}
+
+}  // namespace icc::consensus

@@ -1,0 +1,25 @@
+// Rank assignment from the random beacon (paper Section 3.3).
+//
+// The round-k beacon value seeds a Fisher–Yates shuffle producing a
+// permutation pi of the n parties; rank 0 is the leader. Every honest party
+// derives the same permutation because the beacon value is unique.
+#pragma once
+
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "types/block.hpp"
+
+namespace icc::consensus {
+
+struct RoundRanks {
+  std::vector<types::PartyIndex> by_rank;  ///< by_rank[r] = party with rank r
+  std::vector<uint32_t> rank_of;           ///< rank_of[party] = its rank
+
+  types::PartyIndex leader() const { return by_rank[0]; }
+};
+
+/// Derive the round's ranks from the beacon value.
+RoundRanks ranks_from_beacon(BytesView beacon_value, size_t n);
+
+}  // namespace icc::consensus

@@ -1,0 +1,105 @@
+#include "crypto/beacon.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "crypto/sha256.hpp"
+
+namespace icc::crypto {
+
+namespace {
+constexpr std::string_view kH2cDomain = "icc-beacon-h2c-v1";
+}
+
+Point beacon_message_point(BytesView message) { return hash_to_point(kH2cDomain, message); }
+
+BeaconKeys beacon_keygen(size_t n, size_t t, Xoshiro256& rng) {
+  if (t + 1 > n) throw std::invalid_argument("beacon_keygen: need t + 1 <= n");
+  BeaconKeys keys;
+  Sc25519 s = random_scalar(rng);
+  auto shares = shamir_share(s, t, n, rng);
+  keys.pub.group_pk = Point::mul_base(s);
+  keys.pub.threshold = t + 1;
+  keys.pub.share_pks.reserve(n);
+  keys.secret_shares.reserve(n);
+  for (const auto& sh : shares) {
+    keys.secret_shares.push_back(sh.value);
+    keys.pub.share_pks.push_back(Point::mul_base(sh.value));
+  }
+  return keys;
+}
+
+Bytes BeaconShare::serialize() const {
+  Bytes out;
+  put_u32le(out, signer);
+  append(out, BytesView(sigma.compress().data(), 32));
+  append(out, BytesView(proof.serialize()));
+  return out;
+}
+
+std::optional<BeaconShare> BeaconShare::deserialize(BytesView bytes) {
+  if (bytes.size() != 4 + 32 + 64) return std::nullopt;
+  BeaconShare s;
+  s.signer = get_u32le(bytes.data());
+  auto sigma = Point::decompress(bytes.subspan(4, 32));
+  if (!sigma) return std::nullopt;
+  s.sigma = *sigma;
+  auto proof = DleqProof::deserialize(bytes.subspan(36, 64));
+  if (!proof) return std::nullopt;
+  s.proof = *proof;
+  return s;
+}
+
+BeaconShare beacon_sign_share(BytesView message, uint32_t signer, const Sc25519& share,
+                              const BeaconPublic& pub) {
+  if (signer >= pub.share_pks.size())
+    throw std::invalid_argument("beacon_sign_share: bad signer");
+  Point hm = beacon_message_point(message);
+  BeaconShare out;
+  out.signer = signer;
+  out.sigma = hm.mul(share);
+  out.proof = dleq_prove(Point::base(), pub.share_pks[signer], hm, out.sigma, share);
+  return out;
+}
+
+bool beacon_verify_share(BytesView message, const BeaconShare& share,
+                         const BeaconPublic& pub) {
+  if (share.signer >= pub.share_pks.size()) return false;
+  Point hm = beacon_message_point(message);
+  return dleq_verify(Point::base(), pub.share_pks[share.signer], hm, share.sigma,
+                     share.proof);
+}
+
+std::optional<Point> beacon_combine(std::span<const BeaconShare> shares,
+                                    const BeaconPublic& pub) {
+  // Pick the first `threshold` distinct signers.
+  std::vector<const BeaconShare*> chosen;
+  std::unordered_set<uint32_t> seen;
+  for (const auto& s : shares) {
+    if (seen.insert(s.signer).second) chosen.push_back(&s);
+    if (chosen.size() == pub.threshold) break;
+  }
+  if (chosen.size() < pub.threshold) return std::nullopt;
+
+  // Lagrange interpolation in the exponent at zero. Share evaluation points
+  // are signer + 1 (Shamir indices are 1-based).
+  std::vector<uint32_t> points;
+  points.reserve(chosen.size());
+  for (const auto* s : chosen) points.push_back(s->signer + 1);
+
+  Point sigma;  // identity
+  for (size_t j = 0; j < chosen.size(); ++j) {
+    Sc25519 lambda = lagrange_at_zero(points, j);
+    sigma = sigma + chosen[j]->sigma.mul(lambda);
+  }
+  return sigma;
+}
+
+Bytes beacon_value(const Point& sigma) {
+  Bytes enc = sigma.compress_bytes();
+  Bytes prefixed = str_bytes("icc-beacon-out-v1");
+  append(prefixed, BytesView(enc));
+  return sha256(prefixed);
+}
+
+}  // namespace icc::crypto

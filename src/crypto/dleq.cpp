@@ -1,0 +1,65 @@
+#include "crypto/dleq.hpp"
+
+#include "crypto/sha512.hpp"
+
+namespace icc::crypto {
+
+namespace {
+
+Sc25519 challenge(const Point& g1, const Point& p1, const Point& g2, const Point& p2,
+                  const Point& a1, const Point& a2) {
+  Sha512 h;
+  h.update("icc-dleq-v1");
+  h.update(BytesView(g1.compress().data(), 32));
+  h.update(BytesView(p1.compress().data(), 32));
+  h.update(BytesView(g2.compress().data(), 32));
+  h.update(BytesView(p2.compress().data(), 32));
+  h.update(BytesView(a1.compress().data(), 32));
+  h.update(BytesView(a2.compress().data(), 32));
+  return Sc25519::from_bytes_wide(h.digest().data());
+}
+
+}  // namespace
+
+Bytes DleqProof::serialize() const {
+  Bytes out;
+  append(out, BytesView(c.to_bytes()));
+  append(out, BytesView(z.to_bytes()));
+  return out;
+}
+
+std::optional<DleqProof> DleqProof::deserialize(BytesView bytes) {
+  if (bytes.size() != 64) return std::nullopt;
+  DleqProof p;
+  p.c = Sc25519::from_bytes_mod_l(bytes.data());
+  p.z = Sc25519::from_bytes_mod_l(bytes.data() + 32);
+  return p;
+}
+
+DleqProof dleq_prove(const Point& g1, const Point& p1, const Point& g2, const Point& p2,
+                     const Sc25519& secret) {
+  // Derandomized nonce: k = H(secret || statement).
+  Sha512 nh;
+  nh.update("icc-dleq-nonce-v1");
+  nh.update(BytesView(secret.to_bytes()));
+  nh.update(BytesView(g2.compress().data(), 32));
+  nh.update(BytesView(p2.compress().data(), 32));
+  Sc25519 k = Sc25519::from_bytes_wide(nh.digest().data());
+
+  Point a1 = g1.mul(k);
+  Point a2 = g2.mul(k);
+  DleqProof proof;
+  proof.c = challenge(g1, p1, g2, p2, a1, a2);
+  proof.z = k + proof.c * secret;
+  return proof;
+}
+
+bool dleq_verify(const Point& g1, const Point& p1, const Point& g2, const Point& p2,
+                 const DleqProof& proof) {
+  // a1 = z G1 - c P1, a2 = z G2 - c P2; accept iff the challenge matches.
+  Point a1 = g1.mul(proof.z) - p1.mul(proof.c);
+  Point a2 = g2.mul(proof.z) - p2.mul(proof.c);
+  return challenge(g1, p1, g2, p2, a1, a2) == proof.c;
+}
+
+}  // namespace icc::crypto

@@ -1,0 +1,32 @@
+// Chaum–Pedersen DLEQ proofs: a non-interactive zero-knowledge proof that
+// two group elements share the same discrete logarithm with respect to two
+// bases, i.e. log_{G1}(P1) = log_{G2}(P2).
+//
+// Beacon shares carry such a proof (statement: my share sigma_i on H(m) was
+// produced with the same secret s_i that underlies my registered share
+// public key), making shares publicly verifiable without pairings.
+#pragma once
+
+#include "crypto/ed25519.hpp"
+#include "crypto/sc25519.hpp"
+
+namespace icc::crypto {
+
+struct DleqProof {
+  Sc25519 c;  ///< Fiat–Shamir challenge
+  Sc25519 z;  ///< response z = k + c * secret
+
+  Bytes serialize() const;
+  static std::optional<DleqProof> deserialize(BytesView bytes);
+};
+
+/// Prove log_{g1}(p1) = log_{g2}(p2) = secret. Deterministic (the nonce is
+/// derived from the secret and the statement, RFC 6979-style).
+DleqProof dleq_prove(const Point& g1, const Point& p1, const Point& g2, const Point& p2,
+                     const Sc25519& secret);
+
+/// Verify a DLEQ proof.
+bool dleq_verify(const Point& g1, const Point& p1, const Point& g2, const Point& p2,
+                 const DleqProof& proof);
+
+}  // namespace icc::crypto

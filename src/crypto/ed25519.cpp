@@ -1,0 +1,277 @@
+#include "crypto/ed25519.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/sha512.hpp"
+
+static_assert(std::endian::native == std::endian::little,
+              "field/scalar serialization assumes a little-endian host");
+
+namespace icc::crypto {
+
+Point::Point() : x_(), y_(Fe25519::one()), z_(Fe25519::one()), t_() {}
+
+const Point& Point::base() {
+  static const Point b = [] {
+    // Canonical compressed encoding of the RFC 8032 base point (y = 4/5,
+    // x positive/even): 0x58 followed by 31 bytes of 0x66.
+    uint8_t enc[32];
+    enc[0] = 0x58;
+    std::memset(enc + 1, 0x66, 31);
+    auto p = Point::decompress(enc);
+    if (!p) throw std::logic_error("base point decompression failed");
+    return *p;
+  }();
+  return b;
+}
+
+// Unified addition, add-2008-hwcd-3 (works for doubling too; complete for
+// points in the prime-order subgroup).
+Point Point::operator+(const Point& o) const {
+  Point r;
+  Fe25519 a = (y_ - x_) * (o.y_ - o.x_);
+  Fe25519 b = (y_ + x_) * (o.y_ + o.x_);
+  Fe25519 c = t_ * Fe25519::edwards_2d() * o.t_;
+  Fe25519 d = (z_ + z_) * o.z_;
+  Fe25519 e = b - a;
+  Fe25519 f = d - c;
+  Fe25519 g = d + c;
+  Fe25519 h = b + a;
+  r.x_ = e * f;
+  r.y_ = g * h;
+  r.t_ = e * h;
+  r.z_ = f * g;
+  return r;
+}
+
+// dbl-2008-hwcd with a = -1.
+Point Point::dbl() const {
+  Point r;
+  Fe25519 a = x_.square();
+  Fe25519 b = y_.square();
+  Fe25519 zz = z_.square();
+  Fe25519 c = zz + zz;
+  Fe25519 d = a.negate();
+  Fe25519 e = (x_ + y_).square() - a - b;
+  Fe25519 g = d + b;
+  Fe25519 f = g - c;
+  Fe25519 h = d - b;
+  r.x_ = e * f;
+  r.y_ = g * h;
+  r.t_ = e * h;
+  r.z_ = f * g;
+  return r;
+}
+
+Point Point::negate() const {
+  Point r = *this;
+  r.x_ = x_.negate();
+  r.t_ = t_.negate();
+  return r;
+}
+
+Point Point::mul(const Sc25519& k) const {
+  uint8_t kb[32];
+  k.to_bytes(kb);
+  Point result;  // identity
+  for (int i = 255; i >= 0; --i) {
+    result = result.dbl();
+    if ((kb[i / 8] >> (i % 8)) & 1) result = result + *this;
+  }
+  return result;
+}
+
+Point Point::mul_base(const Sc25519& k) {
+  // Precomputed 2^i * B. 253 entries cover every canonical scalar.
+  static const std::vector<Point> table = [] {
+    std::vector<Point> t;
+    t.reserve(253);
+    Point p = base();
+    for (int i = 0; i < 253; ++i) {
+      t.push_back(p);
+      p = p.dbl();
+    }
+    return t;
+  }();
+  uint8_t kb[32];
+  k.to_bytes(kb);
+  Point result;
+  for (int i = 0; i < 253; ++i) {
+    if ((kb[i / 8] >> (i % 8)) & 1) result = result + table[i];
+  }
+  return result;
+}
+
+std::array<uint8_t, 32> Point::compress() const {
+  Fe25519 zi = z_.invert();
+  Fe25519 x = x_ * zi;
+  Fe25519 y = y_ * zi;
+  std::array<uint8_t, 32> out;
+  y.to_bytes(out.data());
+  if (x.is_negative()) out[31] |= 0x80;
+  return out;
+}
+
+Bytes Point::compress_bytes() const {
+  auto a = compress();
+  return Bytes(a.begin(), a.end());
+}
+
+std::optional<Point> Point::decompress(const uint8_t bytes[32]) {
+  uint8_t yb[32];
+  std::memcpy(yb, bytes, 32);
+  const bool sign = (yb[31] & 0x80) != 0;
+  yb[31] &= 0x7f;
+  Fe25519 y = Fe25519::from_bytes(yb);
+
+  // Recover x from y: x^2 = (y^2 - 1) / (d y^2 + 1).
+  Fe25519 y2 = y.square();
+  Fe25519 u = y2 - Fe25519::one();
+  Fe25519 v = Fe25519::edwards_d() * y2 + Fe25519::one();
+
+  // Candidate root: x = u v^3 (u v^7)^((p-5)/8).
+  Fe25519 v3 = v.square() * v;
+  Fe25519 v7 = v3.square() * v;
+  Fe25519 x = u * v3 * (u * v7).pow_p58();
+
+  Fe25519 vx2 = v * x.square();
+  if (vx2 == u) {
+    // ok
+  } else if (vx2 == u.negate()) {
+    x = x * Fe25519::sqrt_m1();
+  } else {
+    return std::nullopt;
+  }
+
+  if (x.is_zero() && sign) return std::nullopt;  // -0 is invalid
+  if (x.is_negative() != sign) x = x.negate();
+
+  Point p;
+  p.x_ = x;
+  p.y_ = y;
+  p.z_ = Fe25519::one();
+  p.t_ = x * y;
+  return p;
+}
+
+std::optional<Point> Point::decompress(BytesView bytes) {
+  if (bytes.size() != 32) return std::nullopt;
+  return decompress(bytes.data());
+}
+
+bool Point::is_identity() const {
+  // (0, 1): x = 0 and y = z.
+  return x_.is_zero() && y_ == z_;
+}
+
+bool Point::operator==(const Point& o) const {
+  // Projective equality: X1 Z2 == X2 Z1 and Y1 Z2 == Y2 Z1.
+  return (x_ * o.z_ == o.x_ * z_) && (y_ * o.z_ == o.y_ * z_);
+}
+
+namespace {
+
+Sc25519 sc_from_hash(const Sha512Digest& h) { return Sc25519::from_bytes_wide(h.data()); }
+
+std::array<uint8_t, 32> clamp(const uint8_t h[32]) {
+  std::array<uint8_t, 32> s;
+  std::memcpy(s.data(), h, 32);
+  s[0] &= 248;
+  s[31] &= 127;
+  s[31] |= 64;
+  return s;
+}
+
+}  // namespace
+
+Ed25519KeyPair ed25519_keypair(const uint8_t seed[32]) {
+  Ed25519KeyPair kp;
+  std::memcpy(kp.seed.data(), seed, 32);
+  Sha512Digest h = Sha512::hash(BytesView(seed, 32));
+  auto s_bytes = clamp(h.data());
+  // Clamped scalars are < 2^255, so reduce mod l before the multiply. (The
+  // reduction does not change the resulting point because B has order l.)
+  Sc25519 s = Sc25519::from_bytes_mod_l(s_bytes.data());
+  kp.public_key = Point::mul_base(s).compress();
+  return kp;
+}
+
+std::array<uint8_t, 64> ed25519_sign(const Ed25519KeyPair& kp, BytesView message) {
+  Sha512Digest h = Sha512::hash(BytesView(kp.seed.data(), 32));
+  auto s_bytes = clamp(h.data());
+  Sc25519 s = Sc25519::from_bytes_mod_l(s_bytes.data());
+
+  // r = H(prefix || M)
+  Sha512 rh;
+  rh.update(BytesView(h.data() + 32, 32));
+  rh.update(message);
+  Sc25519 r = sc_from_hash(rh.digest());
+
+  auto r_enc = Point::mul_base(r).compress();
+
+  // k = H(R || A || M)
+  Sha512 kh;
+  kh.update(BytesView(r_enc.data(), 32));
+  kh.update(BytesView(kp.public_key.data(), 32));
+  kh.update(message);
+  Sc25519 k = sc_from_hash(kh.digest());
+
+  Sc25519 big_s = r + k * s;
+
+  std::array<uint8_t, 64> sig;
+  std::memcpy(sig.data(), r_enc.data(), 32);
+  big_s.to_bytes(sig.data() + 32);
+  return sig;
+}
+
+bool ed25519_verify(const uint8_t public_key[32], BytesView message,
+                    const uint8_t signature[64]) {
+  auto a = Point::decompress(public_key);
+  if (!a) return false;
+  auto r = Point::decompress(signature);
+  if (!r) return false;
+
+  // Reject non-canonical S (S >= l).
+  Sc25519 s = Sc25519::from_bytes_mod_l(signature + 32);
+  uint8_t s_canon[32];
+  s.to_bytes(s_canon);
+  if (std::memcmp(s_canon, signature + 32, 32) != 0) return false;
+
+  Sha512 kh;
+  kh.update(BytesView(signature, 32));
+  kh.update(BytesView(public_key, 32));
+  kh.update(message);
+  Sc25519 k = sc_from_hash(kh.digest());
+
+  // Cofactored check: 8 S B == 8 R + 8 k A.
+  Point lhs = Point::mul_base(s).mul_cofactor();
+  Point rhs = (*r + a->mul(k)).mul_cofactor();
+  return lhs == rhs;
+}
+
+bool ed25519_verify(BytesView public_key, BytesView message, BytesView signature) {
+  if (public_key.size() != 32 || signature.size() != 64) return false;
+  return ed25519_verify(public_key.data(), message, signature.data());
+}
+
+Point hash_to_point(std::string_view domain, BytesView message) {
+  for (uint32_t ctr = 0;; ++ctr) {
+    Sha512 h;
+    h.update(domain);
+    h.update(message);
+    uint8_t ctr_le[4] = {static_cast<uint8_t>(ctr), static_cast<uint8_t>(ctr >> 8),
+                         static_cast<uint8_t>(ctr >> 16), static_cast<uint8_t>(ctr >> 24)};
+    h.update(BytesView(ctr_le, 4));
+    Sha512Digest d = h.digest();
+    auto p = Point::decompress(d.data());
+    if (!p) continue;
+    Point q = p->mul_cofactor();  // clear cofactor into the prime-order subgroup
+    if (q.is_identity()) continue;
+    return q;
+  }
+}
+
+}  // namespace icc::crypto

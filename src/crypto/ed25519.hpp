@@ -1,0 +1,80 @@
+// Ed25519 (RFC 8032) — group operations and signatures, from scratch.
+//
+// This provides:
+//  * the twisted-Edwards group (extended coordinates) used by the signature
+//    scheme, the DLEQ proofs and the threshold random beacon;
+//  * RFC 8032 key generation / sign / verify, tested against the RFC test
+//    vectors (tests/crypto/ed25519_test.cpp).
+//
+// The paper's `S_auth` (Section 3.2) is instantiated with these signatures.
+#pragma once
+
+#include <optional>
+
+#include "crypto/fe25519.hpp"
+#include "crypto/sc25519.hpp"
+#include "support/bytes.hpp"
+
+namespace icc::crypto {
+
+/// A point on the Ed25519 curve in extended homogeneous coordinates
+/// (X : Y : Z : T) with x = X/Z, y = Y/Z, T = XY/Z.
+class Point {
+ public:
+  /// The identity element (0, 1).
+  Point();
+
+  static const Point& base();  ///< RFC 8032 base point B.
+
+  Point operator+(const Point& o) const;
+  Point dbl() const;
+  Point negate() const;
+  Point operator-(const Point& o) const { return *this + o.negate(); }
+
+  /// Scalar multiplication, simple double-and-add.
+  Point mul(const Sc25519& k) const;
+
+  /// k * B using a precomputed table of 2^i * B (much faster than mul).
+  static Point mul_base(const Sc25519& k);
+
+  /// Multiply by the cofactor 8.
+  Point mul_cofactor() const { return dbl().dbl().dbl(); }
+
+  /// Compressed 32-byte encoding (y with the sign bit of x).
+  std::array<uint8_t, 32> compress() const;
+  Bytes compress_bytes() const;
+
+  /// Decompress; returns nullopt if the encoding is not a curve point.
+  static std::optional<Point> decompress(const uint8_t bytes[32]);
+  static std::optional<Point> decompress(BytesView bytes);
+
+  bool is_identity() const;
+  bool operator==(const Point& o) const;
+
+ private:
+  Fe25519 x_, y_, z_, t_;
+};
+
+/// Ed25519 key pair. The 32-byte seed is the private key (RFC 8032).
+struct Ed25519KeyPair {
+  std::array<uint8_t, 32> seed;
+  std::array<uint8_t, 32> public_key;
+};
+
+/// Derive a key pair from a 32-byte seed.
+Ed25519KeyPair ed25519_keypair(const uint8_t seed[32]);
+
+/// Sign a message; returns the 64-byte signature R || S.
+std::array<uint8_t, 64> ed25519_sign(const Ed25519KeyPair& kp, BytesView message);
+
+/// Verify a signature against a 32-byte public key.
+bool ed25519_verify(const uint8_t public_key[32], BytesView message,
+                    const uint8_t signature[64]);
+bool ed25519_verify(BytesView public_key, BytesView message, BytesView signature);
+
+/// Hash an arbitrary message to a point in the prime-order subgroup
+/// (try-and-increment + cofactor clearing). Deterministic; never returns the
+/// identity. Domain-separated by `domain`.
+Point hash_to_point(std::string_view domain, BytesView message);
+
+}  // namespace icc::crypto

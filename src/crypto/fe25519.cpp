@@ -1,0 +1,198 @@
+#include "crypto/fe25519.hpp"
+
+#include <cstring>
+
+namespace icc::crypto {
+
+namespace {
+
+constexpr uint64_t kMask = (1ULL << 51) - 1;
+using u128 = unsigned __int128;
+
+inline uint64_t load8(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian hosts only (asserted in ed25519.cpp)
+}
+
+/// Generic square-and-multiply with a little-endian 32-byte exponent.
+Fe25519 pow_le(const Fe25519& base, const uint8_t exp_le[32]) {
+  Fe25519 result = Fe25519::one();
+  for (int i = 255; i >= 0; --i) {
+    result = result.square();
+    if ((exp_le[i / 8] >> (i % 8)) & 1) result = result * base;
+  }
+  return result;
+}
+
+}  // namespace
+
+Fe25519 Fe25519::one() { return from_u64(1); }
+
+Fe25519 Fe25519::from_u64(uint64_t x) {
+  Fe25519 r;
+  r.v_[0] = x & kMask;
+  r.v_[1] = x >> 51;
+  return r;
+}
+
+Fe25519 Fe25519::from_bytes(const uint8_t bytes[32]) {
+  Fe25519 r;
+  r.v_[0] = load8(bytes) & kMask;
+  r.v_[1] = (load8(bytes + 6) >> 3) & kMask;
+  r.v_[2] = (load8(bytes + 12) >> 6) & kMask;
+  r.v_[3] = (load8(bytes + 19) >> 1) & kMask;
+  r.v_[4] = (load8(bytes + 24) >> 12) & kMask;
+  return r;
+}
+
+void Fe25519::carry() {
+  uint64_t c;
+  c = v_[0] >> 51; v_[0] &= kMask; v_[1] += c;
+  c = v_[1] >> 51; v_[1] &= kMask; v_[2] += c;
+  c = v_[2] >> 51; v_[2] &= kMask; v_[3] += c;
+  c = v_[3] >> 51; v_[3] &= kMask; v_[4] += c;
+  c = v_[4] >> 51; v_[4] &= kMask; v_[0] += 19 * c;
+  c = v_[0] >> 51; v_[0] &= kMask; v_[1] += c;
+}
+
+void Fe25519::to_bytes(uint8_t out[32]) const {
+  // Freeze: fully carry, then subtract p while the value is >= p.
+  Fe25519 t = *this;
+  t.carry();
+  t.carry();
+  constexpr uint64_t kP0 = kMask - 18;  // 2^51 - 19
+  for (int pass = 0; pass < 2; ++pass) {
+    bool ge = t.v_[4] == kMask && t.v_[3] == kMask && t.v_[2] == kMask &&
+              t.v_[1] == kMask && t.v_[0] >= kP0;
+    if (ge) {
+      t.v_[0] -= kP0;
+      t.v_[1] = t.v_[2] = t.v_[3] = t.v_[4] = 0;
+    }
+  }
+  // Pack 5x51 bits into 32 bytes (255 bits, top bit zero).
+  uint64_t w0 = t.v_[0] | (t.v_[1] << 51);
+  uint64_t w1 = (t.v_[1] >> 13) | (t.v_[2] << 38);
+  uint64_t w2 = (t.v_[2] >> 26) | (t.v_[3] << 25);
+  uint64_t w3 = (t.v_[3] >> 39) | (t.v_[4] << 12);
+  std::memcpy(out, &w0, 8);
+  std::memcpy(out + 8, &w1, 8);
+  std::memcpy(out + 16, &w2, 8);
+  std::memcpy(out + 24, &w3, 8);
+}
+
+Bytes Fe25519::to_bytes() const {
+  Bytes out(32);
+  to_bytes(out.data());
+  return out;
+}
+
+Fe25519 Fe25519::operator+(const Fe25519& o) const {
+  Fe25519 r;
+  for (int i = 0; i < 5; ++i) r.v_[i] = v_[i] + o.v_[i];
+  r.carry();
+  return r;
+}
+
+Fe25519 Fe25519::operator-(const Fe25519& o) const {
+  // Add 2p before subtracting so limbs never underflow (inputs < 2^52).
+  Fe25519 r;
+  r.v_[0] = v_[0] + ((kMask - 18) << 1) - o.v_[0];
+  for (int i = 1; i < 5; ++i) r.v_[i] = v_[i] + (kMask << 1) - o.v_[i];
+  r.carry();
+  return r;
+}
+
+Fe25519 Fe25519::negate() const { return Fe25519::zero() - *this; }
+
+Fe25519 Fe25519::operator*(const Fe25519& o) const {
+  const uint64_t a0 = v_[0], a1 = v_[1], a2 = v_[2], a3 = v_[3], a4 = v_[4];
+  const uint64_t b0 = o.v_[0], b1 = o.v_[1], b2 = o.v_[2], b3 = o.v_[3], b4 = o.v_[4];
+
+  u128 r0 = (u128)a0 * b0 + (u128)19 * ((u128)a1 * b4 + (u128)a2 * b3 + (u128)a3 * b2 + (u128)a4 * b1);
+  u128 r1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)19 * ((u128)a2 * b4 + (u128)a3 * b3 + (u128)a4 * b2);
+  u128 r2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 + (u128)19 * ((u128)a3 * b4 + (u128)a4 * b3);
+  u128 r3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 + (u128)19 * ((u128)a4 * b4);
+  u128 r4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 + (u128)a4 * b0;
+
+  Fe25519 out;
+  u128 c;
+  c = r0 >> 51; r0 &= kMask; r1 += c;
+  c = r1 >> 51; r1 &= kMask; r2 += c;
+  c = r2 >> 51; r2 &= kMask; r3 += c;
+  c = r3 >> 51; r3 &= kMask; r4 += c;
+  c = r4 >> 51; r4 &= kMask; r0 += (u128)19 * c;
+  c = r0 >> 51; r0 &= kMask; r1 += c;
+  out.v_[0] = (uint64_t)r0;
+  out.v_[1] = (uint64_t)r1;
+  out.v_[2] = (uint64_t)r2;
+  out.v_[3] = (uint64_t)r3;
+  out.v_[4] = (uint64_t)r4;
+  return out;
+}
+
+Fe25519 Fe25519::square() const { return *this * *this; }
+
+Fe25519 Fe25519::invert() const {
+  // Exponent p - 2 = 2^255 - 21, little-endian bytes.
+  static constexpr uint8_t kExp[32] = {
+      0xeb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
+  return pow_le(*this, kExp);
+}
+
+Fe25519 Fe25519::pow_p58() const {
+  // Exponent (p - 5) / 8 = 2^252 - 3, little-endian bytes.
+  static constexpr uint8_t kExp[32] = {
+      0xfd, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f};
+  return pow_le(*this, kExp);
+}
+
+bool Fe25519::is_zero() const {
+  uint8_t b[32];
+  to_bytes(b);
+  uint8_t acc = 0;
+  for (uint8_t x : b) acc |= x;
+  return acc == 0;
+}
+
+bool Fe25519::is_negative() const {
+  uint8_t b[32];
+  to_bytes(b);
+  return (b[0] & 1) != 0;
+}
+
+bool Fe25519::operator==(const Fe25519& o) const {
+  uint8_t a[32], b[32];
+  to_bytes(a);
+  o.to_bytes(b);
+  return std::memcmp(a, b, 32) == 0;
+}
+
+const Fe25519& Fe25519::sqrt_m1() {
+  // 2^((p-1)/4); computed once. (p-1)/4 = 2^253 - 5.
+  static const Fe25519 value = [] {
+    static constexpr uint8_t kExp[32] = {
+        0xfb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f};
+    return pow_le(Fe25519::from_u64(2), kExp);
+  }();
+  return value;
+}
+
+const Fe25519& Fe25519::edwards_d() {
+  static const Fe25519 value =
+      Fe25519::from_u64(121665).negate() * Fe25519::from_u64(121666).invert();
+  return value;
+}
+
+const Fe25519& Fe25519::edwards_2d() {
+  static const Fe25519 value = edwards_d() + edwards_d();
+  return value;
+}
+
+}  // namespace icc::crypto

@@ -1,0 +1,67 @@
+// Field arithmetic in GF(2^255 - 19), the base field of Curve25519/Ed25519.
+//
+// Representation: five 51-bit limbs (radix 2^51), kept reduced so every limb
+// is < 2^52 after each operation. Multiplication uses unsigned __int128
+// accumulators. This is the classic "ref10/donna" layout; we favour clarity
+// over constant-time tricks (the library runs inside a simulator, not on a
+// network-facing host; see DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace icc::crypto {
+
+class Fe25519 {
+ public:
+  /// Zero element.
+  constexpr Fe25519() : v_{0, 0, 0, 0, 0} {}
+
+  static Fe25519 zero() { return Fe25519(); }
+  static Fe25519 one();
+  static Fe25519 from_u64(uint64_t x);
+
+  /// Deserialize 32 little-endian bytes; the top bit is ignored (RFC 7748
+  /// convention). The value is not required to be < p.
+  static Fe25519 from_bytes(const uint8_t bytes[32]);
+
+  /// Serialize to 32 bytes, fully reduced mod p (canonical form).
+  void to_bytes(uint8_t out[32]) const;
+  Bytes to_bytes() const;
+
+  Fe25519 operator+(const Fe25519& o) const;
+  Fe25519 operator-(const Fe25519& o) const;
+  Fe25519 operator*(const Fe25519& o) const;
+  Fe25519 square() const;
+  Fe25519 negate() const;
+
+  /// Multiplicative inverse via Fermat (x^(p-2)); inverse of 0 is 0.
+  Fe25519 invert() const;
+
+  /// x^((p-5)/8), the core of the square-root computation used in point
+  /// decompression (p = 5 mod 8).
+  Fe25519 pow_p58() const;
+
+  bool is_zero() const;
+  /// "Negative" = least significant bit of the canonical encoding.
+  bool is_negative() const;
+  bool operator==(const Fe25519& o) const;
+
+  /// sqrt(-1) mod p, a fixed constant needed during decompression.
+  static const Fe25519& sqrt_m1();
+  /// Edwards curve constant d = -121665/121666.
+  static const Fe25519& edwards_d();
+  /// 2*d.
+  static const Fe25519& edwards_2d();
+
+ private:
+  explicit constexpr Fe25519(std::array<uint64_t, 5> v) : v_(v) {}
+
+  void carry();
+
+  std::array<uint64_t, 5> v_;
+};
+
+}  // namespace icc::crypto

@@ -1,0 +1,89 @@
+#include "crypto/multisig.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/serial.hpp"
+
+namespace icc::crypto {
+
+size_t MultiSig::signer_count() const {
+  return static_cast<size_t>(std::count(signers.begin(), signers.end(), true));
+}
+
+Bytes MultiSig::serialize() const {
+  Writer w;
+  w.u32(static_cast<uint32_t>(signers.size()));
+  Bytes bitmap((signers.size() + 7) / 8, 0);
+  for (size_t i = 0; i < signers.size(); ++i)
+    if (signers[i]) bitmap[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  w.raw(bitmap);
+  for (const auto& sig : signatures) w.raw(BytesView(sig.data(), sig.size()));
+  return std::move(w).take();
+}
+
+std::optional<MultiSig> MultiSig::deserialize(BytesView bytes) {
+  try {
+    Reader r(bytes);
+    uint32_t n = r.u32();
+    if (n > 1u << 20) return std::nullopt;
+    Bytes bitmap = r.raw((n + 7) / 8);
+    MultiSig ms;
+    ms.signers.resize(n, false);
+    size_t count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if ((bitmap[i / 8] >> (i % 8)) & 1) {
+        ms.signers[i] = true;
+        ++count;
+      }
+    }
+    ms.signatures.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      Bytes sig = r.raw(64);
+      std::array<uint8_t, 64> a{};
+      std::copy(sig.begin(), sig.end(), a.begin());
+      ms.signatures.push_back(a);
+    }
+    r.expect_done();
+    return ms;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<MultiSig> multisig_combine(std::span<const MultiSigShare> shares, size_t h,
+                                         size_t n) {
+  std::map<uint32_t, const MultiSigShare*> by_signer;
+  for (const auto& s : shares) {
+    if (s.signer >= n) continue;
+    by_signer.emplace(s.signer, &s);
+    if (by_signer.size() == h) break;
+  }
+  if (by_signer.size() < h) return std::nullopt;
+
+  MultiSig ms;
+  ms.signers.resize(n, false);
+  ms.signatures.reserve(by_signer.size());
+  for (const auto& [signer, share] : by_signer) {
+    ms.signers[signer] = true;
+    ms.signatures.push_back(share->signature);
+  }
+  return ms;
+}
+
+bool multisig_verify(const MultiSig& ms, std::span<const std::array<uint8_t, 32>> pks,
+                     BytesView message, size_t h) {
+  if (ms.signers.size() != pks.size()) return false;
+  if (ms.signer_count() != ms.signatures.size()) return false;
+  if (ms.signer_count() < h) return false;
+  size_t sig_idx = 0;
+  for (size_t i = 0; i < ms.signers.size(); ++i) {
+    if (!ms.signers[i]) continue;
+    if (!ed25519_verify(pks[i].data(), message, ms.signatures[sig_idx].data()))
+      return false;
+    ++sig_idx;
+  }
+  return true;
+}
+
+}  // namespace icc::crypto

@@ -1,0 +1,186 @@
+#include "crypto/sc25519.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace icc::crypto {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// l, little-endian 64-bit words.
+constexpr std::array<uint64_t, 4> kL = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL,
+                                        0x0000000000000000ULL, 0x1000000000000000ULL};
+
+// Compare two 4-word little-endian numbers.
+int cmp4(const std::array<uint64_t, 4>& a, const std::array<uint64_t, 4>& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+// a -= b, assuming a >= b.
+void sub4(std::array<uint64_t, 4>& a, const std::array<uint64_t, 4>& b) {
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t bi = b[i] + borrow;
+    uint64_t nb = (bi < b[i]) || (a[i] < bi) ? 1 : 0;
+    a[i] -= bi;
+    borrow = nb;
+  }
+}
+
+// Reduce an 8-word (512-bit) little-endian number mod l by binary long
+// division: subtract l << i for i from high to low whenever it fits.
+std::array<uint64_t, 4> reduce_wide(std::array<uint64_t, 8> r) {
+  // l << i occupies bits [i, i+253). The value has at most 512 bits, so the
+  // largest useful shift is 512 - 253 = 259.
+  for (int shift = 259; shift >= 0; --shift) {
+    const int word = shift / 64;
+    const int bit = shift % 64;
+    // Build l << bit as 5 words.
+    uint64_t ls[5];
+    if (bit == 0) {
+      for (int i = 0; i < 4; ++i) ls[i] = kL[i];
+      ls[4] = 0;
+    } else {
+      ls[0] = kL[0] << bit;
+      for (int i = 1; i < 4; ++i) ls[i] = (kL[i] << bit) | (kL[i - 1] >> (64 - bit));
+      ls[4] = kL[3] >> (64 - bit);
+    }
+    // Compare r[word .. word+4] (and everything above, which must be zero
+    // for the subtraction to be allowed) against ls.
+    bool higher_nonzero = false;
+    for (int i = word + 5; i < 8; ++i) higher_nonzero |= (r[i] != 0);
+    if (higher_nonzero) continue;  // cannot happen after earlier shifts, but be safe
+    bool ge = true;
+    for (int i = 4; i >= 0; --i) {
+      uint64_t ri = (word + i < 8) ? r[word + i] : 0;
+      if (ri != ls[i]) {
+        ge = ri > ls[i];
+        break;
+      }
+    }
+    if (!ge) continue;
+    // r[word..] -= ls
+    uint64_t borrow = 0;
+    for (int i = 0; i < 5 && word + i < 8; ++i) {
+      uint64_t bi = ls[i] + borrow;
+      uint64_t nb = (bi < ls[i]) || (r[word + i] < bi) ? 1 : 0;
+      r[word + i] -= bi;
+      borrow = nb;
+    }
+    // No borrow can remain because we checked r >= ls at this offset.
+  }
+  return {r[0], r[1], r[2], r[3]};
+}
+
+}  // namespace
+
+Sc25519 Sc25519::from_u64(uint64_t x) {
+  Sc25519 r;
+  r.v_[0] = x;
+  return r;
+}
+
+Sc25519 Sc25519::from_bytes_mod_l(const uint8_t bytes[32]) {
+  std::array<uint64_t, 8> wide{};
+  std::memcpy(wide.data(), bytes, 32);
+  Sc25519 r;
+  r.v_ = reduce_wide(wide);
+  return r;
+}
+
+Sc25519 Sc25519::from_bytes_wide(const uint8_t bytes[64]) {
+  std::array<uint64_t, 8> wide;
+  std::memcpy(wide.data(), bytes, 64);
+  Sc25519 r;
+  r.v_ = reduce_wide(wide);
+  return r;
+}
+
+Sc25519 Sc25519::from_bytes_wide(BytesView bytes) {
+  if (bytes.size() < 64) throw std::invalid_argument("from_bytes_wide: need 64 bytes");
+  return from_bytes_wide(bytes.data());
+}
+
+void Sc25519::to_bytes(uint8_t out[32]) const { std::memcpy(out, v_.data(), 32); }
+
+Bytes Sc25519::to_bytes() const {
+  Bytes out(32);
+  to_bytes(out.data());
+  return out;
+}
+
+Sc25519 Sc25519::operator+(const Sc25519& o) const {
+  Sc25519 r;
+  uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t s = v_[i] + carry;
+    uint64_t c1 = s < carry ? 1 : 0;
+    r.v_[i] = s + o.v_[i];
+    carry = c1 + (r.v_[i] < s ? 1 : 0);
+  }
+  // Both inputs < l < 2^253, so the sum fits in 4 words (no carry out) and
+  // one conditional subtraction reduces it.
+  if (cmp4(r.v_, kL) >= 0) sub4(r.v_, kL);
+  return r;
+}
+
+Sc25519 Sc25519::operator-(const Sc25519& o) const {
+  Sc25519 r = *this;
+  if (cmp4(r.v_, o.v_) >= 0) {
+    sub4(r.v_, o.v_);
+  } else {
+    // r + l - o: add l first (fits: r < l so r + l < 2^254).
+    uint64_t carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      uint64_t s = r.v_[i] + kL[i] + carry;
+      carry = (s < r.v_[i] || (carry && s == r.v_[i])) ? 1 : 0;
+      r.v_[i] = s;
+    }
+    sub4(r.v_, o.v_);
+  }
+  return r;
+}
+
+Sc25519 Sc25519::negate() const { return Sc25519::zero() - *this; }
+
+Sc25519 Sc25519::operator*(const Sc25519& o) const {
+  std::array<uint64_t, 8> wide{};
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = (u128)v_[i] * o.v_[j] + wide[i + j] + carry;
+      wide[i + j] = (uint64_t)cur;
+      carry = cur >> 64;
+    }
+    wide[i + 4] = (uint64_t)carry;
+  }
+  Sc25519 r;
+  r.v_ = reduce_wide(wide);
+  return r;
+}
+
+Sc25519 Sc25519::invert() const {
+  // Exponent l - 2, little-endian bytes.
+  static const std::array<uint8_t, 32> kExp = [] {
+    std::array<uint8_t, 32> e{};
+    std::array<uint64_t, 4> lm2 = kL;
+    lm2[0] -= 2;  // no borrow: kL[0] ends in ...ed
+    std::memcpy(e.data(), lm2.data(), 32);
+    return e;
+  }();
+  Sc25519 result = Sc25519::one();
+  for (int i = 255; i >= 0; --i) {
+    result = result * result;
+    if ((kExp[i / 8] >> (i % 8)) & 1) result = result * *this;
+  }
+  return result;
+}
+
+bool Sc25519::is_zero() const { return v_[0] == 0 && v_[1] == 0 && v_[2] == 0 && v_[3] == 0; }
+
+}  // namespace icc::crypto

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the collision-resistant hash `H` of the paper (Section 2.1): block
+// hashes, message hashes, Merkle trees and the random-beacon output all go
+// through it. Incremental (init/update/final) and one-shot APIs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace icc::crypto {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(BytesView data);
+  Sha256& update(std::string_view data);
+
+  /// Finalize and return the digest. The object must not be reused after.
+  Sha256Digest digest();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(BytesView data);
+  static Sha256Digest hash(std::string_view data);
+
+ private:
+  void compress(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  uint64_t bit_len_ = 0;
+  size_t buffer_len_ = 0;
+};
+
+/// Digest as a Bytes vector (convenient for serialization).
+Bytes sha256(BytesView data);
+
+}  // namespace icc::crypto

@@ -1,0 +1,36 @@
+// SHA-512 (FIPS 180-4), implemented from scratch. Required by Ed25519
+// (RFC 8032 uses SHA-512 for key expansion and the Fiat–Shamir challenges).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace icc::crypto {
+
+using Sha512Digest = std::array<uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512();
+
+  Sha512& update(BytesView data);
+  Sha512& update(std::string_view data);
+
+  Sha512Digest digest();
+
+  static Sha512Digest hash(BytesView data);
+
+ private:
+  void compress(const uint8_t* block);
+
+  std::array<uint64_t, 8> state_;
+  std::array<uint8_t, 128> buffer_;
+  // Message length in bits; 64 bits of length is plenty for our inputs
+  // (FIPS allows 128, but 2^64 bits = 2 exabytes).
+  uint64_t bit_len_ = 0;
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace icc::crypto

@@ -1,0 +1,93 @@
+#include "gossip/gossip.hpp"
+
+namespace icc::gossip {
+
+bool GossipLayer::store(const Bytes& raw, Round round) {
+  Hash id = types::artifact_id(raw);
+  auto [it, inserted] = artifacts_.emplace(id, raw);
+  if (!inserted) return false;
+  artifact_round_.emplace(id, round);
+  pending_.erase(id);  // no longer waiting for it
+  return true;
+}
+
+types::AdvertMsg GossipLayer::advert_for(const Bytes& raw, Round round) const {
+  types::AdvertMsg m;
+  m.artifact_type = raw.empty() ? 0 : raw[0];
+  m.round = round;
+  m.artifact_id = types::artifact_id(raw);
+  m.size_hint = static_cast<uint32_t>(raw.size());
+  return m;
+}
+
+void GossipLayer::on_advert(sim::Context& ctx, sim::PartyIndex from,
+                            const types::AdvertMsg& msg) {
+  if (has(msg.artifact_id)) return;
+  Pending& p = pending_[msg.artifact_id];
+  p.round = msg.round;
+  for (sim::PartyIndex a : p.advertisers)
+    if (a == from) return;  // duplicate advert
+  p.advertisers.push_back(from);
+  if (p.request_scheduled) return;
+  p.request_scheduled = true;
+
+  // Jittered pull: by the time the request fires, more advertisers may be
+  // known, spreading load off the original proposer.
+  sim::Duration jitter =
+      config_.request_jitter > 0
+          ? static_cast<sim::Duration>(
+                ctx.rng().below(static_cast<uint64_t>(config_.request_jitter) + 1))
+          : 0;
+  sim::Context c = ctx;
+  Hash id = msg.artifact_id;
+  ctx.set_timer(jitter, [this, c, id]() mutable { try_request(c, id); });
+}
+
+void GossipLayer::try_request(sim::Context ctx, Hash id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // delivered (or pruned) meanwhile
+  Pending& p = it->second;
+  if (p.attempts >= config_.max_attempts || p.advertisers.empty()) return;
+  p.attempts++;
+
+  // Rotate through advertisers, starting from a random position on the
+  // first attempt so concurrent requesters pick different sources.
+  if (p.attempts == 1) {
+    p.next_advertiser = ctx.rng().below(p.advertisers.size());
+  }
+  sim::PartyIndex target = p.advertisers[p.next_advertiser % p.advertisers.size()];
+  p.next_advertiser++;
+
+  ctx.send(target, types::serialize_message(types::Message{types::RequestMsg{id}}));
+
+  // Retry against another advertiser if the artifact does not arrive.
+  sim::Context c = ctx;
+  ctx.set_timer(config_.request_timeout, [this, c, id]() mutable { try_request(c, id); });
+}
+
+void GossipLayer::on_request(sim::Context& ctx, sim::PartyIndex from,
+                             const types::RequestMsg& msg) {
+  auto it = artifacts_.find(msg.artifact_id);
+  if (it == artifacts_.end()) return;  // don't have it (or pruned)
+  ctx.send(from, it->second);
+}
+
+void GossipLayer::prune_below(Round round) {
+  for (auto it = artifact_round_.begin(); it != artifact_round_.end();) {
+    if (it->second < round) {
+      artifacts_.erase(it->first);
+      it = artifact_round_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.round < round) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace icc::gossip

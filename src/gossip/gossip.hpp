@@ -1,0 +1,92 @@
+// Peer-to-peer pull gossip for large artifacts (Protocol ICC1's sub-layer).
+//
+// Modeled on the Internet Computer's gossip network [17, 18]: small
+// consensus artifacts (signature shares, notarizations, beacon shares) are
+// pushed to all peers, while block-bearing artifacts are *advertised* by
+// hash and pulled on demand:
+//
+//   holder  --advert(id, round, size)-->  everyone
+//   peer    --request(id)------------->   one advertiser (jittered choice)
+//   holder  --artifact bytes---------->   the requester
+//   peer (now a holder) advertises too, becoming an alternative source.
+//
+// The jittered advertiser choice plus re-advertising is what removes the
+// leader bottleneck the paper discusses: the block body crosses the network
+// roughly once per party, with upload load spread over early receivers
+// rather than concentrated at the proposer. Requests that go unanswered
+// (corrupt holder) are retried against a different advertiser, preserving
+// the eventual-delivery guarantee the consensus layer assumes.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "types/messages.hpp"
+
+namespace icc::gossip {
+
+using types::Hash;
+using types::Round;
+
+struct GossipConfig {
+  /// Random delay before requesting an advertised artifact. Spreads requests
+  /// over advertisers that appear in the meantime.
+  sim::Duration request_jitter = sim::msec(20);
+  /// Re-request from a different advertiser if not delivered in time.
+  sim::Duration request_timeout = sim::msec(500);
+  int max_attempts = 6;
+  /// Artifacts up to this size are pushed whole (advert/pull adds two hops,
+  /// which only pays off for bodies that dominate the advert cost — the
+  /// Internet Computer's gossip behaves the same way).
+  size_t push_threshold = 4096;
+};
+
+class GossipLayer {
+ public:
+  GossipLayer(const GossipConfig& config, sim::PartyIndex self)
+      : config_(config), self_(self) {}
+
+  const GossipConfig& config() const { return config_; }
+
+  /// Record an artifact we hold (originated or received). Returns true if it
+  /// was new — the caller should then advertise it.
+  bool store(const Bytes& raw, Round round);
+
+  bool has(const Hash& id) const { return artifacts_.count(id) > 0; }
+
+  /// Build the advert message for an artifact we hold.
+  types::AdvertMsg advert_for(const Bytes& raw, Round round) const;
+
+  /// Peer announced an artifact. May schedule a pull.
+  void on_advert(sim::Context& ctx, sim::PartyIndex from, const types::AdvertMsg& msg);
+
+  /// Peer asked for an artifact; serve it if we hold it.
+  void on_request(sim::Context& ctx, sim::PartyIndex from, const types::RequestMsg& msg);
+
+  /// Drop artifact/pending state for rounds below `round`.
+  void prune_below(Round round);
+
+  // Introspection.
+  size_t stored_count() const { return artifacts_.size(); }
+
+ private:
+  void try_request(sim::Context ctx, Hash id);
+
+  struct Pending {
+    Round round = 0;
+    std::vector<sim::PartyIndex> advertisers;
+    size_t next_advertiser = 0;  // rotation cursor
+    bool request_scheduled = false;
+    int attempts = 0;
+  };
+
+  GossipConfig config_;
+  sim::PartyIndex self_;
+  std::unordered_map<Hash, Bytes, types::HashHasher> artifacts_;
+  std::unordered_map<Hash, Round, types::HashHasher> artifact_round_;
+  std::unordered_map<Hash, Pending, types::HashHasher> pending_;
+};
+
+}  // namespace icc::gossip

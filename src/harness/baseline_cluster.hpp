@@ -1,0 +1,165 @@
+// Harness for the baseline protocols, mirroring Cluster for ICC so benches
+// can compare like for like (same network models, same metrics).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "baselines/hotstuff.hpp"
+#include "baselines/pbft.hpp"
+#include "baselines/tendermint.hpp"
+#include "consensus/byzantine.hpp"
+#include "sim/simulation.hpp"
+
+namespace icc::harness {
+
+enum class BaselineKind { kHotStuff, kTendermint, kPbft };
+
+struct BaselineOptions {
+  BaselineKind kind = BaselineKind::kHotStuff;
+  size_t n = 4;
+  size_t t = 1;
+  uint64_t seed = 1;
+  sim::Duration delta_bnd = sim::msec(300);  ///< drives all protocol timeouts
+  size_t payload_size = 256;
+  bool record_payloads = true;
+  uint64_t max_height = 0;
+  std::function<std::unique_ptr<sim::DelayModel>(size_t n, uint64_t seed)> delay_model;
+  std::set<sim::PartyIndex> crashed;
+  /// PBFT only: per-party proposal throttling (the [15] attack).
+  std::map<sim::PartyIndex, sim::Duration> pbft_propose_delay;
+};
+
+class BaselineCluster {
+ public:
+  explicit BaselineCluster(const BaselineOptions& options) : options_(options) {
+    crypto_ = crypto::make_fast_provider(options.n, options.t, options.seed);
+    auto model = options.delay_model
+                     ? options.delay_model(options.n, options.seed)
+                     : std::make_unique<sim::FixedDelay>(sim::msec(10));
+    sim_ = std::make_unique<sim::Simulation>(options.n, std::move(model), options.seed);
+
+    auto payload = std::make_shared<consensus::FixedSizePayload>(options.payload_size);
+    auto on_commit = [this](types::PartyIndex self, const consensus::CommittedBlock& b) {
+      record_commit(self, b);
+    };
+    auto on_propose = [this](types::PartyIndex, uint64_t height, const types::Hash& h,
+                             sim::Time now) { proposed_[{height, h}] = now; };
+
+    parties_.assign(options.n, nullptr);
+    for (sim::PartyIndex i = 0; i < options.n; ++i) {
+      if (options.crashed.count(i)) {
+        sim_->network().set_process(i, std::make_unique<consensus::CrashParty>());
+        continue;
+      }
+      std::unique_ptr<baselines::BaselineParty> p;
+      switch (options.kind) {
+        case BaselineKind::kHotStuff: {
+          baselines::HotStuffConfig c;
+          c.crypto = crypto_.get();
+          c.payload = payload;
+          c.view_timeout = 4 * options.delta_bnd;
+          c.record_payloads = options.record_payloads;
+          c.max_view = options.max_height;
+          c.on_commit = on_commit;
+          c.on_propose = on_propose;
+          p = std::make_unique<baselines::HotStuffParty>(i, c);
+          break;
+        }
+        case BaselineKind::kTendermint: {
+          baselines::TendermintConfig c;
+          c.crypto = crypto_.get();
+          c.payload = payload;
+          c.timeout_propose = options.delta_bnd;
+          c.timeout_commit = options.delta_bnd;
+          c.record_payloads = options.record_payloads;
+          c.max_height = options.max_height;
+          c.on_commit = on_commit;
+          c.on_propose = on_propose;
+          p = std::make_unique<baselines::TendermintParty>(i, c);
+          break;
+        }
+        case BaselineKind::kPbft: {
+          baselines::PbftConfig c;
+          c.crypto = crypto_.get();
+          c.payload = payload;
+          c.view_timeout = 4 * options.delta_bnd;
+          if (auto it = options.pbft_propose_delay.find(i);
+              it != options.pbft_propose_delay.end()) {
+            c.propose_delay = it->second;
+          }
+          c.record_payloads = options.record_payloads;
+          c.max_seq = options.max_height;
+          c.on_commit = on_commit;
+          c.on_propose = on_propose;
+          p = std::make_unique<baselines::PbftParty>(i, c);
+          break;
+        }
+      }
+      parties_[i] = p.get();
+      sim_->network().set_process(i, std::move(p));
+    }
+    honest_count_ = options.n - options.crashed.size();
+    sim_->start();
+  }
+
+  void run_for(sim::Duration d) { sim_->run_until(sim_->engine().now() + d); }
+
+  sim::Simulation& sim() { return *sim_; }
+  baselines::BaselineParty* party(size_t i) const { return parties_[i]; }
+
+  size_t min_honest_committed() const {
+    size_t m = SIZE_MAX;
+    for (auto* p : parties_)
+      if (p) m = std::min(m, p->committed().size());
+    return m == SIZE_MAX ? 0 : m;
+  }
+
+  /// Prefix-compatibility of outputs across live parties.
+  bool outputs_consistent() const {
+    const baselines::BaselineParty* ref = nullptr;
+    for (auto* p : parties_) {
+      if (!p) continue;
+      if (!ref) {
+        ref = p;
+        continue;
+      }
+      const auto& a = ref->committed();
+      const auto& b = p->committed();
+      for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+        if (!(a[i].hash == b[i].hash)) return false;
+      }
+    }
+    return true;
+  }
+
+  double avg_latency_ms() const {
+    if (latencies_.empty()) return 0.0;
+    double s = 0;
+    for (auto d : latencies_) s += sim::to_ms(d);
+    return s / static_cast<double>(latencies_.size());
+  }
+  const std::vector<sim::Duration>& latencies() const { return latencies_; }
+
+ private:
+  void record_commit(types::PartyIndex, const consensus::CommittedBlock& b) {
+    auto& count = commit_count_[{b.round, b.hash}];
+    count++;
+    if (count == honest_count_) {
+      auto it = proposed_.find({b.round, b.hash});
+      if (it != proposed_.end()) latencies_.push_back(b.committed_at - it->second);
+    }
+  }
+
+  BaselineOptions options_;
+  std::unique_ptr<crypto::CryptoProvider> crypto_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::vector<baselines::BaselineParty*> parties_;
+  size_t honest_count_ = 0;
+  std::map<std::pair<uint64_t, types::Hash>, sim::Time> proposed_;
+  std::map<std::pair<uint64_t, types::Hash>, size_t> commit_count_;
+  std::vector<sim::Duration> latencies_;
+};
+
+}  // namespace icc::harness

@@ -1,0 +1,213 @@
+#include "harness/cluster.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "consensus/icc1.hpp"
+#include "consensus/icc2.hpp"
+
+namespace icc::harness {
+
+using consensus::ByzantineParty;
+using consensus::CrashParty;
+using consensus::Icc0Party;
+using consensus::PartyConfig;
+
+Cluster::Cluster(const ClusterOptions& options) : options_(options) {
+  crypto_ = options.crypto == CryptoKind::kReal
+                ? crypto::make_real_provider(options.n, options.t, options.seed)
+                : crypto::make_fast_provider(options.n, options.t, options.seed);
+
+  auto model = options.delay_model
+                   ? options.delay_model(options.n, options.seed)
+                   : std::make_unique<sim::FixedDelay>(sim::msec(10));
+  sim_ = std::make_unique<sim::Simulation>(options.n, std::move(model), options.seed);
+
+  PartyConfig pc;
+  pc.crypto = crypto_.get();
+  pc.delays.delta_bnd = options.delta_bnd;
+  pc.delays.epsilon = options.epsilon;
+  pc.payload = std::make_shared<consensus::FixedSizePayload>(options.payload_size);
+  pc.record_payloads = options.record_payloads;
+  pc.prune_lag = options.prune_lag;
+  pc.max_round = options.max_round;
+  pc.cup_interval = options.cup_interval;
+  pc.lag_threshold = options.lag_threshold;
+  pc.adaptive = options.adaptive;
+  pc.on_commit = [this](sim::PartyIndex self, const CommittedBlock& b) {
+    record_commit(self, b);
+  };
+  pc.on_propose = [this](sim::PartyIndex self, Round round, const types::Hash& hash,
+                         sim::Time now) { record_propose(self, round, hash, now); };
+
+  parties_.assign(options.n, nullptr);
+  honest_.assign(options.n, true);
+
+  std::map<sim::PartyIndex, CorruptBehavior> corrupt(options.corrupt.begin(),
+                                                     options.corrupt.end());
+  for (sim::PartyIndex i = 0; i < options.n; ++i) {
+    if (options.payload_factory) pc.payload = options.payload_factory(i);
+    auto it = corrupt.find(i);
+    std::unique_ptr<sim::Process> proc;
+    if (options.custom_process && (proc = options.custom_process(i))) {
+      honest_[i] = false;
+      sim_->network().set_process(i, std::move(proc));
+      continue;
+    }
+    if (it == corrupt.end()) {
+      std::unique_ptr<Icc0Party> p;
+      switch (options.protocol) {
+        case Protocol::kIcc0:
+          p = std::make_unique<Icc0Party>(i, pc);
+          break;
+        case Protocol::kIcc1:
+          p = std::make_unique<consensus::Icc1Party>(i, pc, options.gossip);
+          break;
+        case Protocol::kIcc2:
+          p = std::make_unique<consensus::Icc2Party>(i, pc);
+          break;
+      }
+      parties_[i] = p.get();
+      proc = std::move(p);
+    } else if (std::holds_alternative<Crashed>(it->second)) {
+      honest_[i] = false;
+      proc = std::make_unique<CrashParty>();
+    } else {
+      honest_[i] = false;
+      auto p = std::make_unique<ByzantineParty>(
+          i, pc, std::get<consensus::ByzantineBehavior>(it->second));
+      parties_[i] = p.get();
+      proc = std::move(p);
+    }
+    sim_->network().set_process(i, std::move(proc));
+  }
+  honest_count_ = static_cast<size_t>(std::count(honest_.begin(), honest_.end(), true));
+  sim_->start();
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::run_for(sim::Duration d) { sim_->run_until(sim_->engine().now() + d); }
+void Cluster::run_until(sim::Time t) { sim_->run_until(t); }
+
+void Cluster::record_propose(sim::PartyIndex, Round round, const types::Hash& hash,
+                             sim::Time now) {
+  pending_latency_[{round, hash}].proposed_at = now;
+}
+
+void Cluster::record_commit(sim::PartyIndex self, const CommittedBlock& block) {
+  if (!honest_[self]) return;
+  auto& pending = pending_latency_[{block.round, block.hash}];
+  pending.commits++;
+  if (pending.commits == honest_count_ && pending.proposed_at >= 0) {
+    latencies_.push_back(LatencySample{block.round, block.committed_at - pending.proposed_at});
+  }
+  if (options_.on_commit) options_.on_commit(self, block);
+}
+
+std::optional<std::string> Cluster::check_safety() const {
+  // Each round commits exactly one block, so outputs are aligned by round:
+  // every party's committed rounds are strictly increasing, and any two
+  // parties agree on the block of every round they both committed. (A party
+  // that state-synced via a catch-up package starts its history at the
+  // checkpoint round instead of round 1 — prefix equality by index would be
+  // too strict, round alignment is the invariant the paper guarantees.)
+  std::map<Round, std::pair<types::Hash, size_t>> by_round;  // hash + first committer
+  for (size_t i = 0; i < parties_.size(); ++i) {
+    if (!honest_[i] || !parties_[i]) continue;
+    const auto& out = parties_[i]->committed();
+    Round prev = 0;
+    bool first = true;
+    for (const auto& blk : out) {
+      if (!first && blk.round <= prev) {
+        std::ostringstream os;
+        os << "party " << i << " committed round " << blk.round
+           << " out of order (after round " << prev << ")";
+        return os.str();
+      }
+      prev = blk.round;
+      first = false;
+      auto [it, inserted] = by_round.emplace(blk.round, std::make_pair(blk.hash, i));
+      if (!inserted && it->second.first != blk.hash) {
+        std::ostringstream os;
+        os << "safety violation at round " << blk.round << ": party " << i
+           << " and party " << it->second.second << " committed different blocks";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Cluster::check_p2() const {
+  const Round max_round = static_cast<Round>(max_honest_round());
+  for (Round k = 1; k <= max_round; ++k) {
+    std::set<types::Hash> notarized, finalized;
+    for (size_t i = 0; i < parties_.size(); ++i) {
+      if (!honest_[i] || !parties_[i]) continue;
+      const auto& pool = parties_[i]->pool();
+      for (const auto& h : pool.notarized_blocks_at(k)) {
+        notarized.insert(h);
+        if (pool.finalization_for(h) != nullptr) finalized.insert(h);
+      }
+    }
+    if (!finalized.empty() && notarized.size() > 1) {
+      std::ostringstream os;
+      os << "P2 violation at round " << k << ": " << finalized.size()
+         << " finalized, " << notarized.size() << " notarized blocks";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Cluster::check_progress(Round round) const {
+  for (size_t i = 0; i < parties_.size(); ++i) {
+    if (!honest_[i] || !parties_[i]) continue;
+    if (parties_[i]->current_round() < round) {
+      std::ostringstream os;
+      os << "party " << i << " only reached round " << parties_[i]->current_round()
+         << " (expected >= " << round << ")";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+size_t Cluster::min_honest_committed() const {
+  size_t m = SIZE_MAX;
+  for (size_t i = 0; i < parties_.size(); ++i) {
+    if (!honest_[i] || !parties_[i]) continue;
+    m = std::min(m, parties_[i]->committed().size());
+  }
+  return m == SIZE_MAX ? 0 : m;
+}
+
+size_t Cluster::max_honest_round() const {
+  size_t m = 0;
+  for (size_t i = 0; i < parties_.size(); ++i) {
+    if (!honest_[i] || !parties_[i]) continue;
+    m = std::max(m, static_cast<size_t>(parties_[i]->current_round()));
+  }
+  return m;
+}
+
+double Cluster::avg_latency_ms() const {
+  if (latencies_.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& s : latencies_) sum += sim::to_ms(s.propose_to_commit);
+  return sum / static_cast<double>(latencies_.size());
+}
+
+double Cluster::blocks_per_second(sim::Duration window) const {
+  for (size_t i = 0; i < parties_.size(); ++i) {
+    if (honest_[i] && parties_[i]) {
+      return static_cast<double>(parties_[i]->committed().size()) / sim::to_sec(window);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace icc::harness

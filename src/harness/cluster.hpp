@@ -1,0 +1,139 @@
+// Experiment harness: wire up n parties (honest / Byzantine / crashed) over
+// a simulated network, run, and check the paper's invariants.
+//
+// Used by the integration tests, every bench binary and the examples, so
+// that each experiment differs only in its declarative ClusterOptions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "consensus/byzantine.hpp"
+#include "consensus/icc0.hpp"
+#include "gossip/gossip.hpp"
+#include "sim/simulation.hpp"
+
+namespace icc::harness {
+
+using consensus::CommittedBlock;
+using consensus::Round;
+
+enum class Protocol { kIcc0, kIcc1, kIcc2 };
+enum class CryptoKind { kFast, kReal };
+
+/// What a corrupt slot does.
+struct Crashed {};
+using CorruptBehavior = std::variant<Crashed, consensus::ByzantineBehavior>;
+
+struct ClusterOptions {
+  size_t n = 4;
+  size_t t = 1;  ///< corruption bound used for thresholds (t < n/3)
+  Protocol protocol = Protocol::kIcc0;
+  CryptoKind crypto = CryptoKind::kFast;
+  uint64_t seed = 1;
+
+  sim::Duration delta_bnd = sim::msec(300);
+  sim::Duration epsilon = sim::msec(0);
+  size_t payload_size = 256;
+  bool record_payloads = true;
+  Round max_round = 0;
+  Round prune_lag = 16;
+  Round cup_interval = 0;   ///< catch-up packages; 0 disables
+  Round lag_threshold = 8;  ///< rounds behind before a party requests a CUP
+  consensus::PartyConfig::AdaptiveDelays adaptive;
+
+  /// Network model factory; defaults to FixedDelay(10 ms).
+  std::function<std::unique_ptr<sim::DelayModel>(size_t n, uint64_t seed)> delay_model;
+
+  /// Gossip sub-layer tuning (ICC1 only).
+  gossip::GossipConfig gossip;
+
+  /// Corrupt slots: party index -> behaviour. Must have size <= t to match
+  /// the protocol's fault assumption (not enforced — some experiments probe
+  /// beyond-threshold behaviour deliberately).
+  std::vector<std::pair<sim::PartyIndex, CorruptBehavior>> corrupt;
+
+  /// Extra per-commit callback (e.g. benchmark statistics).
+  std::function<void(sim::PartyIndex, const CommittedBlock&)> on_commit;
+
+  /// Per-party payload builder (e.g. an smr::CommandQueue). Defaults to
+  /// FixedSizePayload(payload_size).
+  std::function<std::shared_ptr<consensus::PayloadBuilder>(sim::PartyIndex)>
+      payload_factory;
+
+  /// Fully custom process for a slot (returns nullptr to fall through to the
+  /// normal honest/corrupt wiring). Lets tests inject arbitrary adversaries.
+  std::function<std::unique_ptr<sim::Process>(sim::PartyIndex)> custom_process;
+};
+
+struct LatencySample {
+  Round round;
+  sim::Duration propose_to_commit;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+  ~Cluster();
+
+  void run_for(sim::Duration d);
+  void run_until(sim::Time t);
+
+  sim::Simulation& sim() { return *sim_; }
+  crypto::CryptoProvider& crypto() { return *crypto_; }
+
+  /// Honest party handles (null entries for corrupt slots implemented as
+  /// CrashParty; Byzantine slots still expose their Icc0Party view).
+  const std::vector<consensus::Icc0Party*>& parties() const { return parties_; }
+  consensus::Icc0Party* party(size_t i) const { return parties_[i]; }
+  bool is_honest(size_t i) const { return honest_[i]; }
+
+  // --- invariants (paper Section 3.3 / Section 4) ---
+
+  /// Safety: every pair of parties' outputs are prefix-compatible.
+  /// Returns nullopt on success, a description on violation.
+  std::optional<std::string> check_safety() const;
+
+  /// Property P2: if any party holds a finalized round-k block, no party
+  /// holds a different notarized round-k block.
+  std::optional<std::string> check_p2() const;
+
+  /// Property P1 (deadlock-freeness) proxy: every honest party reached at
+  /// least `round` by now.
+  std::optional<std::string> check_progress(Round round) const;
+
+  // --- statistics ---
+  size_t min_honest_committed() const;
+  size_t max_honest_round() const;
+  /// Commit latencies (proposal broadcast -> every honest party committed).
+  const std::vector<LatencySample>& latencies() const { return latencies_; }
+  double avg_latency_ms() const;
+  /// Committed blocks per second of virtual time across the run, measured on
+  /// the first honest party.
+  double blocks_per_second(sim::Duration window) const;
+
+ private:
+  void record_propose(sim::PartyIndex self, Round round, const types::Hash& hash,
+                      sim::Time now);
+  void record_commit(sim::PartyIndex self, const CommittedBlock& block);
+
+  ClusterOptions options_;
+  std::unique_ptr<crypto::CryptoProvider> crypto_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::vector<consensus::Icc0Party*> parties_;
+  std::vector<bool> honest_;
+  size_t honest_count_ = 0;
+
+  struct PendingLatency {
+    sim::Time proposed_at = -1;
+    size_t commits = 0;
+  };
+  std::map<std::pair<Round, types::Hash>, PendingLatency> pending_latency_;
+  std::vector<LatencySample> latencies_;
+};
+
+}  // namespace icc::harness

@@ -1,0 +1,57 @@
+// Small descriptive-statistics helpers for benches and tools.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace icc::harness {
+
+class Summary {
+ public:
+  void add(double v) { values_.push_back(v); }
+  template <typename It>
+  void add(It begin, It end) {
+    for (auto it = begin; it != end; ++it) add(static_cast<double>(*it));
+  }
+
+  size_t count() const { return values_.size(); }
+
+  double mean() const {
+    if (values_.empty()) return 0;
+    double s = 0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+
+  double stddev() const {
+    if (values_.size() < 2) return 0;
+    double m = mean(), s = 0;
+    for (double v : values_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(values_.size() - 1));
+  }
+
+  /// q in [0, 1]; nearest-rank on a sorted copy.
+  double percentile(double q) const {
+    if (values_.empty()) return 0;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    double idx = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  }
+
+  double min() const {
+    return values_.empty() ? 0 : *std::min_element(values_.begin(), values_.end());
+  }
+  double max() const {
+    return values_.empty() ? 0 : *std::max_element(values_.begin(), values_.end());
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace icc::harness

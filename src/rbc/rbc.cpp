@@ -1,0 +1,166 @@
+#include "rbc/rbc.hpp"
+
+#include <algorithm>
+
+namespace icc::rbc {
+
+RbcLayer::RbcLayer(crypto::CryptoProvider& crypto, sim::PartyIndex self,
+                   std::function<void(sim::Context&, const Bytes&)> deliver)
+    : crypto_(&crypto),
+      self_(self),
+      n_(crypto.n()),
+      k_(crypto.n() - 2 * crypto.t() > 0 ? crypto.n() - 2 * crypto.t() : 1),
+      deliver_(std::move(deliver)) {}
+
+types::RbcFragmentMsg RbcLayer::make_fragment(const Dispersal& d, uint32_t index,
+                                              const codec::Fragment& frag,
+                                              const codec::MerkleTree& tree) const {
+  types::RbcFragmentMsg m;
+  m.round = d.round;
+  m.proposer = d.proposer;
+  m.block_hash = d.block_hash;
+  m.merkle_root = d.merkle_root;
+  m.block_len = d.block_len;
+  m.fragment_index = index;
+  m.fragment = frag.data;
+  m.merkle_proof = tree.prove(index).serialize();
+  m.authenticator = d.authenticator;
+  m.parent_notarization = d.parent_notarization;
+  return m;
+}
+
+void RbcLayer::broadcast_block(sim::Context& ctx, const types::ProposalMsg& proposal) {
+  const Bytes data = types::serialize_message(types::Message{proposal});
+  const Hash block_hash = proposal.block.hash();
+
+  codec::ReedSolomon rs(k_, n_);
+  auto fragments = rs.encode(data);
+  std::vector<Bytes> leaves;
+  leaves.reserve(n_);
+  for (const auto& f : fragments) leaves.push_back(f.data);
+  codec::MerkleTree tree(leaves);
+
+  Dispersal d;
+  d.round = proposal.block.round;
+  d.proposer = proposal.block.proposer;
+  d.block_hash = block_hash;
+  d.merkle_root = tree.root();
+  d.block_len = static_cast<uint32_t>(data.size());
+  d.authenticator = proposal.authenticator;
+  d.parent_notarization = proposal.parent_notarization;
+
+  for (uint32_t i = 0; i < n_; ++i) {
+    types::RbcFragmentMsg m = make_fragment(d, i, fragments[i], tree);
+    if (i == self_) {
+      // Handle our own fragment like a received one: registers the
+      // dispersal and broadcasts the echo.
+      on_fragment(ctx, m);
+    } else {
+      ctx.send(i, types::serialize_message(types::Message{m}));
+    }
+  }
+}
+
+void RbcLayer::on_fragment(sim::Context& ctx, const types::RbcFragmentMsg& msg) {
+  if (msg.proposer >= n_ || msg.fragment_index >= n_ || msg.round < 1) return;
+
+  // The authenticator binds (round, proposer, block_hash): fragments that
+  // are not rooted in a real proposal by `proposer` are dropped here, so
+  // third parties cannot fabricate dispersals in someone else's name.
+  if (!crypto_->verify(msg.proposer,
+                       types::authenticator_message(msg.round, msg.proposer, msg.block_hash),
+                       msg.authenticator)) {
+    return;
+  }
+
+  // Fragment must be committed under the claimed Merkle root.
+  auto proof = codec::MerkleProof::deserialize(msg.merkle_proof);
+  if (!proof || proof->leaf_index != msg.fragment_index) return;
+  if (!codec::MerkleTree::verify(msg.merkle_root, n_, msg.fragment, *proof)) return;
+
+  auto key = std::make_pair(msg.block_hash, msg.merkle_root);
+  Dispersal& d = dispersals_[key];
+  if (d.done) return;
+  if (d.fragments.empty()) {
+    d.round = msg.round;
+    d.proposer = msg.proposer;
+    d.block_hash = msg.block_hash;
+    d.merkle_root = msg.merkle_root;
+    d.block_len = msg.block_len;
+    d.authenticator = msg.authenticator;
+    d.parent_notarization = msg.parent_notarization;
+  } else if (d.round != msg.round || d.proposer != msg.proposer ||
+             d.block_len != msg.block_len) {
+    return;  // inconsistent metadata under the same commitment
+  }
+  if (!d.fragments.emplace(msg.fragment_index, msg).second) return;
+
+  // Echo our own fragment to everyone the first time we see it.
+  if (msg.fragment_index == self_ && !d.own_echoed) {
+    d.own_echoed = true;
+    ctx.broadcast(types::serialize_message(types::Message{msg}));
+  }
+
+  if (d.fragments.size() >= k_) try_reconstruct(ctx, d);
+}
+
+void RbcLayer::try_reconstruct(sim::Context& ctx, Dispersal& d) {
+  std::vector<codec::Fragment> frags;
+  frags.reserve(d.fragments.size());
+  for (const auto& [idx, m] : d.fragments) frags.push_back({idx, m.fragment});
+
+  codec::ReedSolomon rs(k_, n_);
+  auto data = rs.decode(frags, d.block_len);
+  if (!data) return;
+
+  // Dispersal-consistency check: re-encode and verify the commitment. A
+  // corrupt proposer whose fragments don't lie on one degree-(k-1)
+  // polynomial is detected here, and — because the root pins all fragments —
+  // detected identically by every honest party.
+  auto reencoded = rs.encode(*data);
+  std::vector<Bytes> leaves;
+  leaves.reserve(n_);
+  for (const auto& f : reencoded) leaves.push_back(f.data);
+  codec::MerkleTree tree(leaves);
+  if (!(tree.root() == d.merkle_root)) {
+    d.done = true;  // provably malformed; ignore forever
+    return;
+  }
+
+  // The payload must be the proposal it claims to be.
+  auto parsed = types::parse_message(*data);
+  if (!parsed || !std::holds_alternative<types::ProposalMsg>(*parsed)) {
+    d.done = true;
+    return;
+  }
+  const auto& proposal = std::get<types::ProposalMsg>(*parsed);
+  if (proposal.block.round != d.round || proposal.block.proposer != d.proposer ||
+      !(proposal.block.hash() == d.block_hash)) {
+    d.done = true;
+    return;
+  }
+
+  // Totality: if the proposer never sent us our fragment, derive it from the
+  // re-encoding and echo it so lagging parties can reconstruct too.
+  if (!d.own_echoed) {
+    d.own_echoed = true;
+    types::RbcFragmentMsg mine = make_fragment(d, self_, reencoded[self_], tree);
+    ctx.broadcast(types::serialize_message(types::Message{mine}));
+  }
+
+  d.done = true;
+  d.fragments.clear();  // free fragment memory; the proposal is delivered
+  deliver_(ctx, *data);
+}
+
+void RbcLayer::prune_below(Round round) {
+  for (auto it = dispersals_.begin(); it != dispersals_.end();) {
+    if (it->second.round < round) {
+      it = dispersals_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace icc::rbc

@@ -1,0 +1,49 @@
+#include "sim/engine.hpp"
+
+namespace icc::sim {
+
+EventId Engine::schedule_at(Time at, EventFn fn) {
+  if (at < now_) at = now_;
+  EventId id = next_id_++;
+  if (callbacks_.size() <= id) callbacks_.resize(id + 1);
+  callbacks_[id] = std::move(fn);
+  queue_.push(Event{at, id});
+  return id;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      callbacks_[ev.id] = nullptr;
+      continue;
+    }
+    now_ = ev.at;
+    EventFn fn = std::move(callbacks_[ev.id]);
+    callbacks_[ev.id] = nullptr;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    // Peek past cancelled events without running anything.
+    Event ev = queue_.top();
+    if (cancelled_.count(ev.id)) {
+      queue_.pop();
+      cancelled_.erase(ev.id);
+      callbacks_[ev.id] = nullptr;
+      continue;
+    }
+    if (ev.at > deadline) break;
+    step();
+  }
+  if (now_ < deadline && deadline != kTimeMax) now_ = deadline;
+}
+
+}  // namespace icc::sim

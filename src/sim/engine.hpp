@@ -1,0 +1,70 @@
+// Deterministic discrete-event engine.
+//
+// A single-threaded event loop over a priority queue of (time, sequence,
+// callback). Ties in time are broken by insertion order, which makes every
+// run with the same seed and inputs bit-identical — the foundation for the
+// reproducibility of every experiment in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace icc::sim {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+class Engine {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (clamped to now()).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(Time at, EventFn fn);
+
+  /// Schedule `fn` after a relative delay.
+  EventId schedule_after(Duration delay, EventFn fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op (timers race with the events that obsolete them).
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Run a single event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or virtual time would exceed `deadline`.
+  /// Events scheduled at exactly `deadline` still run.
+  void run_until(Time deadline);
+
+  /// Run until the queue drains.
+  void run() { run_until(kTimeMax); }
+
+  /// Number of queued events (cancelled-but-not-yet-reaped events included).
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    EventId id;
+    // Ordering for std::priority_queue (max-heap): invert.
+    bool operator<(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event> queue_;
+  std::vector<EventFn> callbacks_;  // indexed by id (grow-only)
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace icc::sim

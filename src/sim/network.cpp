@@ -1,0 +1,182 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icc::sim {
+
+// ---------------------------------------------------------------------------
+// Delay models
+// ---------------------------------------------------------------------------
+
+UniformDelay::UniformDelay(Duration min, Duration max, double bandwidth_bytes_per_us)
+    : min_(min), max_(max), bandwidth_(bandwidth_bytes_per_us) {
+  if (min < 0 || max < min) throw std::invalid_argument("UniformDelay: bad range");
+}
+
+Duration UniformDelay::delay(PartyIndex, PartyIndex, Time, size_t bytes, Xoshiro256& rng) {
+  Duration base = min_ + static_cast<Duration>(rng.below(static_cast<uint64_t>(max_ - min_) + 1));
+  return base + static_cast<Duration>(static_cast<double>(bytes) / bandwidth_);
+}
+
+WanDelay::WanDelay(const Config& config) : config_(config) {
+  Xoshiro256 rng(config.seed);
+  base_.assign(config.n, std::vector<Duration>(config.n, 0));
+  for (size_t i = 0; i < config.n; ++i) {
+    for (size_t j = i + 1; j < config.n; ++j) {
+      Duration d = config.min_base +
+                   static_cast<Duration>(rng.below(
+                       static_cast<uint64_t>(config.max_base - config.min_base) + 1));
+      base_[i][j] = base_[j][i] = d;
+    }
+  }
+}
+
+Duration WanDelay::delay(PartyIndex from, PartyIndex to, Time, size_t bytes,
+                         Xoshiro256& rng) {
+  Duration d = base_[from][to];
+  if (config_.jitter > 0)
+    d += static_cast<Duration>(rng.below(static_cast<uint64_t>(config_.jitter) + 1));
+  d += static_cast<Duration>(static_cast<double>(bytes) / config_.bandwidth_bytes_per_us);
+  // Loss -> transport retransmission after one RTT.
+  while (rng.unit() < config_.loss_probability) d += 2 * base_[from][to] + msec(10);
+  return d;
+}
+
+Duration WanDelay::max_base() const {
+  Duration m = 0;
+  for (const auto& row : base_)
+    for (Duration d : row) m = std::max(m, d);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// SynchronySchedule
+// ---------------------------------------------------------------------------
+
+void SynchronySchedule::add_async_window(Time start, Time end) {
+  if (end <= start) throw std::invalid_argument("async window: end <= start");
+  windows_.emplace_back(start, end);
+}
+
+Time SynchronySchedule::release_time(Time sent) const {
+  Time release = sent;
+  // Windows may chain (message released into a later window gets held again).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [a, b] : windows_) {
+      if (release >= a && release < b) {
+        release = b;
+        changed = true;
+      }
+    }
+  }
+  return release;
+}
+
+bool SynchronySchedule::is_async_at(Time t) const {
+  for (const auto& [a, b] : windows_)
+    if (t >= a && t < b) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+Time Context::now() const { return net_->engine().now(); }
+size_t Context::n() const { return net_->n(); }
+void Context::broadcast(Bytes payload) { net_->broadcast(self_, std::move(payload)); }
+void Context::send(PartyIndex to, Bytes payload) { net_->send(self_, to, std::move(payload)); }
+
+EventId Context::set_timer(Duration delay, std::function<void()> fn) {
+  return net_->engine().schedule_after(delay, std::move(fn));
+}
+
+void Context::cancel_timer(EventId id) { net_->engine().cancel(id); }
+
+Xoshiro256& Context::rng() { return net_->rng(self_); }
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+void NetworkMetrics::reset() {
+  std::fill(messages_sent.begin(), messages_sent.end(), 0);
+  std::fill(bytes_sent.begin(), bytes_sent.end(), 0);
+  total_messages = 0;
+  total_bytes = 0;
+}
+
+uint64_t NetworkMetrics::max_bytes_sent() const {
+  uint64_t m = 0;
+  for (uint64_t b : bytes_sent) m = std::max(m, b);
+  return m;
+}
+
+Network::Network(Engine& engine, size_t n, std::unique_ptr<DelayModel> model, uint64_t seed)
+    : engine_(&engine), model_(std::move(model)), net_rng_(seed ^ 0x5eedf00dULL) {
+  processes_.resize(n);
+  Xoshiro256 root(seed);
+  contexts_.reserve(n);
+  rngs_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    contexts_.emplace_back(*this, static_cast<PartyIndex>(i));
+    rngs_.push_back(root.fork(i));
+  }
+  metrics_.messages_sent.assign(n, 0);
+  metrics_.bytes_sent.assign(n, 0);
+}
+
+void Network::set_process(PartyIndex i, std::unique_ptr<Process> p) {
+  processes_.at(i) = std::move(p);
+}
+
+void Network::start_all() {
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    if (!processes_[i]) throw std::logic_error("Network: process not set");
+    processes_[i]->start(contexts_[i]);
+  }
+}
+
+void Network::deliver(PartyIndex from, PartyIndex to,
+                      const std::shared_ptr<const Bytes>& payload) {
+  const Time now = engine_->now();
+  const size_t wire = payload->size() + frame_overhead_;
+  metrics_.messages_sent[from]++;
+  metrics_.bytes_sent[from] += wire;
+  metrics_.total_messages++;
+  metrics_.total_bytes += wire;
+
+  Duration d = model_->delay(from, to, now, wire, net_rng_);
+  Time arrive = std::max(now + d, synchrony_.release_time(now));
+  engine_->schedule_at(arrive, [this, from, to, payload] {
+    processes_[to]->receive(contexts_[to], from, *payload);
+  });
+}
+
+void Network::broadcast(PartyIndex from, Bytes payload) {
+  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  // Self-delivery: immediate, free (own pool).
+  engine_->schedule_after(0, [this, from, shared] {
+    processes_[from]->receive(contexts_[from], from, *shared);
+  });
+  for (PartyIndex to = 0; to < processes_.size(); ++to) {
+    if (to == from) continue;
+    deliver(from, to, shared);
+  }
+}
+
+void Network::send(PartyIndex from, PartyIndex to, Bytes payload) {
+  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  if (to == from) {
+    engine_->schedule_after(0, [this, from, shared] {
+      processes_[from]->receive(contexts_[from], from, *shared);
+    });
+    return;
+  }
+  deliver(from, to, shared);
+}
+
+}  // namespace icc::sim

@@ -1,0 +1,238 @@
+// Simulated networks: delay models, partial synchrony, adversarial control.
+//
+// The paper's model (Section 1/3.1): the only communication primitive is an
+// unauthenticated broadcast ("send the same message to all parties"), message
+// scheduling is adversary-controlled, and every message between honest
+// parties is eventually delivered. Liveness additionally needs
+// delta-synchrony over short windows (Section 4, Definition). This module
+// provides:
+//   * DelayModel        — pluggable per-link latency (uniform, WAN matrix);
+//   * Synchronyschedule — async windows during which delivery stalls until
+//                         the window closes (the adversary "holds" traffic);
+//   * Network           — delivery, per-party byte/message accounting, and
+//                         per-recipient sends so *corrupt* parties can
+//                         equivocate (honest code only ever broadcasts).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace icc::sim {
+
+using PartyIndex = uint32_t;
+
+// ---------------------------------------------------------------------------
+// Delay models
+// ---------------------------------------------------------------------------
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// One-way delivery delay for `bytes` from `from` to `to` at time `now`.
+  virtual Duration delay(PartyIndex from, PartyIndex to, Time now, size_t bytes,
+                         Xoshiro256& rng) = 0;
+};
+
+/// Uniform random delay in [min, max], plus transmission time bytes/bandwidth.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Duration min, Duration max, double bandwidth_bytes_per_us = 125.0);
+  Duration delay(PartyIndex from, PartyIndex to, Time now, size_t bytes,
+                 Xoshiro256& rng) override;
+
+ private:
+  Duration min_, max_;
+  double bandwidth_;
+};
+
+/// WAN model: a fixed per-pair base latency matrix sampled once (uniform in
+/// [min_base, max_base], symmetric), small per-message jitter, loss modeled
+/// as a retransmission delay (paper Section 5: ping RTT 6-110 ms, loss
+/// < 0.001 — lost packets are retransmitted by the transport, so they arrive
+/// late rather than never, preserving eventual delivery).
+class WanDelay final : public DelayModel {
+ public:
+  struct Config {
+    size_t n = 4;
+    Duration min_base = msec(3);   ///< one-way, = RTT 6 ms / 2
+    Duration max_base = msec(55);  ///< one-way, = RTT 110 ms / 2
+    Duration jitter = msec(1);
+    double loss_probability = 0.0005;
+    double bandwidth_bytes_per_us = 125.0;  ///< 1 Gbit/s
+    uint64_t seed = 1;
+  };
+
+  explicit WanDelay(const Config& config);
+  Duration delay(PartyIndex from, PartyIndex to, Time now, size_t bytes,
+                 Xoshiro256& rng) override;
+
+  Duration base(PartyIndex from, PartyIndex to) const { return base_[from][to]; }
+  Duration max_base() const;
+
+ private:
+  Config config_;
+  std::vector<std::vector<Duration>> base_;
+};
+
+/// Fixed delay for every link (handy for analytic latency experiments where
+/// the paper's 2-delta / 3-delta claims should reproduce exactly).
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(Duration d) : d_(d) {}
+  Duration delay(PartyIndex, PartyIndex, Time, size_t, Xoshiro256&) override { return d_; }
+
+ private:
+  Duration d_;
+};
+
+/// Egress-bandwidth queueing on top of an inner model: every sender owns an
+/// uplink of `bytes_per_us` through which its transmissions serialize FIFO
+/// (a broadcast of a large block is n-1 *sequential* uploads). This is the
+/// physical mechanism behind the leader bottleneck that Mir-BFT [35]
+/// measured and that ICC1/ICC2 are designed to avoid: with queueing, the
+/// bottleneck shows up as *latency*, not just as a byte counter.
+class QueuedDelay final : public DelayModel {
+ public:
+  QueuedDelay(std::unique_ptr<DelayModel> inner, size_t n, double bytes_per_us)
+      : inner_(std::move(inner)), free_at_(n, 0), bandwidth_(bytes_per_us) {}
+
+  Duration delay(PartyIndex from, PartyIndex to, Time now, size_t bytes,
+                 Xoshiro256& rng) override {
+    const auto tx = static_cast<Duration>(static_cast<double>(bytes) / bandwidth_);
+    Time start = std::max(now, free_at_[from]);
+    free_at_[from] = start + tx;
+    // Propagation (inner model) begins once the upload finishes.
+    return (start - now) + tx + inner_->delay(from, to, now, bytes, rng);
+  }
+
+ private:
+  std::unique_ptr<DelayModel> inner_;
+  std::vector<Time> free_at_;
+  double bandwidth_;
+};
+
+// ---------------------------------------------------------------------------
+// Partial synchrony
+// ---------------------------------------------------------------------------
+
+/// Time windows during which the adversary stalls all traffic: a message
+/// sent at time s inside a window [a, b) is delivered no earlier than b
+/// (plus its normal delay). Messages are never dropped — matching the
+/// paper's eventual-delivery assumption.
+class SynchronySchedule {
+ public:
+  void add_async_window(Time start, Time end);
+
+  /// Earliest permissible delivery time for a message sent at `sent`.
+  Time release_time(Time sent) const;
+
+  bool is_async_at(Time t) const;
+
+ private:
+  std::vector<std::pair<Time, Time>> windows_;
+};
+
+// ---------------------------------------------------------------------------
+// Processes
+// ---------------------------------------------------------------------------
+
+class Network;
+
+/// Per-party capability handle. Honest protocol code uses broadcast() and
+/// timers only; send() exists for gossip/RBC point-to-point traffic and for
+/// Byzantine equivocation.
+class Context {
+ public:
+  Context(Network& net, PartyIndex self) : net_(&net), self_(self) {}
+
+  Time now() const;
+  PartyIndex self() const { return self_; }
+  size_t n() const;
+
+  /// Send `payload` to every party. Self-delivery is immediate and free
+  /// (a party always has its own messages in its pool).
+  void broadcast(Bytes payload);
+
+  /// Point-to-point send (also delivers to self immediately if to == self).
+  void send(PartyIndex to, Bytes payload);
+
+  /// One-shot timer.
+  EventId set_timer(Duration delay, std::function<void()> fn);
+  void cancel_timer(EventId id);
+
+  Xoshiro256& rng();
+
+ private:
+  Network* net_;
+  PartyIndex self_;
+};
+
+/// A simulated party. The harness wires one Process per index; Byzantine
+/// behaviours are just alternative Process implementations.
+class Process {
+ public:
+  virtual ~Process() = default;
+  virtual void start(Context& ctx) = 0;
+  virtual void receive(Context& ctx, PartyIndex from, BytesView payload) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Network + metrics
+// ---------------------------------------------------------------------------
+
+struct NetworkMetrics {
+  std::vector<uint64_t> messages_sent;  ///< per party (wire messages, excl. self)
+  std::vector<uint64_t> bytes_sent;     ///< per party
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+
+  void reset();
+  uint64_t max_bytes_sent() const;  ///< the "bottleneck" measure of [35]
+};
+
+class Network {
+ public:
+  Network(Engine& engine, size_t n, std::unique_ptr<DelayModel> model, uint64_t seed);
+
+  void set_process(PartyIndex i, std::unique_ptr<Process> p);
+  Process& process(PartyIndex i) { return *processes_[i]; }
+
+  /// Calls start() on every process (at current virtual time).
+  void start_all();
+
+  void broadcast(PartyIndex from, Bytes payload);
+  void send(PartyIndex from, PartyIndex to, Bytes payload);
+
+  SynchronySchedule& synchrony() { return synchrony_; }
+
+  Engine& engine() { return *engine_; }
+  size_t n() const { return processes_.size(); }
+  NetworkMetrics& metrics() { return metrics_; }
+  Xoshiro256& rng(PartyIndex i) { return rngs_[i]; }
+
+  /// Per-message overhead added to every wire message (transport framing,
+  /// TLS record overhead, ...). Default 64 bytes.
+  void set_frame_overhead(size_t bytes) { frame_overhead_ = bytes; }
+
+ private:
+  void deliver(PartyIndex from, PartyIndex to, const std::shared_ptr<const Bytes>& payload);
+
+  Engine* engine_;
+  std::unique_ptr<DelayModel> model_;
+  SynchronySchedule synchrony_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Context> contexts_;
+  std::vector<Xoshiro256> rngs_;
+  NetworkMetrics metrics_;
+  Xoshiro256 net_rng_;
+  size_t frame_overhead_ = 64;
+};
+
+}  // namespace icc::sim

@@ -1,0 +1,27 @@
+// Convenience wrapper owning an Engine + Network pair.
+#pragma once
+
+#include <memory>
+
+#include "sim/network.hpp"
+
+namespace icc::sim {
+
+class Simulation {
+ public:
+  Simulation(size_t n, std::unique_ptr<DelayModel> model, uint64_t seed)
+      : engine_(std::make_unique<Engine>()),
+        network_(std::make_unique<Network>(*engine_, n, std::move(model), seed)) {}
+
+  Engine& engine() { return *engine_; }
+  Network& network() { return *network_; }
+
+  void start() { network_->start_all(); }
+  void run_until(Time deadline) { engine_->run_until(deadline); }
+
+ private:
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace icc::sim

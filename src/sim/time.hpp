@@ -1,0 +1,26 @@
+// Simulated time.
+//
+// Virtual time is an integer count of microseconds. Integers (not doubles)
+// keep event ordering exact and runs bit-reproducible across platforms —
+// a hard requirement for deterministic replay of adversarial schedules.
+#pragma once
+
+#include <cstdint>
+
+namespace icc::sim {
+
+/// Microseconds since simulation start.
+using Time = int64_t;
+/// Microsecond interval.
+using Duration = int64_t;
+
+constexpr Duration usec(int64_t v) { return v; }
+constexpr Duration msec(int64_t v) { return v * 1000; }
+constexpr Duration seconds(int64_t v) { return v * 1000000; }
+
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1000.0; }
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / 1e6; }
+
+constexpr Time kTimeMax = INT64_MAX;
+
+}  // namespace icc::sim

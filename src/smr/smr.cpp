@@ -1,0 +1,151 @@
+#include "smr/smr.hpp"
+
+#include "support/serial.hpp"
+
+namespace icc::smr {
+
+Bytes encode_payload(std::span<const Command> commands) {
+  Writer w;
+  w.u32(static_cast<uint32_t>(commands.size()));
+  for (const auto& c : commands) {
+    w.u64(c.id);
+    w.bytes(c.data);
+  }
+  return std::move(w).take();
+}
+
+std::optional<std::vector<Command>> decode_payload(BytesView payload) {
+  if (payload.empty()) return std::vector<Command>{};  // empty block
+  try {
+    Reader r(payload);
+    uint32_t count = r.u32();
+    if (count > 1u << 22) return std::nullopt;
+    std::vector<Command> out;
+    out.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      Command c;
+      c.id = r.u64();
+      c.data = r.bytes();
+      out.push_back(std::move(c));
+    }
+    r.expect_done();
+    return out;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+void CommandQueue::submit(Command command) {
+  if (committed_ids_.count(command.id)) return;
+  pending_.push_back(std::move(command));
+}
+
+void CommandQueue::mark_committed(uint64_t id) { committed_ids_.insert(id); }
+
+Bytes CommandQueue::build(types::Round /*round*/, types::PartyIndex /*proposer*/,
+                          const std::vector<const types::Block*>& chain) {
+  // Ids already scheduled on the chain we are extending must not repeat
+  // (paper Section 3.3: getPayload can take the whole path into account).
+  std::set<uint64_t> on_chain;
+  for (const types::Block* b : chain) {
+    auto cmds = decode_payload(b->payload);
+    if (!cmds) continue;
+    for (const auto& c : *cmds) on_chain.insert(c.id);
+  }
+
+  std::vector<Command> batch;
+  size_t bytes = 8;
+  // Drop committed commands from the head; take fresh ones up to the limits.
+  std::deque<Command> keep;
+  while (!pending_.empty() && batch.size() < limits_.max_commands_per_block) {
+    Command c = std::move(pending_.front());
+    pending_.pop_front();
+    if (committed_ids_.count(c.id)) continue;  // retired
+    if (on_chain.count(c.id)) {
+      keep.push_back(std::move(c));  // scheduled but not final; keep for retry
+      continue;
+    }
+    size_t sz = 8 + 4 + c.data.size();
+    if (bytes + sz > limits_.max_payload_bytes) {
+      keep.push_back(std::move(c));
+      break;
+    }
+    bytes += sz;
+    batch.push_back(std::move(c));
+  }
+  // Batched commands stay queued until committed (a block may never
+  // finalize if its proposer's round loses the race).
+  for (auto& c : batch) keep.push_back(c);
+  for (auto& c : pending_) keep.push_back(std::move(c));
+  pending_ = std::move(keep);
+
+  return encode_payload(batch);
+}
+
+void KvStore::apply(const Command& command) {
+  ++applied_;
+  const Bytes& d = command.data;
+  if (d.empty()) return;
+  if (d[0] == 'P') {
+    if (d.size() < 3) return;
+    uint16_t keylen = static_cast<uint16_t>(d[1] | (d[2] << 8));
+    if (d.size() < 3u + keylen) return;
+    std::string key(d.begin() + 3, d.begin() + 3 + keylen);
+    std::string value(d.begin() + 3 + keylen, d.end());
+    map_[key] = value;
+  } else if (d[0] == 'D') {
+    std::string key(d.begin() + 1, d.end());
+    map_.erase(key);
+  }
+  // Unknown opcodes: deterministic no-op.
+}
+
+crypto::Sha256Digest KvStore::digest() const {
+  crypto::Sha256 h;
+  for (const auto& [k, v] : map_) {
+    uint32_t kl = static_cast<uint32_t>(k.size());
+    h.update(BytesView(reinterpret_cast<const uint8_t*>(&kl), 4));
+    h.update(k);
+    uint32_t vl = static_cast<uint32_t>(v.size());
+    h.update(BytesView(reinterpret_cast<const uint8_t*>(&vl), 4));
+    h.update(v);
+  }
+  return h.digest();
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+Command KvStore::put(uint64_t id, std::string_view key, std::string_view value) {
+  Command c;
+  c.id = id;
+  c.data.push_back('P');
+  c.data.push_back(static_cast<uint8_t>(key.size()));
+  c.data.push_back(static_cast<uint8_t>(key.size() >> 8));
+  append(c.data, key);
+  append(c.data, value);
+  return c;
+}
+
+Command KvStore::del(uint64_t id, std::string_view key) {
+  Command c;
+  c.id = id;
+  c.data.push_back('D');
+  append(c.data, key);
+  return c;
+}
+
+void Replica::on_commit(const consensus::CommittedBlock& block) {
+  auto cmds = decode_payload(block.payload);
+  if (!cmds) return;  // a Byzantine proposer may commit garbage; skip it
+  for (const auto& c : *cmds) {
+    state_->apply(c);
+    queue_->mark_committed(c.id);
+    ++applied_commands_;
+  }
+}
+
+}  // namespace icc::smr

@@ -1,0 +1,115 @@
+// Replicated state machine layer on top of atomic broadcast.
+//
+// The paper frames atomic broadcast as the mechanism behind BFT state
+// machine replication (Section 1, [33]): clients submit commands, the
+// protocol orders them into block payloads, every replica applies the same
+// sequence. This module provides:
+//
+//   * Command / payload encoding (a batch of commands per block);
+//   * CommandQueue — a PayloadBuilder that batches pending commands and
+//     de-duplicates against the chain being extended (the paper notes
+//     getPayload may inspect the whole chain for exactly this);
+//   * StateMachine interface + a replicated key-value store;
+//   * Replica — glue binding a queue and a state machine to a party.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "consensus/config.hpp"
+#include "crypto/sha256.hpp"
+
+namespace icc::smr {
+
+struct Command {
+  uint64_t id = 0;  ///< client-assigned unique id (used for deduplication)
+  Bytes data;
+
+  bool operator==(const Command&) const = default;
+};
+
+Bytes encode_payload(std::span<const Command> commands);
+std::optional<std::vector<Command>> decode_payload(BytesView payload);
+
+/// Batches submitted commands into block payloads. Commands already present
+/// in the chain being extended are skipped; commands are retired once they
+/// commit.
+class CommandQueue final : public consensus::PayloadBuilder {
+ public:
+  struct Limits {
+    size_t max_commands_per_block = 1000;
+    size_t max_payload_bytes = 2 * 1024 * 1024;  ///< "a few megabytes" (paper)
+  };
+
+  CommandQueue() = default;
+  explicit CommandQueue(const Limits& limits) : limits_(limits) {}
+
+  void submit(Command command);
+  void mark_committed(uint64_t id);
+  size_t pending() const { return pending_.size(); }
+
+  Bytes build(types::Round round, types::PartyIndex proposer,
+              const std::vector<const types::Block*>& chain) override;
+
+ private:
+  Limits limits_;
+  std::deque<Command> pending_;
+  std::set<uint64_t> committed_ids_;
+};
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  virtual void apply(const Command& command) = 0;
+  /// Digest of the current state — replicas in sync have equal digests.
+  virtual crypto::Sha256Digest digest() const = 0;
+};
+
+/// Replicated key-value store. Command wire format (after the id):
+///   'P' <u16 keylen> key value...  — put
+///   'D' key...                     — delete
+/// Anything else is a no-op (unknown commands must not diverge replicas).
+class KvStore final : public StateMachine {
+ public:
+  void apply(const Command& command) override;
+  crypto::Sha256Digest digest() const override;
+
+  std::optional<std::string> get(const std::string& key) const;
+  size_t size() const { return map_.size(); }
+  uint64_t applied_count() const { return applied_; }
+
+  static Command put(uint64_t id, std::string_view key, std::string_view value);
+  static Command del(uint64_t id, std::string_view key);
+
+ private:
+  std::map<std::string, std::string> map_;
+  uint64_t applied_ = 0;
+};
+
+/// Binds a CommandQueue + StateMachine to one replica: feed its on_commit
+/// with committed blocks and it applies the payloads in order.
+class Replica {
+ public:
+  explicit Replica(std::shared_ptr<CommandQueue> queue,
+                   std::shared_ptr<StateMachine> state)
+      : queue_(std::move(queue)), state_(std::move(state)) {}
+
+  void submit(Command command) { queue_->submit(std::move(command)); }
+
+  /// Apply a committed block's payload (call from PartyConfig::on_commit).
+  void on_commit(const consensus::CommittedBlock& block);
+
+  StateMachine& state() { return *state_; }
+  CommandQueue& queue() { return *queue_; }
+  uint64_t applied_commands() const { return applied_commands_; }
+
+ private:
+  std::shared_ptr<CommandQueue> queue_;
+  std::shared_ptr<StateMachine> state_;
+  uint64_t applied_commands_ = 0;
+};
+
+}  // namespace icc::smr

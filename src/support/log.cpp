@@ -1,0 +1,35 @@
+#include "support/log.hpp"
+
+namespace icc {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+namespace detail {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLine::LogLine(LogLevel level, const char* tag) {
+  stream_ << "[" << level_name(level) << "][" << tag << "] ";
+}
+
+LogLine::~LogLine() {
+  stream_ << '\n';
+  std::cerr << stream_.str();
+}
+
+}  // namespace detail
+}  // namespace icc

@@ -1,0 +1,46 @@
+// Leveled logging with near-zero cost when disabled.
+//
+// The simulator runs millions of events; logging must be off by default and
+// cheap to skip. Format strings use ostream-style streaming into a local
+// buffer that is flushed as one line (so concurrent tests don't interleave).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace icc {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold. Tests and examples may lower it; defaults to warn.
+LogLevel& log_level();
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag);
+  ~LogLine();
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define ICC_LOG(level, tag)                        \
+  if (::icc::log_level() > (level)) {              \
+  } else                                           \
+    ::icc::detail::LogLine((level), (tag))
+
+#define ICC_TRACE(tag) ICC_LOG(::icc::LogLevel::kTrace, tag)
+#define ICC_DEBUG(tag) ICC_LOG(::icc::LogLevel::kDebug, tag)
+#define ICC_INFO(tag) ICC_LOG(::icc::LogLevel::kInfo, tag)
+#define ICC_WARN(tag) ICC_LOG(::icc::LogLevel::kWarn, tag)
+#define ICC_ERROR(tag) ICC_LOG(::icc::LogLevel::kError, tag)
+
+}  // namespace icc

@@ -1,0 +1,72 @@
+#include "support/rng.hpp"
+
+namespace icc {
+
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Xoshiro256 Xoshiro256::fork(uint64_t stream_id) {
+  // Mix the stream id through splitmix to decorrelate substreams.
+  uint64_t sm = next() ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL);
+  return Xoshiro256(splitmix64(sm));
+}
+
+uint64_t Xoshiro256::next() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Xoshiro256::below(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+  for (;;) {
+    uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Xoshiro256::unit() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+void Xoshiro256::fill(Bytes& out, size_t n) {
+  out.reserve(out.size() + n);
+  while (n >= 8) {
+    uint64_t v = next();
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t v = next();
+    for (size_t i = 0; i < n; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+Bytes Xoshiro256::bytes(size_t n) {
+  Bytes out;
+  fill(out, n);
+  return out;
+}
+
+}  // namespace icc

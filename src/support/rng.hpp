@@ -1,0 +1,51 @@
+// Deterministic pseudo-random generators for the simulator and tests.
+//
+// Simulations must be reproducible from a single 64-bit seed, so everything
+// that needs randomness takes an explicit generator; nothing reads global
+// entropy. xoshiro256** is used as the workhorse generator; splitmix64 seeds
+// it and derives independent substreams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace icc {
+
+/// splitmix64 step; also usable standalone for hashing small integers.
+uint64_t splitmix64(uint64_t& state);
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed);
+
+  /// Derive an independent substream (e.g. one per party) without
+  /// correlations between streams.
+  Xoshiro256 fork(uint64_t stream_id);
+
+  uint64_t next();
+  uint64_t operator()() { return next(); }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  /// Uniform in [0, bound) without modulo bias for small bounds.
+  uint64_t below(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// Fill a buffer with random bytes.
+  void fill(Bytes& out, size_t n);
+  Bytes bytes(size_t n);
+
+ private:
+  std::array<uint64_t, 4> s_{};
+};
+
+}  // namespace icc

@@ -1,0 +1,102 @@
+// Minimal deterministic binary serialization.
+//
+// Wire format: fixed-width little-endian integers, length-prefixed byte
+// strings. Deterministic encoding matters because protocol messages are
+// hashed and signed; two honest encoders must produce identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "support/bytes.hpp"
+
+namespace icc {
+
+/// Thrown on malformed input during deserialization. Protocol code treats
+/// messages that fail to parse as adversarial and drops them.
+struct ParseError : std::runtime_error {
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) {
+    buf_.push_back(static_cast<uint8_t>(v));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+  }
+  void u32(uint32_t v) { put_u32le(buf_, v); }
+  void u64(uint64_t v) { put_u64le(buf_, v); }
+
+  /// Length-prefixed (u32) byte string.
+  void bytes(BytesView v) {
+    u32(static_cast<uint32_t>(v.size()));
+    append(buf_, v);
+  }
+
+  /// Raw bytes, no length prefix (for fixed-size fields like hashes).
+  void raw(BytesView v) { append(buf_, v); }
+
+  void str(std::string_view s) { bytes(BytesView(reinterpret_cast<const uint8_t*>(s.data()), s.size())); }
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  uint8_t u8() { return *take(1); }
+  uint16_t u16() {
+    const uint8_t* p = take(2);
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+  }
+  uint32_t u32() { return get_u32le(take(4)); }
+  uint64_t u64() { return get_u64le(take(8)); }
+
+  Bytes bytes() {
+    uint32_t n = u32();
+    const uint8_t* p = take(n);
+    return Bytes(p, p + n);
+  }
+
+  /// Fixed-size field.
+  Bytes raw(size_t n) {
+    const uint8_t* p = take(n);
+    return Bytes(p, p + n);
+  }
+
+  std::string str() {
+    Bytes b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// Require the whole buffer to be consumed (tolerating trailing garbage
+  /// would let two distinct byte strings decode to the same message).
+  void expect_done() const {
+    if (!done()) throw ParseError("trailing bytes");
+  }
+
+ private:
+  const uint8_t* take(size_t n) {
+    if (data_.size() - pos_ < n) throw ParseError("truncated input");
+    const uint8_t* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace icc

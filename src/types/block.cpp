@@ -1,0 +1,74 @@
+#include "types/block.hpp"
+
+#include "support/serial.hpp"
+
+namespace icc::types {
+
+const Hash& root_hash() {
+  static const Hash h = crypto::Sha256::hash("icc-root-block-v1");
+  return h;
+}
+
+Bytes Block::serialize() const {
+  Writer w;
+  w.u8(0x42);  // 'B' domain tag
+  w.u32(round);
+  w.u32(proposer);
+  w.raw(BytesView(parent_hash.data(), parent_hash.size()));
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+std::optional<Block> Block::deserialize(BytesView bytes) {
+  try {
+    Reader r(bytes);
+    if (r.u8() != 0x42) return std::nullopt;
+    Block b;
+    b.round = r.u32();
+    b.proposer = r.u32();
+    Bytes ph = r.raw(32);
+    std::copy(ph.begin(), ph.end(), b.parent_hash.begin());
+    b.payload = r.bytes();
+    r.expect_done();
+    return b;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+Hash Block::hash() const { return crypto::Sha256::hash(serialize()); }
+
+namespace {
+Bytes tagged_message(uint8_t tag, Round round, PartyIndex proposer, const Hash& block_hash) {
+  Writer w;
+  w.u8(tag);
+  w.u32(round);
+  w.u32(proposer);
+  w.raw(BytesView(block_hash.data(), block_hash.size()));
+  return std::move(w).take();
+}
+}  // namespace
+
+Bytes authenticator_message(Round round, PartyIndex proposer, const Hash& block_hash) {
+  return tagged_message(0x01, round, proposer, block_hash);
+}
+
+Bytes notarization_message(Round round, PartyIndex proposer, const Hash& block_hash) {
+  return tagged_message(0x02, round, proposer, block_hash);
+}
+
+Bytes finalization_message(Round round, PartyIndex proposer, const Hash& block_hash) {
+  return tagged_message(0x03, round, proposer, block_hash);
+}
+
+Bytes beacon_message(Round round, BytesView prev_beacon) {
+  Writer w;
+  w.u8(0x04);
+  w.u32(round);
+  w.bytes(prev_beacon);
+  return std::move(w).take();
+}
+
+Bytes genesis_beacon() { return crypto::sha256(str_bytes("icc-genesis-beacon-v1")); }
+
+}  // namespace icc::types

@@ -1,0 +1,66 @@
+// Blocks and the block-tree vocabulary of the ICC protocols (paper §3.4).
+//
+// A round-k block is the tuple (block, k, alpha, phash, payload): the round
+// number (= depth in the tree), the proposer's index, the parent's hash and
+// an application-specific payload. The root of the tree is a special block
+// with a well-known hash; it is its own authenticator, notarization and
+// finalization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace icc::types {
+
+using Hash = crypto::Sha256Digest;
+using PartyIndex = uint32_t;
+using Round = uint32_t;
+
+struct HashHasher {
+  size_t operator()(const Hash& h) const {
+    size_t v;
+    static_assert(sizeof(size_t) <= 32);
+    std::memcpy(&v, h.data(), sizeof(v));
+    return v;
+  }
+};
+
+/// Hash of the special round-0 root block.
+const Hash& root_hash();
+
+struct Block {
+  Round round = 0;         ///< k >= 1 for real blocks
+  PartyIndex proposer = 0; ///< alpha
+  Hash parent_hash{};      ///< H(parent block)
+  Bytes payload;
+
+  /// Canonical encoding (the input to hashing and signing).
+  Bytes serialize() const;
+  static std::optional<Block> deserialize(BytesView bytes);
+
+  /// H(B) over the canonical encoding.
+  Hash hash() const;
+
+  bool operator==(const Block& o) const = default;
+};
+
+/// Canonical byte strings that S_auth / S_notary / S_final sign. These match
+/// the paper's tuples (authenticator, k, alpha, H(B)), (notarization, k,
+/// alpha, H(B)) and (finalization, k, alpha, H(B)).
+Bytes authenticator_message(Round round, PartyIndex proposer, const Hash& block_hash);
+Bytes notarization_message(Round round, PartyIndex proposer, const Hash& block_hash);
+Bytes finalization_message(Round round, PartyIndex proposer, const Hash& block_hash);
+
+/// The message whose threshold signature is the round-k beacon:
+/// (beacon, k, R_{k-1}).
+Bytes beacon_message(Round round, BytesView prev_beacon);
+
+/// R_0: fixed initial beacon value known to all parties.
+Bytes genesis_beacon();
+
+}  // namespace icc::types

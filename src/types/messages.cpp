@@ -1,0 +1,269 @@
+#include "types/messages.hpp"
+
+#include "support/serial.hpp"
+
+namespace icc::types {
+
+namespace {
+
+enum class MsgType : uint8_t {
+  kProposal = 1,
+  kNotarizationShare = 2,
+  kNotarization = 3,
+  kFinalizationShare = 4,
+  kFinalization = 5,
+  kBeaconShare = 6,
+  kAdvert = 7,
+  kRequest = 8,
+  kRbcFragment = 9,
+  kCupShare = 10,
+  kCupRequest = 11,
+  kCup = 12,
+};
+
+void put_hash(Writer& w, const Hash& h) { w.raw(BytesView(h.data(), h.size())); }
+
+Hash get_hash(Reader& r) {
+  Bytes b = r.raw(32);
+  Hash h;
+  std::copy(b.begin(), b.end(), h.begin());
+  return h;
+}
+
+struct SerializeVisitor {
+  Writer& w;
+
+  void operator()(const ProposalMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kProposal));
+    w.bytes(m.block.serialize());
+    w.bytes(m.authenticator);
+    w.bytes(m.parent_notarization);
+  }
+  void operator()(const NotarizationShareMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kNotarizationShare));
+    w.u32(m.round);
+    w.u32(m.proposer);
+    put_hash(w, m.block_hash);
+    w.u32(m.signer);
+    w.bytes(m.share);
+  }
+  void operator()(const NotarizationMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kNotarization));
+    w.u32(m.round);
+    w.u32(m.proposer);
+    put_hash(w, m.block_hash);
+    w.bytes(m.aggregate);
+  }
+  void operator()(const FinalizationShareMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kFinalizationShare));
+    w.u32(m.round);
+    w.u32(m.proposer);
+    put_hash(w, m.block_hash);
+    w.u32(m.signer);
+    w.bytes(m.share);
+  }
+  void operator()(const FinalizationMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kFinalization));
+    w.u32(m.round);
+    w.u32(m.proposer);
+    put_hash(w, m.block_hash);
+    w.bytes(m.aggregate);
+  }
+  void operator()(const BeaconShareMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kBeaconShare));
+    w.u32(m.round);
+    w.u32(m.signer);
+    w.bytes(m.share);
+  }
+  void operator()(const AdvertMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kAdvert));
+    w.u8(m.artifact_type);
+    w.u32(m.round);
+    put_hash(w, m.artifact_id);
+    w.u32(m.size_hint);
+  }
+  void operator()(const RequestMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kRequest));
+    put_hash(w, m.artifact_id);
+  }
+  void operator()(const CupShareMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kCupShare));
+    w.u32(m.round);
+    put_hash(w, m.block_hash);
+    w.bytes(m.beacon_value);
+    w.u32(m.signer);
+    w.bytes(m.share);
+  }
+  void operator()(const CupRequestMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kCupRequest));
+    w.u32(m.above_round);
+  }
+  void operator()(const CupMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kCup));
+    w.u32(m.round);
+    w.bytes(m.proposal);
+    w.bytes(m.notarization);
+    w.bytes(m.finalization);
+    w.bytes(m.beacon_value);
+    w.bytes(m.aggregate);
+  }
+  void operator()(const RbcFragmentMsg& m) {
+    w.u8(static_cast<uint8_t>(MsgType::kRbcFragment));
+    w.u32(m.round);
+    w.u32(m.proposer);
+    put_hash(w, m.block_hash);
+    put_hash(w, m.merkle_root);
+    w.u32(m.block_len);
+    w.u32(m.fragment_index);
+    w.bytes(m.fragment);
+    w.bytes(m.merkle_proof);
+    w.bytes(m.authenticator);
+    w.bytes(m.parent_notarization);
+  }
+};
+
+}  // namespace
+
+Bytes serialize_message(const Message& msg) {
+  Writer w;
+  std::visit(SerializeVisitor{w}, msg);
+  return std::move(w).take();
+}
+
+std::optional<Message> parse_message(BytesView bytes) {
+  try {
+    Reader r(bytes);
+    auto type = static_cast<MsgType>(r.u8());
+    switch (type) {
+      case MsgType::kProposal: {
+        ProposalMsg m;
+        auto block = Block::deserialize(r.bytes());
+        if (!block) return std::nullopt;
+        m.block = std::move(*block);
+        m.authenticator = r.bytes();
+        m.parent_notarization = r.bytes();
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kNotarizationShare: {
+        NotarizationShareMsg m;
+        m.round = r.u32();
+        m.proposer = r.u32();
+        m.block_hash = get_hash(r);
+        m.signer = r.u32();
+        m.share = r.bytes();
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kNotarization: {
+        NotarizationMsg m;
+        m.round = r.u32();
+        m.proposer = r.u32();
+        m.block_hash = get_hash(r);
+        m.aggregate = r.bytes();
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kFinalizationShare: {
+        FinalizationShareMsg m;
+        m.round = r.u32();
+        m.proposer = r.u32();
+        m.block_hash = get_hash(r);
+        m.signer = r.u32();
+        m.share = r.bytes();
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kFinalization: {
+        FinalizationMsg m;
+        m.round = r.u32();
+        m.proposer = r.u32();
+        m.block_hash = get_hash(r);
+        m.aggregate = r.bytes();
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kBeaconShare: {
+        BeaconShareMsg m;
+        m.round = r.u32();
+        m.signer = r.u32();
+        m.share = r.bytes();
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kAdvert: {
+        AdvertMsg m;
+        m.artifact_type = r.u8();
+        m.round = r.u32();
+        m.artifact_id = get_hash(r);
+        m.size_hint = r.u32();
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kRequest: {
+        RequestMsg m;
+        m.artifact_id = get_hash(r);
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kCupShare: {
+        CupShareMsg m;
+        m.round = r.u32();
+        m.block_hash = get_hash(r);
+        m.beacon_value = r.bytes();
+        m.signer = r.u32();
+        m.share = r.bytes();
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kCupRequest: {
+        CupRequestMsg m;
+        m.above_round = r.u32();
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kCup: {
+        CupMsg m;
+        m.round = r.u32();
+        m.proposal = r.bytes();
+        m.notarization = r.bytes();
+        m.finalization = r.bytes();
+        m.beacon_value = r.bytes();
+        m.aggregate = r.bytes();
+        r.expect_done();
+        return m;
+      }
+      case MsgType::kRbcFragment: {
+        RbcFragmentMsg m;
+        m.round = r.u32();
+        m.proposer = r.u32();
+        m.block_hash = get_hash(r);
+        m.merkle_root = get_hash(r);
+        m.block_len = r.u32();
+        m.fragment_index = r.u32();
+        m.fragment = r.bytes();
+        m.merkle_proof = r.bytes();
+        m.authenticator = r.bytes();
+        m.parent_notarization = r.bytes();
+        r.expect_done();
+        return m;
+      }
+    }
+    return std::nullopt;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+Hash artifact_id(BytesView serialized) { return crypto::Sha256::hash(serialized); }
+
+Bytes cup_message(Round round, const Hash& block_hash, BytesView beacon_value) {
+  Writer w;
+  w.u8(0x05);  // distinct from authenticator/notarization/finalization/beacon tags
+  w.u32(round);
+  w.raw(BytesView(block_hash.data(), block_hash.size()));
+  w.bytes(beacon_value);
+  return std::move(w).take();
+}
+
+}  // namespace icc::types

@@ -1,0 +1,136 @@
+// Wire messages of the ICC protocols.
+//
+// One envelope format shared by ICC0/ICC1/ICC2, the gossip sub-layer and the
+// RBC subprotocol (distinct tags). All deserialization is defensive: any
+// malformed buffer yields nullopt and is dropped by the receiving party, so
+// corrupt parties gain nothing from sending garbage.
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "types/block.hpp"
+
+namespace icc::types {
+
+/// Block proposal / echo bundle (Fig. 1: "broadcast B, B's authenticator,
+/// and the notarization for B's parent"). For round-1 blocks the parent is
+/// root, which needs no notarization.
+struct ProposalMsg {
+  Block block;
+  Bytes authenticator;                ///< S_auth signature by block.proposer
+  Bytes parent_notarization;          ///< empty iff block.round == 1
+};
+
+struct NotarizationShareMsg {
+  Round round = 0;
+  PartyIndex proposer = 0;  ///< proposer of the block being notarized
+  Hash block_hash{};
+  PartyIndex signer = 0;
+  Bytes share;
+};
+
+struct NotarizationMsg {
+  Round round = 0;
+  PartyIndex proposer = 0;
+  Hash block_hash{};
+  Bytes aggregate;
+};
+
+struct FinalizationShareMsg {
+  Round round = 0;
+  PartyIndex proposer = 0;
+  Hash block_hash{};
+  PartyIndex signer = 0;
+  Bytes share;
+};
+
+struct FinalizationMsg {
+  Round round = 0;
+  PartyIndex proposer = 0;
+  Hash block_hash{};
+  Bytes aggregate;
+};
+
+struct BeaconShareMsg {
+  Round round = 0;  ///< the beacon being built (k), signed over (k, R_{k-1})
+  PartyIndex signer = 0;
+  Bytes share;
+};
+
+// --- gossip sub-layer (ICC1) ---
+
+/// Announcement of an artifact the sender holds (identified by its hash).
+struct AdvertMsg {
+  uint8_t artifact_type = 0;  ///< MsgType of the announced artifact
+  Round round = 0;
+  Hash artifact_id{};
+  uint32_t size_hint = 0;
+};
+
+/// Pull request for an advertised artifact.
+struct RequestMsg {
+  Hash artifact_id{};
+};
+
+// --- erasure-coded reliable broadcast (ICC2) ---
+
+struct RbcFragmentMsg {
+  Round round = 0;
+  PartyIndex proposer = 0;
+  Hash block_hash{};      ///< H(B), binding fragment to the proposal
+  Hash merkle_root{};     ///< commitment over the n fragments
+  uint32_t block_len = 0; ///< original block byte length
+  uint32_t fragment_index = 0;
+  Bytes fragment;
+  Bytes merkle_proof;     ///< serialized MerkleProof for fragment_index
+  Bytes authenticator;    ///< proposer's S_auth signature (travels with frags)
+  Bytes parent_notarization;
+};
+
+// --- catch-up packages (state sync for lagging replicas) ---
+//
+// The paper's protocols never delete from the pool, but §3.1 notes a real
+// implementation checkpoints and garbage-collects like PBFT. Once pools
+// prune, a replica that was partitioned for long cannot replay history —
+// the Internet Computer solves this with threshold-signed *catch-up
+// packages* (CUPs). A CUP share endorses (round, finalized block hash,
+// round's beacon value); n-t shares combine into a self-certifying package
+// that lets a laggard resume from that round without any earlier state.
+
+struct CupShareMsg {
+  Round round = 0;  ///< a checkpoint round (multiple of the CUP interval)
+  Hash block_hash{};
+  Bytes beacon_value;
+  PartyIndex signer = 0;
+  Bytes share;
+};
+
+struct CupRequestMsg {
+  Round above_round = 0;  ///< send me a CUP for a round above this
+};
+
+struct CupMsg {
+  Round round = 0;
+  Bytes proposal;      ///< serialized ProposalMsg for the checkpoint block
+  Bytes notarization;  ///< serialized NotarizationMsg
+  Bytes finalization;  ///< serialized FinalizationMsg
+  Bytes beacon_value;  ///< R_round
+  Bytes aggregate;     ///< threshold signature over (cup, round, H(B), R_round)
+};
+
+/// Canonical byte string the CUP threshold signature covers.
+Bytes cup_message(Round round, const Hash& block_hash, BytesView beacon_value);
+
+using Message =
+    std::variant<ProposalMsg, NotarizationShareMsg, NotarizationMsg, FinalizationShareMsg,
+                 FinalizationMsg, BeaconShareMsg, AdvertMsg, RequestMsg, RbcFragmentMsg,
+                 CupShareMsg, CupRequestMsg, CupMsg>;
+
+Bytes serialize_message(const Message& msg);
+std::optional<Message> parse_message(BytesView bytes);
+
+/// Stable artifact id for gossip (hash of the serialized message).
+Hash artifact_id(BytesView serialized);
+
+}  // namespace icc::types

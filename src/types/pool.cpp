@@ -1,0 +1,251 @@
+#include "types/pool.hpp"
+
+#include <algorithm>
+
+namespace icc::types {
+
+const Block* Pool::block(const Hash& h) const {
+  auto it = blocks_.find(h);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+bool Pool::add_proposal(const ProposalMsg& msg) {
+  const Block& b = msg.block;
+  if (b.round < 1 || b.proposer >= crypto_->n()) return false;
+
+  bool changed = false;
+  // The bundled parent notarization is processed even when the block itself
+  // is already known (an echo may carry the notarization we were missing).
+  if (!msg.parent_notarization.empty()) {
+    auto parsed = parse_message(msg.parent_notarization);
+    if (parsed) {
+      if (auto* nm = std::get_if<NotarizationMsg>(&*parsed)) changed |= add_notarization(*nm);
+    }
+  }
+
+  Hash h = b.hash();
+  if (blocks_.count(h)) return changed;
+
+  // Authenticator: S_auth signature by the proposer over (authenticator, k,
+  // alpha, H(B)). A proposal without a valid authenticator is dropped — the
+  // paper only ever classifies blocks that are authentic.
+  if (!crypto_->verify(b.proposer, authenticator_message(b.round, b.proposer, h),
+                       msg.authenticator)) {
+    return changed;
+  }
+
+  blocks_.emplace(h, b);
+  blocks_by_round_[b.round].push_back(h);
+  authentic_.insert(h);
+  authenticators_.emplace(h, msg.authenticator);
+  return true;
+}
+
+bool Pool::add_notarization_share(const NotarizationShareMsg& msg) {
+  if (msg.signer >= crypto_->n()) return false;
+  Bytes canonical = canonical_notarization_msg(msg);
+  if (!crypto_->threshold_verify_share(crypto::Scheme::kNotary, msg.signer, canonical,
+                                       msg.share)) {
+    return false;
+  }
+  auto& set = notar_shares_[msg.block_hash];
+  return set.emplace(msg.signer, msg.share).second;
+}
+
+bool Pool::add_notarization(const NotarizationMsg& msg) {
+  if (notarizations_.count(msg.block_hash)) return false;
+  Bytes canonical = notarization_message(msg.round, msg.proposer, msg.block_hash);
+  if (!crypto_->threshold_verify(crypto::Scheme::kNotary, canonical, msg.aggregate))
+    return false;
+  notarizations_.emplace(msg.block_hash, msg);
+  notarized_by_round_[msg.round].push_back(msg.block_hash);
+  return true;
+}
+
+bool Pool::add_finalization_share(const FinalizationShareMsg& msg) {
+  if (msg.signer >= crypto_->n()) return false;
+  Bytes canonical = finalization_message(msg.round, msg.proposer, msg.block_hash);
+  if (!crypto_->threshold_verify_share(crypto::Scheme::kFinal, msg.signer, canonical,
+                                       msg.share)) {
+    return false;
+  }
+  auto& set = final_shares_[msg.block_hash];
+  return set.emplace(msg.signer, msg.share).second;
+}
+
+bool Pool::add_finalization(const FinalizationMsg& msg) {
+  if (finalizations_.count(msg.block_hash)) return false;
+  Bytes canonical = finalization_message(msg.round, msg.proposer, msg.block_hash);
+  if (!crypto_->threshold_verify(crypto::Scheme::kFinal, canonical, msg.aggregate))
+    return false;
+  finalizations_.emplace(msg.block_hash, msg);
+  finalized_by_round_[msg.round].push_back(msg.block_hash);
+  return true;
+}
+
+bool Pool::is_valid(const Hash& h) const {
+  if (valid_cache_.count(h)) return true;
+  const Block* b = block(h);
+  if (!b || !authentic_.count(h)) return false;
+  bool parent_ok;
+  if (b->round == 1) {
+    parent_ok = (b->parent_hash == root_hash());
+  } else {
+    const Block* parent = block(b->parent_hash);
+    parent_ok = parent && parent->round == b->round - 1 && is_valid(b->parent_hash) &&
+                notarizations_.count(b->parent_hash) > 0;
+  }
+  if (!parent_ok) return false;
+  valid_cache_.insert(h);
+  return true;
+}
+
+bool Pool::is_notarized(const Hash& h) const {
+  if (h == root_hash()) return true;
+  return is_valid(h) && notarizations_.count(h) > 0;
+}
+
+bool Pool::is_finalized(const Hash& h) const {
+  if (h == root_hash()) return true;
+  return is_valid(h) && finalizations_.count(h) > 0;
+}
+
+std::vector<Hash> Pool::valid_blocks_at(Round round) const {
+  std::vector<Hash> out;
+  auto it = blocks_by_round_.find(round);
+  if (it == blocks_by_round_.end()) return out;
+  for (const Hash& h : it->second)
+    if (is_valid(h)) out.push_back(h);
+  return out;
+}
+
+std::vector<Hash> Pool::notarized_blocks_at(Round round) const {
+  if (round == 0) return {root_hash()};
+  std::vector<Hash> out;
+  auto it = notarized_by_round_.find(round);
+  if (it == notarized_by_round_.end()) return out;
+  for (const Hash& h : it->second)
+    if (is_notarized(h)) out.push_back(h);
+  return out;
+}
+
+std::optional<Hash> Pool::combinable_notarization_at(Round round) const {
+  auto it = blocks_by_round_.find(round);
+  if (it == blocks_by_round_.end()) return std::nullopt;
+  for (const Hash& h : it->second) {
+    if (notarizations_.count(h)) continue;
+    auto sh = notar_shares_.find(h);
+    if (sh == notar_shares_.end() || sh->second.size() < crypto_->quorum()) continue;
+    if (is_valid(h)) return h;
+  }
+  return std::nullopt;
+}
+
+std::optional<Hash> Pool::combinable_finalization_above(Round above_round) const {
+  for (const auto& [h, shares] : final_shares_) {
+    if (shares.size() < crypto_->quorum()) continue;
+    if (finalizations_.count(h)) continue;
+    const Block* b = block(h);
+    if (!b || b->round <= above_round) continue;
+    if (is_valid(h)) return h;
+  }
+  return std::nullopt;
+}
+
+std::optional<Hash> Pool::finalized_above(Round above_round) const {
+  for (auto it = finalized_by_round_.upper_bound(above_round); it != finalized_by_round_.end();
+       ++it) {
+    for (const Hash& h : it->second)
+      if (is_finalized(h)) return h;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<crypto::PartyIndex, Bytes>> Pool::notarization_shares(
+    const Block& b) const {
+  std::vector<std::pair<crypto::PartyIndex, Bytes>> out;
+  auto it = notar_shares_.find(b.hash());
+  if (it == notar_shares_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+std::vector<std::pair<crypto::PartyIndex, Bytes>> Pool::finalization_shares(
+    const Block& b) const {
+  std::vector<std::pair<crypto::PartyIndex, Bytes>> out;
+  auto it = final_shares_.find(b.hash());
+  if (it == final_shares_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+const NotarizationMsg* Pool::notarization_for(const Hash& h) const {
+  auto it = notarizations_.find(h);
+  return it == notarizations_.end() ? nullptr : &it->second;
+}
+
+const FinalizationMsg* Pool::finalization_for(const Hash& h) const {
+  auto it = finalizations_.find(h);
+  return it == finalizations_.end() ? nullptr : &it->second;
+}
+
+const Bytes* Pool::authenticator_for(const Hash& h) const {
+  auto it = authenticators_.find(h);
+  return it == authenticators_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Block*> Pool::chain_to(const Hash& h, Round above_round) const {
+  std::vector<const Block*> chain;
+  Hash cur = h;
+  while (cur != root_hash()) {
+    const Block* b = block(cur);
+    if (!b) return {};  // incomplete chain (e.g. pruned)
+    if (b->round <= above_round) break;
+    chain.push_back(b);
+    if (b->round == 1) {
+      if (b->parent_hash != root_hash()) return {};
+      break;
+    }
+    cur = b->parent_hash;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+bool Pool::install_checkpoint(const ProposalMsg& proposal,
+                              const NotarizationMsg& notarization,
+                              const FinalizationMsg& finalization) {
+  const Hash h = proposal.block.hash();
+  if (notarization.block_hash != h || finalization.block_hash != h) return false;
+  if (!add_proposal(proposal) && !blocks_.count(h)) return false;  // bad authenticator
+  bool have_notarization = notarizations_.count(h) || add_notarization(notarization);
+  bool have_finalization = finalizations_.count(h) || add_finalization(finalization);
+  if (!have_notarization || !have_finalization) return false;
+  // The ancestry is not present; the CUP's threshold signature vouches for
+  // the block, so validity is granted directly.
+  valid_cache_.insert(h);
+  return true;
+}
+
+void Pool::prune_below(Round round) {
+  for (auto it = blocks_by_round_.begin();
+       it != blocks_by_round_.end() && it->first < round;) {
+    for (const Hash& h : it->second) {
+      blocks_.erase(h);
+      authentic_.erase(h);
+      authenticators_.erase(h);
+      notar_shares_.erase(h);
+      final_shares_.erase(h);
+      finalizations_.erase(h);
+      // Notarization aggregates are retained: children's validity checks
+      // reference them. They are tiny compared to block payloads.
+    }
+    it = blocks_by_round_.erase(it);
+  }
+  for (auto it = finalized_by_round_.begin();
+       it != finalized_by_round_.end() && it->first < round;) {
+    it = finalized_by_round_.erase(it);
+  }
+}
+
+}  // namespace icc::types

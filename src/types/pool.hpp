@@ -1,0 +1,118 @@
+// The per-party message pool (paper Section 3.1/3.4).
+//
+// "Each party has a pool which holds the set of all messages received from
+// all parties (including itself)." The pool validates every artifact's
+// signatures on insertion (invalid ones are dropped — they are adversarial
+// by definition) and implements the paper's block classification:
+//
+//   authentic  — an S_auth authenticator by the proposer is present;
+//   valid      — authentic, and the parent is present and notarized
+//                (recursively), or the parent is root for round-1 blocks;
+//   notarized  — valid + a notarization (n-t threshold signature) present;
+//   finalized  — valid + a finalization present.
+//
+// The paper never deletes from the pool; a real implementation checkpoints
+// and garbage-collects (Section 3.1 points at PBFT). prune_below() provides
+// that hook so multi-minute simulations stay within memory.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/provider.hpp"
+#include "types/messages.hpp"
+
+namespace icc::types {
+
+class Pool {
+ public:
+  explicit Pool(crypto::CryptoProvider& crypto) : crypto_(&crypto) {}
+
+  // --- insertion (returns true iff the pool state changed) ---
+  bool add_proposal(const ProposalMsg& msg);
+  bool add_notarization_share(const NotarizationShareMsg& msg);
+  bool add_notarization(const NotarizationMsg& msg);
+  bool add_finalization_share(const FinalizationShareMsg& msg);
+  bool add_finalization(const FinalizationMsg& msg);
+
+  // --- classification ---
+  const Block* block(const Hash& h) const;
+  bool is_authentic(const Hash& h) const { return authentic_.count(h) > 0; }
+  bool is_valid(const Hash& h) const;
+  bool is_notarized(const Hash& h) const;
+  bool is_finalized(const Hash& h) const;
+
+  // --- queries used by the protocol logic ---
+  /// Hashes of valid round-k blocks currently in the pool.
+  std::vector<Hash> valid_blocks_at(Round round) const;
+  /// Hashes of notarized round-k blocks (round 0: root).
+  std::vector<Hash> notarized_blocks_at(Round round) const;
+  /// A valid round-k block with a full set of >= n-t notarization shares but
+  /// no notarization yet (Fig. 1 clause (a), combine case).
+  std::optional<Hash> combinable_notarization_at(Round round) const;
+  /// Same for finalization shares (Fig. 2 case (ii)), restricted to rounds
+  /// greater than `above_round`.
+  std::optional<Hash> combinable_finalization_above(Round above_round) const;
+  /// A finalized block at round > above_round, if any.
+  std::optional<Hash> finalized_above(Round above_round) const;
+
+  /// Notarization / finalization shares for a block (canonical message only).
+  std::vector<std::pair<crypto::PartyIndex, Bytes>> notarization_shares(const Block& b) const;
+  std::vector<std::pair<crypto::PartyIndex, Bytes>> finalization_shares(const Block& b) const;
+
+  const NotarizationMsg* notarization_for(const Hash& h) const;
+  const FinalizationMsg* finalization_for(const Hash& h) const;
+
+  /// Authenticator bytes for a known block (needed to echo it, Fig. 1 (c)).
+  const Bytes* authenticator_for(const Hash& h) const;
+
+  /// The chain of blocks ending at B with rounds > above_round, in ascending
+  /// round order (above_round = 0: the whole chain from round 1). Empty if a
+  /// needed block is missing from the pool.
+  std::vector<const Block*> chain_to(const Hash& h, Round above_round = 0) const;
+
+  /// Drop blocks and shares for rounds < round (checkpointing). Notarization
+  /// aggregates are kept (children's validity may still be checked against
+  /// them); block payloads dominate memory anyway.
+  void prune_below(Round round);
+
+  /// Install a catch-up checkpoint: a block whose ancestry this pool does
+  /// not hold, vouched for by externally-verified notarization/finalization
+  /// aggregates (the CUP threshold signature binds them; see messages.hpp).
+  /// The block is force-marked valid so subsequent rounds chain off it.
+  /// Returns false if any piece fails its own signature verification.
+  bool install_checkpoint(const ProposalMsg& proposal, const NotarizationMsg& notarization,
+                          const FinalizationMsg& finalization);
+
+  // --- introspection for tests ---
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  Bytes canonical_notarization_msg(const NotarizationShareMsg& m) const {
+    return notarization_message(m.round, m.proposer, m.block_hash);
+  }
+
+  crypto::CryptoProvider* crypto_;
+
+  std::unordered_map<Hash, Block, HashHasher> blocks_;
+  std::map<Round, std::vector<Hash>> blocks_by_round_;
+  std::unordered_set<Hash, HashHasher> authentic_;
+  std::unordered_map<Hash, Bytes, HashHasher> authenticators_;
+
+  // Shares keyed by block hash; only shares matching the block's canonical
+  // signed message are stored (mismatched claims fail verification).
+  std::unordered_map<Hash, std::map<crypto::PartyIndex, Bytes>, HashHasher> notar_shares_;
+  std::unordered_map<Hash, std::map<crypto::PartyIndex, Bytes>, HashHasher> final_shares_;
+
+  std::unordered_map<Hash, NotarizationMsg, HashHasher> notarizations_;
+  std::unordered_map<Hash, FinalizationMsg, HashHasher> finalizations_;
+  std::map<Round, std::vector<Hash>> notarized_by_round_;  // has aggregate (validity checked on query)
+  std::map<Round, std::vector<Hash>> finalized_by_round_;
+
+  mutable std::unordered_set<Hash, HashHasher> valid_cache_;
+};
+
+}  // namespace icc::types

@@ -1,0 +1,98 @@
+#include "codec/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icc::codec {
+namespace {
+
+TEST(GF256Test, AddIsXor) {
+  EXPECT_EQ(GF256::add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(GF256::add(7, 7), 0);
+  EXPECT_EQ(GF256::sub(5, 3), GF256::add(5, 3));
+}
+
+TEST(GF256Test, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(GF256::mul(static_cast<uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(GF256Test, KnownProduct) {
+  // 0x53 * 0xCA = 0x01 under the AES polynomial (classic AES inverse pair).
+  EXPECT_EQ(GF256::mul(0x53, 0xca), 0x01);
+  EXPECT_EQ(GF256::mul(0x02, 0x80), 0x1b);  // reduction kicks in
+}
+
+TEST(GF256Test, MulCommutativeAssociative) {
+  for (int a = 1; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      uint8_t ua = static_cast<uint8_t>(a), ub = static_cast<uint8_t>(b);
+      EXPECT_EQ(GF256::mul(ua, ub), GF256::mul(ub, ua));
+      for (int c = 1; c < 256; c += 63) {
+        uint8_t uc = static_cast<uint8_t>(c);
+        EXPECT_EQ(GF256::mul(GF256::mul(ua, ub), uc), GF256::mul(ua, GF256::mul(ub, uc)));
+      }
+    }
+  }
+}
+
+TEST(GF256Test, Distributive) {
+  for (int a = 1; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 17) {
+      for (int c = 0; c < 256; c += 19) {
+        uint8_t ua = static_cast<uint8_t>(a), ub = static_cast<uint8_t>(b),
+                uc = static_cast<uint8_t>(c);
+        EXPECT_EQ(GF256::mul(ua, GF256::add(ub, uc)),
+                  GF256::add(GF256::mul(ua, ub), GF256::mul(ua, uc)));
+      }
+    }
+  }
+}
+
+TEST(GF256Test, InverseForAllNonZero) {
+  for (int a = 1; a < 256; ++a) {
+    uint8_t ua = static_cast<uint8_t>(a);
+    EXPECT_EQ(GF256::mul(ua, GF256::inv(ua)), 1) << "a = " << a;
+  }
+}
+
+TEST(GF256Test, DivMatchesMulByInverse) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 9) {
+      uint8_t ua = static_cast<uint8_t>(a), ub = static_cast<uint8_t>(b);
+      EXPECT_EQ(GF256::div(ua, ub), GF256::mul(ua, GF256::inv(ub)));
+    }
+  }
+}
+
+TEST(GF256Test, DivisionByZeroThrows) {
+  EXPECT_THROW(GF256::div(1, 0), std::domain_error);
+  EXPECT_THROW(GF256::inv(0), std::domain_error);
+}
+
+TEST(GF256Test, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 23) {
+    uint8_t ua = static_cast<uint8_t>(a);
+    uint8_t acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(GF256::pow(ua, e), acc);
+      acc = GF256::mul(acc, ua);
+    }
+  }
+  EXPECT_EQ(GF256::pow(0, 0), 1);
+  EXPECT_EQ(GF256::pow(0, 5), 0);
+}
+
+TEST(GF256Test, GeneratorHasFullOrder) {
+  // 3 must generate all 255 non-zero elements.
+  uint8_t x = 1;
+  for (int i = 0; i < 254; ++i) {
+    x = GF256::mul(x, GF256::kGenerator);
+    EXPECT_NE(x, 1) << "order divides " << (i + 1);
+  }
+  EXPECT_EQ(GF256::mul(x, GF256::kGenerator), 1);
+}
+
+}  // namespace
+}  // namespace icc::codec

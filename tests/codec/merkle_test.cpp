@@ -1,0 +1,138 @@
+#include "codec/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace icc::codec {
+namespace {
+
+std::vector<Bytes> make_leaves(size_t count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Bytes> leaves;
+  for (size_t i = 0; i < count; ++i) leaves.push_back(rng.bytes(64 + i));
+  return leaves;
+}
+
+TEST(MerkleTest, SingleLeaf) {
+  auto leaves = make_leaves(1, 1);
+  MerkleTree tree(leaves);
+  auto proof = tree.prove(0);
+  EXPECT_TRUE(proof.path.empty());
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), 1, leaves[0], proof));
+}
+
+TEST(MerkleTest, AllLeavesProveForVariousSizes) {
+  for (size_t count : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 40u}) {
+    auto leaves = make_leaves(count, count);
+    MerkleTree tree(leaves);
+    for (size_t i = 0; i < count; ++i) {
+      auto proof = tree.prove(i);
+      EXPECT_TRUE(MerkleTree::verify(tree.root(), count, leaves[i], proof))
+          << "count " << count << " leaf " << i;
+    }
+  }
+}
+
+TEST(MerkleTest, WrongLeafDataRejected) {
+  auto leaves = make_leaves(8, 2);
+  MerkleTree tree(leaves);
+  auto proof = tree.prove(3);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 8, leaves[4], proof));
+}
+
+TEST(MerkleTest, WrongIndexRejected) {
+  auto leaves = make_leaves(8, 3);
+  MerkleTree tree(leaves);
+  auto proof = tree.prove(3);
+  proof.leaf_index = 5;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 8, leaves[3], proof));
+}
+
+TEST(MerkleTest, TamperedPathRejected) {
+  auto leaves = make_leaves(8, 4);
+  MerkleTree tree(leaves);
+  auto proof = tree.prove(2);
+  proof.path[1][0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 8, leaves[2], proof));
+}
+
+TEST(MerkleTest, WrongRootRejected) {
+  auto leaves = make_leaves(4, 5);
+  MerkleTree tree(leaves);
+  auto proof = tree.prove(0);
+  MerkleRoot bad = tree.root();
+  bad[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(bad, 4, leaves[0], proof));
+}
+
+TEST(MerkleTest, PathLengthMismatchRejected) {
+  auto leaves = make_leaves(8, 6);
+  MerkleTree tree(leaves);
+  auto proof = tree.prove(0);
+  proof.path.pop_back();
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 8, leaves[0], proof));
+  proof = tree.prove(0);
+  proof.path.push_back(proof.path[0]);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 8, leaves[0], proof));
+}
+
+TEST(MerkleTest, OutOfRangeIndexRejected) {
+  auto leaves = make_leaves(4, 7);
+  MerkleTree tree(leaves);
+  auto proof = tree.prove(1);
+  proof.leaf_index = 9;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 4, leaves[1], proof));
+}
+
+TEST(MerkleTest, DistinctLeavesDistinctRoots) {
+  auto a = make_leaves(4, 8);
+  auto b = make_leaves(4, 9);
+  EXPECT_NE(MerkleTree(a).root(), MerkleTree(b).root());
+}
+
+TEST(MerkleTest, LeafNodeDomainSeparation) {
+  // A single leaf whose content equals an interior-node preimage must not
+  // produce the same root as the two-leaf tree it mimics (0x00/0x01 prefix).
+  auto leaves = make_leaves(2, 10);
+  MerkleTree two(leaves);
+  // Forged "leaf" = concatenation of the two leaf hashes.
+  Bytes forged;
+  auto h0 = MerkleTree::hash_leaf(leaves[0]);
+  auto h1 = MerkleTree::hash_leaf(leaves[1]);
+  append(forged, BytesView(h0.data(), 32));
+  append(forged, BytesView(h1.data(), 32));
+  MerkleTree one({forged});
+  EXPECT_NE(one.root(), two.root());
+}
+
+TEST(MerkleTest, ProofSerializationRoundTrip) {
+  auto leaves = make_leaves(13, 11);
+  MerkleTree tree(leaves);
+  auto proof = tree.prove(7);
+  Bytes ser = proof.serialize();
+  auto back = MerkleProof::deserialize(ser);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), 13, leaves[7], *back));
+}
+
+TEST(MerkleTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(MerkleProof::deserialize(Bytes(3)).has_value());
+  Bytes huge;
+  put_u32le(huge, 0);
+  put_u32le(huge, 1000);  // absurd path length
+  EXPECT_FALSE(MerkleProof::deserialize(huge).has_value());
+}
+
+TEST(MerkleTest, ProveOutOfRangeThrows) {
+  auto leaves = make_leaves(4, 12);
+  MerkleTree tree(leaves);
+  EXPECT_THROW(tree.prove(4), std::out_of_range);
+}
+
+TEST(MerkleTest, EmptyTreeRejected) {
+  EXPECT_THROW(MerkleTree(std::vector<Bytes>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icc::codec

@@ -1,0 +1,141 @@
+#include "codec/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace icc::codec {
+namespace {
+
+Bytes random_data(size_t len, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return rng.bytes(len);
+}
+
+TEST(ReedSolomonTest, SystematicFragmentsAreData) {
+  ReedSolomon rs(3, 7);
+  Bytes data = random_data(300, 1);
+  auto frags = rs.encode(data);
+  ASSERT_EQ(frags.size(), 7u);
+  Bytes reassembled;
+  for (size_t i = 0; i < 3; ++i) append(reassembled, BytesView(frags[i].data));
+  reassembled.resize(data.size());
+  EXPECT_EQ(reassembled, data);
+}
+
+TEST(ReedSolomonTest, DecodeFromDataFragments) {
+  ReedSolomon rs(4, 10);
+  Bytes data = random_data(1000, 2);
+  auto frags = rs.encode(data);
+  std::vector<Fragment> subset(frags.begin(), frags.begin() + 4);
+  auto decoded = rs.decode(subset, data.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomonTest, DecodeFromParityOnly) {
+  ReedSolomon rs(4, 10);
+  Bytes data = random_data(777, 3);
+  auto frags = rs.encode(data);
+  std::vector<Fragment> subset(frags.begin() + 6, frags.begin() + 10);
+  auto decoded = rs.decode(subset, data.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomonTest, DecodeFromMixedFragments) {
+  ReedSolomon rs(5, 9);
+  Bytes data = random_data(512, 4);
+  auto frags = rs.encode(data);
+  std::vector<Fragment> subset = {frags[0], frags[8], frags[2], frags[7], frags[4]};
+  auto decoded = rs.decode(subset, data.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomonTest, TooFewFragmentsFails) {
+  ReedSolomon rs(4, 10);
+  Bytes data = random_data(100, 5);
+  auto frags = rs.encode(data);
+  std::vector<Fragment> subset(frags.begin(), frags.begin() + 3);
+  EXPECT_FALSE(rs.decode(subset, data.size()).has_value());
+}
+
+TEST(ReedSolomonTest, DuplicateIndicesDontCount) {
+  ReedSolomon rs(3, 6);
+  Bytes data = random_data(90, 6);
+  auto frags = rs.encode(data);
+  std::vector<Fragment> subset = {frags[0], frags[0], frags[0], frags[1]};
+  EXPECT_FALSE(rs.decode(subset, data.size()).has_value());
+}
+
+TEST(ReedSolomonTest, OutOfRangeIndicesIgnored) {
+  ReedSolomon rs(2, 4);
+  Bytes data = random_data(64, 7);
+  auto frags = rs.encode(data);
+  Fragment bogus{200, Bytes(frags[0].data.size(), 0xaa)};
+  std::vector<Fragment> subset = {bogus, frags[1], frags[3]};
+  auto decoded = rs.decode(subset, data.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomonTest, RejectsBadParameters) {
+  EXPECT_THROW(ReedSolomon(0, 4), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(5, 4), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(1, 256), std::invalid_argument);
+}
+
+TEST(ReedSolomonTest, UnalignedDataLengthPadsCorrectly) {
+  ReedSolomon rs(3, 5);
+  for (size_t len : {1u, 2u, 3u, 4u, 100u, 101u}) {
+    Bytes data = random_data(len, 100 + len);
+    auto frags = rs.encode(data);
+    std::vector<Fragment> subset = {frags[4], frags[1], frags[3]};
+    auto decoded = rs.decode(subset, len);
+    ASSERT_TRUE(decoded.has_value()) << "len " << len;
+    EXPECT_EQ(*decoded, data) << "len " << len;
+  }
+}
+
+TEST(ReedSolomonTest, EmptyDataRoundTrips) {
+  ReedSolomon rs(2, 4);
+  auto frags = rs.encode(Bytes{});
+  EXPECT_EQ(frags[0].data.size(), 0u);
+  std::vector<Fragment> subset(frags.begin(), frags.begin() + 2);
+  auto decoded = rs.decode(subset, 0);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+// Property sweep: BFT-shaped (k = n - 2t) configurations, random erasures.
+class RsParamTest : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(RsParamTest, RandomErasuresReconstruct) {
+  auto [k, n, data_len] = GetParam();
+  ReedSolomon rs(k, n);
+  Bytes data = random_data(data_len, 31 * k + n + data_len);
+  auto frags = rs.encode(data);
+  Xoshiro256 rng(k * 1000 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(frags.begin(), frags.end(), rng);
+    std::vector<Fragment> subset(frags.begin(), frags.begin() + k);
+    auto decoded = rs.decode(subset, data.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RsParamTest,
+    ::testing::Values(std::make_tuple(2, 4, 1000),      // n=4, t=1
+                      std::make_tuple(5, 13, 4096),     // n=13, t=4
+                      std::make_tuple(14, 40, 8192),    // n=40, t=13
+                      std::make_tuple(1, 3, 128),       // k=1 degenerate: replication
+                      std::make_tuple(7, 7, 700),       // no parity
+                      std::make_tuple(85, 255, 4096))); // field-limit shape
+
+}  // namespace
+}  // namespace icc::codec

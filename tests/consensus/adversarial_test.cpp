@@ -1,0 +1,209 @@
+// Adversarial robustness beyond the structured Byzantine behaviours: raw
+// garbage injection, replay, partitions/laggards, and invariant checks under
+// combined attacks. The bar: honest parties never crash, never violate
+// safety, and keep making progress.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+
+namespace icc::harness {
+namespace {
+
+using consensus::ByzantineBehavior;
+
+/// Broadcasts malformed and semi-formed junk at a steady rate, and replays
+/// every message it receives back to everyone (amplification + replay).
+class GarbageSpammer : public sim::Process {
+ public:
+  void start(sim::Context& ctx) override { tick(ctx); }
+
+  void receive(sim::Context& ctx, sim::PartyIndex, BytesView payload) override {
+    // Replay everything verbatim (stale/duplicate injection).
+    if (replayed_ < 2000) {
+      ++replayed_;
+      ctx.broadcast(Bytes(payload.begin(), payload.end()));
+    }
+  }
+
+ private:
+  void tick(sim::Context& ctx) {
+    // 1) pure noise
+    ctx.broadcast(ctx.rng().bytes(64));
+    // 2) valid envelope, garbage crypto
+    types::NotarizationShareMsg ns;
+    ns.round = static_cast<types::Round>(ctx.rng().below(50));
+    ns.proposer = static_cast<types::PartyIndex>(ctx.rng().below(7));
+    ns.signer = static_cast<types::PartyIndex>(ctx.rng().below(7));
+    ns.share = ctx.rng().bytes(48);
+    ctx.broadcast(types::serialize_message(types::Message{ns}));
+    // 3) an unauthenticated block
+    types::ProposalMsg pm;
+    pm.block.round = static_cast<types::Round>(1 + ctx.rng().below(50));
+    pm.block.proposer = static_cast<types::PartyIndex>(ctx.rng().below(7));
+    pm.block.parent_hash = types::root_hash();
+    pm.block.payload = ctx.rng().bytes(100);
+    pm.authenticator = ctx.rng().bytes(64);
+    ctx.broadcast(types::serialize_message(types::Message{pm}));
+
+    sim::Context c = ctx;
+    ctx.set_timer(sim::msec(20), [this, c]() mutable { tick(c); });
+  }
+
+  int replayed_ = 0;
+};
+
+TEST(AdversarialTest, GarbageAndReplaySpamIsHarmless) {
+  ClusterOptions o;
+  o.n = 7;
+  o.t = 2;
+  o.seed = 71;
+  o.delta_bnd = sim::msec(100);
+  o.prune_lag = 0;
+  o.delay_model = [](size_t, uint64_t) {
+    return std::make_unique<sim::FixedDelay>(sim::msec(10));
+  };
+  o.custom_process = [](sim::PartyIndex i) -> std::unique_ptr<sim::Process> {
+    if (i == 1 || i == 4) return std::make_unique<GarbageSpammer>();
+    return nullptr;
+  };
+  Cluster c(o);
+  c.run_for(sim::seconds(10));
+  EXPECT_GE(c.min_honest_committed(), 10u);
+  auto safety = c.check_safety();
+  EXPECT_FALSE(safety.has_value()) << *safety;
+  auto p2 = c.check_p2();
+  EXPECT_FALSE(p2.has_value()) << *p2;
+}
+
+/// Delay model that cuts one party off from everyone for a time window
+/// (extreme one-node partition), then heals.
+class PartitionedDelay final : public sim::DelayModel {
+ public:
+  PartitionedDelay(sim::PartyIndex victim, sim::Time heal_at)
+      : victim_(victim), heal_at_(heal_at) {}
+
+  sim::Duration delay(sim::PartyIndex from, sim::PartyIndex to, sim::Time now, size_t,
+                      Xoshiro256&) override {
+    if ((from == victim_ || to == victim_) && now < heal_at_) {
+      // Deliver only after healing (eventual delivery preserved).
+      return (heal_at_ - now) + sim::msec(10);
+    }
+    return sim::msec(10);
+  }
+
+ private:
+  sim::PartyIndex victim_;
+  sim::Time heal_at_;
+};
+
+TEST(AdversarialTest, PartitionedReplicaCatchesUp) {
+  ClusterOptions o;
+  o.n = 4;
+  o.t = 1;
+  o.seed = 72;
+  o.delta_bnd = sim::msec(100);
+  o.prune_lag = 0;
+  o.delay_model = [](size_t, uint64_t) -> std::unique_ptr<sim::DelayModel> {
+    return std::make_unique<PartitionedDelay>(3, sim::seconds(5));
+  };
+  Cluster c(o);
+  c.run_for(sim::seconds(4));
+  // During the partition the victim is stuck near round 1...
+  EXPECT_LE(c.party(3)->current_round(), 2u);
+  size_t others = c.party(0)->committed().size();
+  EXPECT_GE(others, 10u);  // ...while the other three keep going (n-t = 3).
+  c.run_for(sim::seconds(6));
+  // After healing, the victim replays the backlog and catches up fully.
+  EXPECT_GE(c.party(3)->committed().size(), others);
+  auto safety = c.check_safety();
+  EXPECT_FALSE(safety.has_value()) << *safety;
+}
+
+TEST(AdversarialTest, CombinedAttackAtThreshold) {
+  // t = 4 corrupt out of 13: one equivocator, one censor, one withholder,
+  // one crash — all at once, under jittery delays.
+  ClusterOptions o;
+  o.n = 13;
+  o.t = 4;
+  o.seed = 73;
+  o.delta_bnd = sim::msec(150);
+  o.prune_lag = 0;
+  o.delay_model = [](size_t, uint64_t) {
+    return std::make_unique<sim::UniformDelay>(sim::msec(2), sim::msec(25));
+  };
+  ByzantineBehavior eq;
+  eq.equivocate = true;
+  ByzantineBehavior censor;
+  censor.empty_payload = true;
+  ByzantineBehavior withhold;
+  withhold.withhold_notarization = true;
+  withhold.withhold_finalization = true;
+  o.corrupt = {{1, eq}, {5, censor}, {8, withhold}, {11, Crashed{}}};
+  Cluster c(o);
+  c.run_for(sim::seconds(15));
+  EXPECT_GE(c.min_honest_committed(), 10u);
+  auto safety = c.check_safety();
+  EXPECT_FALSE(safety.has_value()) << *safety;
+  auto p2 = c.check_p2();
+  EXPECT_FALSE(p2.has_value()) << *p2;
+}
+
+TEST(AdversarialTest, RepeatedAsynchronyWindows) {
+  ClusterOptions o;
+  o.n = 7;
+  o.t = 2;
+  o.seed = 74;
+  o.delta_bnd = sim::msec(100);
+  o.prune_lag = 0;
+  o.delay_model = [](size_t, uint64_t) {
+    return std::make_unique<sim::FixedDelay>(sim::msec(10));
+  };
+  consensus::ByzantineBehavior eq;
+  eq.equivocate = true;
+  o.corrupt = {{2, eq}, {5, eq}};
+  Cluster c(o);
+  for (int i = 0; i < 8; ++i) {
+    c.sim().network().synchrony().add_async_window(sim::seconds(2 * i) + sim::msec(700),
+                                                   sim::seconds(2 * i + 2));
+  }
+  c.run_for(sim::seconds(20));
+  EXPECT_GE(c.min_honest_committed(), 5u);
+  auto safety = c.check_safety();
+  EXPECT_FALSE(safety.has_value()) << *safety;
+  auto p2 = c.check_p2();
+  EXPECT_FALSE(p2.has_value()) << *p2;
+}
+
+/// Seed sweep: the safety invariants must hold for every random schedule.
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, InvariantsHoldUnderRandomSchedules) {
+  ClusterOptions o;
+  o.n = 7;
+  o.t = 2;
+  o.seed = GetParam();
+  o.delta_bnd = sim::msec(80);
+  o.prune_lag = 0;
+  o.delay_model = [](size_t, uint64_t seed) {
+    return std::make_unique<sim::UniformDelay>(sim::msec(1) + seed % 5, sim::msec(40));
+  };
+  ByzantineBehavior eq;
+  eq.equivocate = true;
+  eq.withhold_finalization = true;
+  o.corrupt = {{GetParam() % 7 == 0 ? 1u : static_cast<sim::PartyIndex>(GetParam() % 7), eq},
+               {6, Crashed{}}};
+  Cluster c(o);
+  c.run_for(sim::seconds(8));
+  EXPECT_GE(c.min_honest_committed(), 3u);
+  auto safety = c.check_safety();
+  EXPECT_FALSE(safety.has_value()) << *safety;
+  auto p2 = c.check_p2();
+  EXPECT_FALSE(p2.has_value()) << *p2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808, 909,
+                                           1010, 1111, 1212));
+
+}  // namespace
+}  // namespace icc::harness

@@ -1,0 +1,272 @@
+// White-box tests of the Fig. 1 clause semantics, driving a single honest
+// Icc0Party with hand-crafted adversarial message sequences and observing
+// its broadcasts:
+//   * clause (c) endorsement: exactly one notarization share per rank;
+//   * equivocation: echo of the second block, rank disqualification, NO
+//     second share for that rank, fallback to the next rank;
+//   * clause (a): finalization share only when N ⊆ {B}.
+#include <gtest/gtest.h>
+
+#include "consensus/icc0.hpp"
+#include "consensus/permutation.hpp"
+#include "sim/simulation.hpp"
+
+namespace icc::consensus {
+namespace {
+
+using types::Message;
+
+/// Captures everything a party broadcasts.
+class Recorder : public sim::Process {
+ public:
+  void start(sim::Context&) override {}
+  void receive(sim::Context&, sim::PartyIndex from, BytesView payload) override {
+    auto msg = types::parse_message(payload);
+    if (msg) received.emplace_back(from, *msg);
+  }
+  std::vector<std::pair<sim::PartyIndex, Message>> received;
+
+  template <typename T>
+  std::vector<T> of_type(sim::PartyIndex from) const {
+    std::vector<T> out;
+    for (const auto& [f, m] : received) {
+      if (f != from) continue;
+      if (const T* t = std::get_if<T>(&m)) out.push_back(*t);
+    }
+    return out;
+  }
+};
+
+/// Find a provider seed whose round-1 permutation satisfies `pred` (e.g.
+/// "the subject, party 0, holds neither rank 0 nor rank 1").
+uint64_t find_seed(const std::function<bool(const RoundRanks&)>& pred) {
+  for (uint64_t seed = 1; seed < 500; ++seed) {
+    auto crypto = crypto::make_fast_provider(4, 1, seed);
+    Bytes msg1 = types::beacon_message(1, types::genesis_beacon());
+    std::vector<std::pair<crypto::PartyIndex, Bytes>> shares;
+    for (crypto::PartyIndex i = 1; i <= 2; ++i)
+      shares.emplace_back(i, crypto->beacon_sign_share(i, msg1));
+    Bytes beacon = crypto->beacon_combine(msg1, shares);
+    if (pred(ranks_from_beacon(beacon, 4))) return seed;
+  }
+  ADD_FAILURE() << "no suitable seed found";
+  return 1;
+}
+
+uint64_t seed_with_subject_unranked() {
+  return find_seed([](const RoundRanks& r) { return r.by_rank[0] != 0 && r.by_rank[1] != 0; });
+}
+
+struct Fixture {
+  static constexpr size_t kN = 4, kT = 1;
+  std::unique_ptr<crypto::CryptoProvider> crypto;
+  sim::Simulation sim;
+  Icc0Party* subject = nullptr;  // party 0, the only real party
+  Recorder* observer = nullptr;  // party 1 records the subject's broadcasts
+  Bytes beacon1;
+  RoundRanks ranks;
+
+  explicit Fixture(uint64_t seed)
+      : crypto(crypto::make_fast_provider(kN, kT, seed)),
+        sim(kN, std::make_unique<sim::FixedDelay>(sim::msec(1)), seed) {
+    PartyConfig pc;
+    pc.crypto = crypto.get();
+    pc.delays.delta_bnd = sim::msec(50);
+    pc.payload = std::make_shared<FixedSizePayload>(16);
+    auto party = std::make_unique<Icc0Party>(0, pc);
+    subject = party.get();
+    sim.network().set_process(0, std::move(party));
+    for (sim::PartyIndex i = 1; i < kN; ++i) {
+      auto rec = std::make_unique<Recorder>();
+      if (i == 1) observer = rec.get();
+      sim.network().set_process(i, std::move(rec));
+    }
+    sim.start();
+
+    // Feed beacon shares for round 1 from parties 1, 2 (threshold t+1 = 2).
+    Bytes msg1 = types::beacon_message(1, types::genesis_beacon());
+    std::vector<std::pair<crypto::PartyIndex, Bytes>> shares;
+    for (crypto::PartyIndex i = 1; i <= 2; ++i) {
+      Bytes share = crypto->beacon_sign_share(i, msg1);
+      shares.emplace_back(i, share);
+      send_from(i, Message{types::BeaconShareMsg{1, i, share}});
+    }
+    beacon1 = crypto->beacon_combine(msg1, shares);
+    ranks = ranks_from_beacon(beacon1, kN);
+    sim.run_until(sim::msec(5));
+    EXPECT_EQ(subject->current_round(), 1u) << "subject should be in round 1";
+  }
+
+  void send_from(sim::PartyIndex from, const Message& m) {
+    Bytes wire = types::serialize_message(m);
+    sim.engine().schedule_at(sim.engine().now(), [this, from, wire] {
+      sim::Context ctx(sim.network(), from);
+      ctx.send(0, wire);
+    });
+  }
+
+  types::ProposalMsg make_proposal(types::PartyIndex proposer, uint8_t salt) {
+    types::Block b;
+    b.round = 1;
+    b.proposer = proposer;
+    b.parent_hash = types::root_hash();
+    b.payload = Bytes{salt};
+    types::ProposalMsg pm;
+    pm.block = b;
+    pm.authenticator = crypto->sign(
+        proposer, types::authenticator_message(1, proposer, b.hash()));
+    return pm;
+  }
+
+  /// Notarization shares the subject (party 0) broadcast, by block hash.
+  std::vector<types::NotarizationShareMsg> subject_notar_shares() {
+    return observer->of_type<types::NotarizationShareMsg>(0);
+  }
+};
+
+TEST(Icc0ClausesTest, SharesExactlyOnePerRankAndDisqualifiesEquivocators) {
+  Fixture f(seed_with_subject_unranked());
+  // Pick a proposer that is NOT the subject.
+  types::PartyIndex leader = f.ranks.by_rank[0];
+  if (leader == 0) leader = f.ranks.by_rank[1];  // subject leads: use rank 1
+  uint32_t leader_rank = f.ranks.rank_of[leader];
+
+  auto block_a = f.make_proposal(leader, 0xA1);
+  auto block_b = f.make_proposal(leader, 0xB2);
+  f.send_from(leader, Message{block_a});
+  f.sim.run_until(f.sim.engine().now() + sim::msec(300));
+
+  // Clause (c): one notarization share for block A.
+  auto shares = f.subject_notar_shares();
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_EQ(shares[0].block_hash, block_a.block.hash());
+  EXPECT_EQ(shares[0].signer, 0u);
+
+  // The equivocating second block: echoed, but NOT endorsed. (The subject
+  // may legitimately endorse a block of a *different* rank afterwards — once
+  // rank 0 is disqualified, the next-best valid block, possibly its own,
+  // becomes the clause-(c) candidate.)
+  f.send_from(leader, Message{block_b});
+  f.sim.run_until(f.sim.engine().now() + sim::msec(300));
+  shares = f.subject_notar_shares();
+  for (const auto& s : shares) {
+    EXPECT_NE(s.block_hash, block_b.block.hash())
+        << "a second block of an already-endorsed rank must never be endorsed";
+  }
+
+  // Echo check: the subject re-broadcast both of the leader's blocks.
+  auto echoes = f.observer->of_type<types::ProposalMsg>(0);
+  size_t leader_blocks = 0;
+  for (const auto& e : echoes) {
+    if (e.block.proposer == leader) ++leader_blocks;
+  }
+  EXPECT_EQ(leader_blocks, 2u) << "both equivocating blocks must be echoed "
+                               << "(rank " << leader_rank << ")";
+}
+
+TEST(Icc0ClausesTest, FallsBackToNextRankAfterDisqualification) {
+  Fixture f(seed_with_subject_unranked());
+  types::PartyIndex leader = f.ranks.by_rank[0];
+  types::PartyIndex backup = f.ranks.by_rank[1];
+  if (leader == 0 || backup == 0) GTEST_SKIP() << "subject holds a needed rank";
+
+  // Equivocating leader first...
+  f.send_from(leader, Message{f.make_proposal(leader, 0xA1)});
+  f.sim.run_until(f.sim.engine().now() + sim::msec(100));
+  f.send_from(leader, Message{f.make_proposal(leader, 0xB2)});
+  f.sim.run_until(f.sim.engine().now() + sim::msec(100));
+  // ...then a block from the next rank.
+  auto backup_block = f.make_proposal(backup, 0xC3);
+  f.send_from(backup, Message{backup_block});
+  // Wait past Delta_ntry(1) = 2 * 50 ms.
+  f.sim.run_until(f.sim.engine().now() + sim::msec(500));
+
+  auto shares = f.subject_notar_shares();
+  ASSERT_EQ(shares.size(), 2u) << "leader's block + backup's block";
+  EXPECT_EQ(shares[1].block_hash, backup_block.block.hash())
+      << "after disqualifying the leader's rank, the next rank is endorsed";
+}
+
+TEST(Icc0ClausesTest, NoFinalizationShareWhenMultipleBlocksEndorsed) {
+  Fixture f(seed_with_subject_unranked());
+  types::PartyIndex leader = f.ranks.by_rank[0];
+  types::PartyIndex backup = f.ranks.by_rank[1];
+  if (leader == 0 || backup == 0) GTEST_SKIP() << "subject holds a needed rank";
+
+  // Make the subject endorse TWO blocks: leader equivocates (disqualified
+  // after the second), then backup's block gets endorsed too.
+  auto block_a = f.make_proposal(leader, 0xA1);
+  f.send_from(leader, Message{block_a});
+  f.sim.run_until(f.sim.engine().now() + sim::msec(100));
+  f.send_from(leader, Message{f.make_proposal(leader, 0xB2)});
+  auto backup_block = f.make_proposal(backup, 0xC3);
+  f.send_from(backup, Message{backup_block});
+  f.sim.run_until(f.sim.engine().now() + sim::msec(500));
+  ASSERT_EQ(f.subject_notar_shares().size(), 2u);
+
+  // Now notarize the backup block with shares from parties 1-3.
+  Bytes canonical = types::notarization_message(1, backup, backup_block.block.hash());
+  for (crypto::PartyIndex i = 1; i <= 3; ++i) {
+    f.send_from(i, Message{types::NotarizationShareMsg{
+                       1, backup, backup_block.block.hash(), i,
+                       f.crypto->threshold_sign_share(crypto::Scheme::kNotary, i,
+                                                      canonical)}});
+  }
+  f.sim.run_until(f.sim.engine().now() + sim::msec(200));
+
+  // Clause (a) fired (round finished, notarization broadcast)...
+  EXPECT_GE(f.subject->current_round(), 2u);
+  EXPECT_FALSE(f.observer->of_type<types::NotarizationMsg>(0).empty());
+  // ...but N = {leader's A, backup's C} is not a subset of {C}: NO
+  // finalization share.
+  EXPECT_TRUE(f.observer->of_type<types::FinalizationShareMsg>(0).empty());
+}
+
+TEST(Icc0ClausesTest, FinalizationShareWhenOnlyOneBlockEndorsed) {
+  Fixture f(seed_with_subject_unranked());
+  types::PartyIndex leader = f.ranks.by_rank[0];
+  if (leader == 0) GTEST_SKIP() << "subject is the leader";
+
+  auto block_a = f.make_proposal(leader, 0xA1);
+  f.send_from(leader, Message{block_a});
+  f.sim.run_until(f.sim.engine().now() + sim::msec(200));
+  ASSERT_EQ(f.subject_notar_shares().size(), 1u);
+
+  Bytes canonical = types::notarization_message(1, leader, block_a.block.hash());
+  for (crypto::PartyIndex i = 1; i <= 3; ++i) {
+    f.send_from(i, Message{types::NotarizationShareMsg{
+                       1, leader, block_a.block.hash(), i,
+                       f.crypto->threshold_sign_share(crypto::Scheme::kNotary, i,
+                                                      canonical)}});
+  }
+  f.sim.run_until(f.sim.engine().now() + sim::msec(200));
+
+  EXPECT_GE(f.subject->current_round(), 2u);
+  auto fshares = f.observer->of_type<types::FinalizationShareMsg>(0);
+  ASSERT_EQ(fshares.size(), 1u) << "N = {B} -> finalization share for B";
+  EXPECT_EQ(fshares[0].block_hash, block_a.block.hash());
+}
+
+TEST(Icc0ClausesTest, LowerRankArrivingLateStillPreferredBeforeShare) {
+  // A rank-1 block arrives first but Delta_ntry(1) has not elapsed; then the
+  // rank-0 block arrives: the subject must endorse rank 0, not rank 1.
+  Fixture f(seed_with_subject_unranked());
+  types::PartyIndex leader = f.ranks.by_rank[0];
+  types::PartyIndex backup = f.ranks.by_rank[1];
+  if (leader == 0 || backup == 0) GTEST_SKIP() << "subject holds a needed rank";
+
+  auto backup_block = f.make_proposal(backup, 0xC3);
+  f.send_from(backup, Message{backup_block});
+  f.sim.run_until(f.sim.engine().now() + sim::msec(20));  // < ntry(1) = 100 ms
+  auto leader_block = f.make_proposal(leader, 0xA1);
+  f.send_from(leader, Message{leader_block});
+  f.sim.run_until(f.sim.engine().now() + sim::msec(50));
+
+  auto shares = f.subject_notar_shares();
+  ASSERT_GE(shares.size(), 1u);
+  EXPECT_EQ(shares[0].block_hash, leader_block.block.hash())
+      << "the leader's block takes priority while its ntry window is open";
+}
+
+}  // namespace
+}  // namespace icc::consensus

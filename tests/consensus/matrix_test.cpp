@@ -1,0 +1,90 @@
+// Full cross-product sweep: every protocol (ICC0/ICC1/ICC2) against every
+// adversary class, asserting the safety, P2 and progress invariants. This is
+// the broad safety net on top of the targeted suites.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+
+namespace icc::harness {
+namespace {
+
+using consensus::ByzantineBehavior;
+
+enum class Adversary { kNone, kCrash, kEquivocate, kCensor, kWithhold, kMixed };
+
+const char* adversary_name(Adversary a) {
+  switch (a) {
+    case Adversary::kNone: return "None";
+    case Adversary::kCrash: return "Crash";
+    case Adversary::kEquivocate: return "Equivocate";
+    case Adversary::kCensor: return "Censor";
+    case Adversary::kWithhold: return "Withhold";
+    case Adversary::kMixed: return "Mixed";
+  }
+  return "?";
+}
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kIcc0: return "Icc0";
+    case Protocol::kIcc1: return "Icc1";
+    case Protocol::kIcc2: return "Icc2";
+  }
+  return "?";
+}
+
+class MatrixTest : public ::testing::TestWithParam<std::tuple<Protocol, Adversary>> {};
+
+TEST_P(MatrixTest, InvariantsHold) {
+  auto [protocol, adversary] = GetParam();
+  ClusterOptions o;
+  o.n = 7;
+  o.t = 2;
+  o.seed = 1000 + static_cast<uint64_t>(adversary) * 17 + static_cast<uint64_t>(protocol);
+  o.protocol = protocol;
+  o.delta_bnd = sim::msec(120);
+  o.payload_size = 300;
+  o.prune_lag = 0;
+  o.delay_model = [](size_t, uint64_t) {
+    return std::make_unique<sim::UniformDelay>(sim::msec(3), sim::msec(18));
+  };
+
+  ByzantineBehavior eq;
+  eq.equivocate = true;
+  ByzantineBehavior censor;
+  censor.empty_payload = true;
+  ByzantineBehavior withhold;
+  withhold.withhold_notarization = true;
+  withhold.withhold_finalization = true;
+  switch (adversary) {
+    case Adversary::kNone: break;
+    case Adversary::kCrash: o.corrupt = {{1, Crashed{}}, {4, Crashed{}}}; break;
+    case Adversary::kEquivocate: o.corrupt = {{1, eq}, {4, eq}}; break;
+    case Adversary::kCensor: o.corrupt = {{1, censor}, {4, censor}}; break;
+    case Adversary::kWithhold: o.corrupt = {{1, withhold}, {4, withhold}}; break;
+    case Adversary::kMixed: o.corrupt = {{1, eq}, {4, Crashed{}}}; break;
+  }
+
+  Cluster c(o);
+  c.run_for(sim::seconds(10));
+  EXPECT_GE(c.min_honest_committed(), 4u);
+  auto safety = c.check_safety();
+  EXPECT_FALSE(safety.has_value()) << *safety;
+  auto p2 = c.check_p2();
+  EXPECT_FALSE(p2.has_value()) << *p2;
+  EXPECT_FALSE(c.check_progress(5).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, MatrixTest,
+    ::testing::Combine(::testing::Values(Protocol::kIcc0, Protocol::kIcc1, Protocol::kIcc2),
+                       ::testing::Values(Adversary::kNone, Adversary::kCrash,
+                                         Adversary::kEquivocate, Adversary::kCensor,
+                                         Adversary::kWithhold, Adversary::kMixed)),
+    [](const auto& info) {
+      return std::string(protocol_name(std::get<0>(info.param))) + "_" +
+             adversary_name(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace icc::harness

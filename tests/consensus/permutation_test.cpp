@@ -1,0 +1,63 @@
+#include "consensus/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "crypto/sha256.hpp"
+
+namespace icc::consensus {
+namespace {
+
+Bytes beacon(int i) { return crypto::sha256(str_bytes("beacon-" + std::to_string(i))); }
+
+TEST(PermutationTest, IsAPermutation) {
+  for (int i = 0; i < 20; ++i) {
+    auto r = ranks_from_beacon(beacon(i), 13);
+    std::vector<bool> seen(13, false);
+    for (auto p : r.by_rank) {
+      ASSERT_LT(p, 13u);
+      EXPECT_FALSE(seen[p]);
+      seen[p] = true;
+    }
+    for (size_t p = 0; p < 13; ++p) EXPECT_EQ(r.by_rank[r.rank_of[p]], p);
+  }
+}
+
+TEST(PermutationTest, DeterministicFromBeacon) {
+  auto a = ranks_from_beacon(beacon(1), 10);
+  auto b = ranks_from_beacon(beacon(1), 10);
+  EXPECT_EQ(a.by_rank, b.by_rank);
+}
+
+TEST(PermutationTest, DifferentBeaconsDifferentOrder) {
+  int identical = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (ranks_from_beacon(beacon(i), 10).by_rank ==
+        ranks_from_beacon(beacon(i + 1000), 10).by_rank)
+      ++identical;
+  }
+  EXPECT_LE(identical, 1);
+}
+
+TEST(PermutationTest, LeaderIsRoughlyUniform) {
+  // Over many beacons, each of n parties should lead ~1/n of the time.
+  const size_t n = 7;
+  std::map<types::PartyIndex, int> counts;
+  const int trials = 7000;
+  for (int i = 0; i < trials; ++i) counts[ranks_from_beacon(beacon(i), n).leader()]++;
+  for (size_t p = 0; p < n; ++p) {
+    EXPECT_GT(counts[p], trials / n / 2) << "party " << p << " leads too rarely";
+    EXPECT_LT(counts[p], trials * 2 / n) << "party " << p << " leads too often";
+  }
+}
+
+TEST(PermutationTest, SinglePartyDegenerate) {
+  auto r = ranks_from_beacon(beacon(0), 1);
+  EXPECT_EQ(r.leader(), 0u);
+  EXPECT_EQ(r.rank_of[0], 0u);
+}
+
+}  // namespace
+}  // namespace icc::consensus

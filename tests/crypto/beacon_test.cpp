@@ -1,0 +1,148 @@
+#include "crypto/beacon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace icc::crypto {
+namespace {
+
+struct Setup {
+  BeaconKeys keys;
+  Bytes message;
+  std::vector<BeaconShare> shares;  // one per party
+};
+
+Setup make_setup(size_t n, size_t t, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Setup s;
+  s.keys = beacon_keygen(n, t, rng);
+  s.message = str_bytes("beacon round 7");
+  for (size_t i = 0; i < n; ++i) {
+    s.shares.push_back(
+        beacon_sign_share(s.message, static_cast<uint32_t>(i), s.keys.secret_shares[i],
+                          s.keys.pub));
+  }
+  return s;
+}
+
+TEST(BeaconTest, SharesVerify) {
+  auto s = make_setup(7, 2, 1);
+  for (const auto& share : s.shares)
+    EXPECT_TRUE(beacon_verify_share(s.message, share, s.keys.pub));
+}
+
+TEST(BeaconTest, ShareForWrongMessageRejected) {
+  auto s = make_setup(4, 1, 2);
+  EXPECT_FALSE(beacon_verify_share(str_bytes("other message"), s.shares[0], s.keys.pub));
+}
+
+TEST(BeaconTest, ShareWithWrongSignerRejected) {
+  auto s = make_setup(4, 1, 3);
+  BeaconShare forged = s.shares[0];
+  forged.signer = 1;  // claim someone else's share
+  EXPECT_FALSE(beacon_verify_share(s.message, forged, s.keys.pub));
+}
+
+TEST(BeaconTest, CombinedValueIsUniqueAcrossQuorums) {
+  // The defining property of the beacon (Section 2.3): any t+1 shares yield
+  // the same sigma.
+  auto s = make_setup(7, 2, 4);
+  std::vector<BeaconShare> q1(s.shares.begin(), s.shares.begin() + 3);
+  std::vector<BeaconShare> q2(s.shares.end() - 3, s.shares.end());
+  std::vector<BeaconShare> q3 = {s.shares[0], s.shares[3], s.shares[6]};
+  auto s1 = beacon_combine(q1, s.keys.pub);
+  auto s2 = beacon_combine(q2, s.keys.pub);
+  auto s3 = beacon_combine(q3, s.keys.pub);
+  ASSERT_TRUE(s1 && s2 && s3);
+  EXPECT_EQ(*s1, *s2);
+  EXPECT_EQ(*s1, *s3);
+  // And it equals s * H(m) computed directly from the group secret.
+  Sc25519 group_secret = shamir_reconstruct(std::vector<ShamirShare>{
+      {1, s.keys.secret_shares[0]}, {2, s.keys.secret_shares[1]}, {3, s.keys.secret_shares[2]}});
+  EXPECT_EQ(*s1, beacon_message_point(s.message).mul(group_secret));
+}
+
+TEST(BeaconTest, TooFewSharesFail) {
+  auto s = make_setup(7, 2, 5);
+  std::vector<BeaconShare> q(s.shares.begin(), s.shares.begin() + 2);
+  EXPECT_FALSE(beacon_combine(q, s.keys.pub).has_value());
+}
+
+TEST(BeaconTest, DuplicateSignersDontCount) {
+  auto s = make_setup(7, 2, 6);
+  std::vector<BeaconShare> q = {s.shares[0], s.shares[0], s.shares[0], s.shares[1]};
+  EXPECT_FALSE(beacon_combine(q, s.keys.pub).has_value());
+}
+
+TEST(BeaconTest, ValueIsStableAndMessageDependent) {
+  auto s = make_setup(4, 1, 7);
+  std::vector<BeaconShare> q(s.shares.begin(), s.shares.begin() + 2);
+  auto sigma = beacon_combine(q, s.keys.pub);
+  ASSERT_TRUE(sigma);
+  Bytes v1 = beacon_value(*sigma);
+  EXPECT_EQ(v1.size(), 32u);
+  EXPECT_EQ(v1, beacon_value(*sigma));
+
+  Bytes other = str_bytes("different round");
+  std::vector<BeaconShare> q2;
+  for (size_t i = 0; i < 2; ++i)
+    q2.push_back(beacon_sign_share(other, static_cast<uint32_t>(i),
+                                   s.keys.secret_shares[i], s.keys.pub));
+  auto sigma2 = beacon_combine(q2, s.keys.pub);
+  ASSERT_TRUE(sigma2);
+  EXPECT_NE(v1, beacon_value(*sigma2));
+}
+
+TEST(BeaconTest, ShareSerializationRoundTrip) {
+  auto s = make_setup(4, 1, 8);
+  Bytes ser = s.shares[2].serialize();
+  auto back = BeaconShare::deserialize(ser);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->signer, 2u);
+  EXPECT_TRUE(beacon_verify_share(s.message, *back, s.keys.pub));
+}
+
+TEST(BeaconTest, DeserializeRejectsBadLengthAndGarbageFailsVerify) {
+  EXPECT_FALSE(BeaconShare::deserialize(Bytes(10)).has_value());
+  EXPECT_FALSE(BeaconShare::deserialize(Bytes(101)).has_value());
+  // A correctly-sized buffer may parse (any y coordinate on the curve), but
+  // it can never verify against the share public keys.
+  auto s = make_setup(4, 1, 99);
+  Bytes junk(100, 0x01);
+  auto parsed = BeaconShare::deserialize(junk);
+  if (parsed) {
+    EXPECT_FALSE(beacon_verify_share(s.message, *parsed, s.keys.pub));
+  }
+}
+
+TEST(BeaconTest, ChainedBeaconUnpredictableWithoutHonestShare) {
+  // R_k = sig(R_{k-1}); holding only t shares, combining fails.
+  auto s = make_setup(4, 1, 9);
+  std::vector<BeaconShare> adversary_shares = {s.shares[0]};  // t = 1 share
+  EXPECT_FALSE(beacon_combine(adversary_shares, s.keys.pub).has_value());
+}
+
+class BeaconParamTest : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(BeaconParamTest, EndToEnd) {
+  auto [t, n] = GetParam();
+  auto s = make_setup(n, t, 1000 + n * 31 + t);
+  // Combine from a random (t+1)-subset.
+  Xoshiro256 rng(n * 7 + t);
+  std::shuffle(s.shares.begin(), s.shares.end(), rng);
+  std::vector<BeaconShare> q(s.shares.begin(), s.shares.begin() + t + 1);
+  for (const auto& share : q) EXPECT_TRUE(beacon_verify_share(s.message, share, s.keys.pub));
+  auto sigma = beacon_combine(q, s.keys.pub);
+  ASSERT_TRUE(sigma.has_value());
+  EXPECT_EQ(beacon_value(*sigma).size(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, BeaconParamTest,
+                         ::testing::Values(std::pair<size_t, size_t>{1, 4},
+                                           std::pair<size_t, size_t>{2, 7},
+                                           std::pair<size_t, size_t>{4, 13},
+                                           std::pair<size_t, size_t>{0, 3}));
+
+}  // namespace
+}  // namespace icc::crypto

@@ -1,0 +1,86 @@
+#include "crypto/dleq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/shamir.hpp"
+#include "support/rng.hpp"
+
+namespace icc::crypto {
+namespace {
+
+struct Statement {
+  Point g1, p1, g2, p2;
+  Sc25519 secret;
+};
+
+Statement make_statement(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Statement s;
+  s.secret = random_scalar(rng);
+  s.g1 = Point::base();
+  s.g2 = hash_to_point("dleq-test", rng.bytes(16));
+  s.p1 = s.g1.mul(s.secret);
+  s.p2 = s.g2.mul(s.secret);
+  return s;
+}
+
+TEST(DleqTest, HonestProofVerifies) {
+  auto s = make_statement(1);
+  auto proof = dleq_prove(s.g1, s.p1, s.g2, s.p2, s.secret);
+  EXPECT_TRUE(dleq_verify(s.g1, s.p1, s.g2, s.p2, proof));
+}
+
+TEST(DleqTest, WrongSecondPointRejected) {
+  auto s = make_statement(2);
+  auto proof = dleq_prove(s.g1, s.p1, s.g2, s.p2, s.secret);
+  Point wrong = s.p2 + Point::base();
+  EXPECT_FALSE(dleq_verify(s.g1, s.p1, s.g2, wrong, proof));
+}
+
+TEST(DleqTest, MismatchedExponentsRejected) {
+  // p1 = x*g1 but p2 = y*g2 with x != y: prover cannot produce a valid proof
+  // with either secret.
+  Xoshiro256 rng(3);
+  Sc25519 x = random_scalar(rng), y = random_scalar(rng);
+  Point g1 = Point::base();
+  Point g2 = hash_to_point("dleq-test", str_bytes("g2"));
+  Point p1 = g1.mul(x), p2 = g2.mul(y);
+  EXPECT_FALSE(dleq_verify(g1, p1, g2, p2, dleq_prove(g1, p1, g2, p2, x)));
+  EXPECT_FALSE(dleq_verify(g1, p1, g2, p2, dleq_prove(g1, p1, g2, p2, y)));
+}
+
+TEST(DleqTest, TamperedProofRejected) {
+  auto s = make_statement(4);
+  auto proof = dleq_prove(s.g1, s.p1, s.g2, s.p2, s.secret);
+  DleqProof bad = proof;
+  bad.z = bad.z + Sc25519::one();
+  EXPECT_FALSE(dleq_verify(s.g1, s.p1, s.g2, s.p2, bad));
+  bad = proof;
+  bad.c = bad.c + Sc25519::one();
+  EXPECT_FALSE(dleq_verify(s.g1, s.p1, s.g2, s.p2, bad));
+}
+
+TEST(DleqTest, SerializationRoundTrip) {
+  auto s = make_statement(5);
+  auto proof = dleq_prove(s.g1, s.p1, s.g2, s.p2, s.secret);
+  Bytes ser = proof.serialize();
+  EXPECT_EQ(ser.size(), 64u);
+  auto back = DleqProof::deserialize(ser);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(dleq_verify(s.g1, s.p1, s.g2, s.p2, *back));
+}
+
+TEST(DleqTest, DeserializeRejectsBadLength) {
+  EXPECT_FALSE(DleqProof::deserialize(Bytes(63)).has_value());
+  EXPECT_FALSE(DleqProof::deserialize(Bytes(65)).has_value());
+}
+
+TEST(DleqTest, ProofIsDeterministic) {
+  auto s = make_statement(6);
+  auto p1 = dleq_prove(s.g1, s.p1, s.g2, s.p2, s.secret);
+  auto p2 = dleq_prove(s.g1, s.p1, s.g2, s.p2, s.secret);
+  EXPECT_EQ(p1.serialize(), p2.serialize());
+}
+
+}  // namespace
+}  // namespace icc::crypto

@@ -1,0 +1,118 @@
+#include "crypto/fe25519.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace icc::crypto {
+namespace {
+
+Fe25519 random_fe(Xoshiro256& rng) {
+  Bytes b = rng.bytes(32);
+  return Fe25519::from_bytes(b.data());
+}
+
+TEST(Fe25519Test, ZeroAndOne) {
+  EXPECT_TRUE(Fe25519::zero().is_zero());
+  EXPECT_FALSE(Fe25519::one().is_zero());
+  EXPECT_EQ(Fe25519::one() * Fe25519::one(), Fe25519::one());
+}
+
+TEST(Fe25519Test, AddSubInverse) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Fe25519 a = random_fe(rng), b = random_fe(rng);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a - a, Fe25519::zero());
+  }
+}
+
+TEST(Fe25519Test, MulCommutativeAssociativeDistributive) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 30; ++i) {
+    Fe25519 a = random_fe(rng), b = random_fe(rng), c = random_fe(rng);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(Fe25519Test, SquareMatchesMul) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 30; ++i) {
+    Fe25519 a = random_fe(rng);
+    EXPECT_EQ(a.square(), a * a);
+  }
+}
+
+TEST(Fe25519Test, InvertIsInverse) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 20; ++i) {
+    Fe25519 a = random_fe(rng);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a * a.invert(), Fe25519::one());
+  }
+}
+
+TEST(Fe25519Test, InvertZeroIsZero) {
+  EXPECT_TRUE(Fe25519::zero().invert().is_zero());
+}
+
+TEST(Fe25519Test, SqrtM1SquaresToMinusOne) {
+  Fe25519 i = Fe25519::sqrt_m1();
+  EXPECT_EQ(i.square(), Fe25519::one().negate());
+}
+
+TEST(Fe25519Test, BytesRoundTrip) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Bytes b = rng.bytes(32);
+    b[31] &= 0x7f;  // clear the bit dropped by from_bytes
+    // Skip non-canonical values >= p (top 255 bits all close to p).
+    Fe25519 a = Fe25519::from_bytes(b.data());
+    Bytes out = a.to_bytes();
+    Fe25519 again = Fe25519::from_bytes(out.data());
+    EXPECT_EQ(a, again);
+  }
+}
+
+TEST(Fe25519Test, CanonicalReductionOfP) {
+  // p itself must serialize as zero.
+  Bytes p = from_hex("edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+  Fe25519 a = Fe25519::from_bytes(p.data());
+  EXPECT_TRUE(a.is_zero());
+  // p + 1 must serialize as one.
+  Bytes p1 = from_hex("eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+  EXPECT_EQ(Fe25519::from_bytes(p1.data()), Fe25519::one());
+}
+
+TEST(Fe25519Test, NegateIsAdditiveInverse) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 30; ++i) {
+    Fe25519 a = random_fe(rng);
+    EXPECT_TRUE((a + a.negate()).is_zero());
+  }
+}
+
+TEST(Fe25519Test, EdwardsDConstant) {
+  // d = -121665/121666: check 121666 * d == -121665.
+  Fe25519 d = Fe25519::edwards_d();
+  EXPECT_EQ(Fe25519::from_u64(121666) * d, Fe25519::from_u64(121665).negate());
+  EXPECT_EQ(Fe25519::edwards_2d(), d + d);
+}
+
+TEST(Fe25519Test, IsNegativeMatchesLsb) {
+  EXPECT_FALSE(Fe25519::zero().is_negative());
+  EXPECT_TRUE(Fe25519::one().is_negative());
+  EXPECT_FALSE(Fe25519::from_u64(2).is_negative());
+}
+
+TEST(Fe25519Test, FromU64LargeValue) {
+  // 2^52 + 3 spans two limbs.
+  Fe25519 a = Fe25519::from_u64((1ULL << 52) + 3);
+  Fe25519 b = Fe25519::from_u64(1ULL << 52) + Fe25519::from_u64(3);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace icc::crypto

@@ -1,0 +1,127 @@
+#include "crypto/multisig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace icc::crypto {
+namespace {
+
+struct Setup {
+  std::vector<Ed25519KeyPair> keypairs;
+  std::vector<std::array<uint8_t, 32>> pks;
+  Bytes message = str_bytes("notarize block 12");
+
+  std::vector<MultiSigShare> sign_all() const {
+    std::vector<MultiSigShare> shares;
+    for (size_t i = 0; i < keypairs.size(); ++i) {
+      shares.push_back({static_cast<uint32_t>(i), ed25519_sign(keypairs[i], message)});
+    }
+    return shares;
+  }
+};
+
+Setup make_setup(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Setup s;
+  for (size_t i = 0; i < n; ++i) {
+    Bytes sd = rng.bytes(32);
+    s.keypairs.push_back(ed25519_keypair(sd.data()));
+    s.pks.push_back(s.keypairs.back().public_key);
+  }
+  return s;
+}
+
+TEST(MultiSigTest, CombineAndVerify) {
+  auto s = make_setup(4, 1);
+  auto shares = s.sign_all();
+  auto ms = multisig_combine(shares, 3, 4);
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_TRUE(multisig_verify(*ms, s.pks, s.message, 3));
+}
+
+TEST(MultiSigTest, ExactThreshold) {
+  auto s = make_setup(4, 2);
+  auto shares = s.sign_all();
+  shares.resize(3);
+  auto ms = multisig_combine(shares, 3, 4);
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_EQ(ms->signer_count(), 3u);
+  EXPECT_TRUE(multisig_verify(*ms, s.pks, s.message, 3));
+}
+
+TEST(MultiSigTest, TooFewSignersFails) {
+  auto s = make_setup(4, 3);
+  auto shares = s.sign_all();
+  shares.resize(2);
+  EXPECT_FALSE(multisig_combine(shares, 3, 4).has_value());
+}
+
+TEST(MultiSigTest, DuplicateSignersDontCount) {
+  auto s = make_setup(4, 4);
+  auto shares = s.sign_all();
+  std::vector<MultiSigShare> dup = {shares[0], shares[0], shares[0]};
+  EXPECT_FALSE(multisig_combine(dup, 3, 4).has_value());
+}
+
+TEST(MultiSigTest, WrongMessageRejected) {
+  auto s = make_setup(4, 5);
+  auto ms = multisig_combine(s.sign_all(), 3, 4);
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_FALSE(multisig_verify(*ms, s.pks, str_bytes("other"), 3));
+}
+
+TEST(MultiSigTest, ForgedSignatureRejected) {
+  auto s = make_setup(4, 6);
+  auto shares = s.sign_all();
+  shares[1].signature[0] ^= 1;
+  auto ms = multisig_combine(shares, 4, 4);
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_FALSE(multisig_verify(*ms, s.pks, s.message, 4));
+}
+
+TEST(MultiSigTest, BitmapInflationRejected) {
+  // Mark an extra signer in the bitmap without providing a signature.
+  auto s = make_setup(4, 7);
+  auto shares = s.sign_all();
+  shares.resize(3);
+  auto ms = multisig_combine(shares, 3, 4);
+  ASSERT_TRUE(ms.has_value());
+  ms->signers[3] = true;  // now bitmap count != signature count
+  EXPECT_FALSE(multisig_verify(*ms, s.pks, s.message, 3));
+}
+
+TEST(MultiSigTest, SerializationRoundTrip) {
+  auto s = make_setup(5, 8);
+  auto shares = s.sign_all();
+  shares.erase(shares.begin() + 1);  // signers {0,2,3,4}
+  auto ms = multisig_combine(shares, 4, 5);
+  ASSERT_TRUE(ms.has_value());
+  Bytes ser = ms->serialize();
+  auto back = MultiSig::deserialize(ser);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->signers, ms->signers);
+  EXPECT_TRUE(multisig_verify(*back, s.pks, s.message, 4));
+}
+
+TEST(MultiSigTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(MultiSig::deserialize(Bytes{}).has_value());
+  EXPECT_FALSE(MultiSig::deserialize(Bytes(3, 0xff)).has_value());
+  // Absurd n.
+  Bytes huge;
+  put_u32le(huge, 0xffffffffu);
+  EXPECT_FALSE(MultiSig::deserialize(huge).has_value());
+}
+
+TEST(MultiSigTest, OutOfRangeSignerIgnoredInCombine) {
+  auto s = make_setup(4, 9);
+  auto shares = s.sign_all();
+  shares[0].signer = 99;  // invalid index
+  auto ms = multisig_combine(shares, 3, 4);
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_FALSE(ms->signers.size() > 4);
+  EXPECT_TRUE(multisig_verify(*ms, s.pks, s.message, 3));
+}
+
+}  // namespace
+}  // namespace icc::crypto

@@ -1,0 +1,105 @@
+#include "crypto/sc25519.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace icc::crypto {
+namespace {
+
+Sc25519 random_sc(Xoshiro256& rng) {
+  Bytes b = rng.bytes(64);
+  return Sc25519::from_bytes_wide(b);
+}
+
+// l, little-endian.
+const char* kLHex = "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010";
+
+TEST(Sc25519Test, LReducesToZero) {
+  Bytes l = from_hex(kLHex);
+  EXPECT_TRUE(Sc25519::from_bytes_mod_l(l.data()).is_zero());
+}
+
+TEST(Sc25519Test, LMinusOnePlusOneIsZero) {
+  Bytes l = from_hex(kLHex);
+  l[0] -= 1;  // l - 1 (low byte 0xed -> 0xec, no borrow)
+  Sc25519 lm1 = Sc25519::from_bytes_mod_l(l.data());
+  EXPECT_TRUE((lm1 + Sc25519::one()).is_zero());
+}
+
+TEST(Sc25519Test, AddSubRoundTrip) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    Sc25519 a = random_sc(rng), b = random_sc(rng);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_TRUE((a - a).is_zero());
+  }
+}
+
+TEST(Sc25519Test, MulProperties) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 50; ++i) {
+    Sc25519 a = random_sc(rng), b = random_sc(rng), c = random_sc(rng);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(Sc25519Test, MulSmallValues) {
+  EXPECT_EQ(Sc25519::from_u64(6), Sc25519::from_u64(2) * Sc25519::from_u64(3));
+  EXPECT_TRUE((Sc25519::from_u64(5) * Sc25519::zero()).is_zero());
+}
+
+TEST(Sc25519Test, InvertIsInverse) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) {
+    Sc25519 a = random_sc(rng);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a * a.invert(), Sc25519::one());
+  }
+}
+
+TEST(Sc25519Test, InvertSmall) {
+  // 2 * inv(2) == 1
+  EXPECT_EQ(Sc25519::from_u64(2) * Sc25519::from_u64(2).invert(), Sc25519::one());
+}
+
+TEST(Sc25519Test, NegateAddsToZero) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 50; ++i) {
+    Sc25519 a = random_sc(rng);
+    EXPECT_TRUE((a + a.negate()).is_zero());
+  }
+}
+
+TEST(Sc25519Test, BytesRoundTrip) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Sc25519 a = random_sc(rng);
+    Bytes b = a.to_bytes();
+    EXPECT_EQ(Sc25519::from_bytes_mod_l(b.data()), a);
+  }
+}
+
+TEST(Sc25519Test, WideReductionMatchesModularArithmetic) {
+  // (2^256) mod l  ==  (2^128 mod l)^2 mod l
+  Bytes wide(64, 0);
+  wide[32] = 1;  // 2^256
+  Sc25519 a = Sc25519::from_bytes_wide(wide);
+
+  Bytes half(32, 0);
+  // 2^128 < l? No: l ~ 2^252, so 2^128 < l; representable directly.
+  half[16] = 1;
+  Sc25519 b = Sc25519::from_bytes_mod_l(half.data());
+  EXPECT_EQ(a, b * b);
+}
+
+TEST(Sc25519Test, FromU64Identity) {
+  EXPECT_EQ(Sc25519::from_u64(0), Sc25519::zero());
+  EXPECT_EQ(Sc25519::from_u64(1), Sc25519::one());
+  EXPECT_EQ(Sc25519::from_u64(7).words()[0], 7u);
+}
+
+}  // namespace
+}  // namespace icc::crypto

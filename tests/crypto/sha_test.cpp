@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "support/bytes.hpp"
+
+namespace icc::crypto {
+namespace {
+
+std::string hex256(std::string_view msg) {
+  auto d = Sha256::hash(msg);
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+std::string hex512(std::string_view msg) {
+  auto d = Sha512::hash(BytesView(reinterpret_cast<const uint8_t*>(msg.data()), msg.size()));
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST CAVP vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(hex256(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(hex256("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(hex256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  auto d = h.digest();
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.digest(), Sha256::hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges.
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 a, b;
+    a.update(msg);
+    b.update(msg.substr(0, len / 2));
+    b.update(msg.substr(len / 2));
+    EXPECT_EQ(a.digest(), b.digest()) << "len " << len;
+  }
+}
+
+TEST(Sha512Test, EmptyString) {
+  EXPECT_EQ(hex512(""),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512Test, Abc) {
+  EXPECT_EQ(hex512("abc"),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512Test, TwoBlockMessage) {
+  EXPECT_EQ(hex512("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                   "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512Test, IncrementalMatchesOneShot) {
+  Bytes msg;
+  for (int i = 0; i < 300; ++i) msg.push_back(static_cast<uint8_t>(i));
+  for (size_t split : {0u, 1u, 111u, 112u, 127u, 128u, 129u, 255u, 300u}) {
+    Sha512 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.digest(), Sha512::hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hash("a"), Sha256::hash("b"));
+  EXPECT_NE(Sha256::hash(""), Sha256::hash(std::string(1, '\0')));
+}
+
+}  // namespace
+}  // namespace icc::crypto

@@ -1,0 +1,94 @@
+#include "crypto/shamir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace icc::crypto {
+namespace {
+
+// Property sweep over (t, n) configurations relevant to BFT: n = 3t + 1 and
+// some asymmetric shapes.
+class ShamirParamTest : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(ShamirParamTest, ReconstructFromThresholdShares) {
+  auto [t, n] = GetParam();
+  Xoshiro256 rng(100 + t * 31 + n);
+  Sc25519 secret = random_scalar(rng);
+  auto shares = shamir_share(secret, t, n, rng);
+  ASSERT_EQ(shares.size(), n);
+
+  // First t+1 shares.
+  std::vector<ShamirShare> subset(shares.begin(), shares.begin() + t + 1);
+  EXPECT_EQ(shamir_reconstruct(subset), secret);
+
+  // Last t+1 shares.
+  std::vector<ShamirShare> tail(shares.end() - (t + 1), shares.end());
+  EXPECT_EQ(shamir_reconstruct(tail), secret);
+}
+
+TEST_P(ShamirParamTest, ReconstructFromMoreThanThreshold) {
+  auto [t, n] = GetParam();
+  Xoshiro256 rng(200 + t * 31 + n);
+  Sc25519 secret = random_scalar(rng);
+  auto shares = shamir_share(secret, t, n, rng);
+  EXPECT_EQ(shamir_reconstruct(shares), secret);
+}
+
+TEST_P(ShamirParamTest, ShuffledSubsetReconstructs) {
+  auto [t, n] = GetParam();
+  Xoshiro256 rng(300 + t * 31 + n);
+  Sc25519 secret = random_scalar(rng);
+  auto shares = shamir_share(secret, t, n, rng);
+  std::shuffle(shares.begin(), shares.end(), rng);
+  std::vector<ShamirShare> subset(shares.begin(), shares.begin() + t + 1);
+  EXPECT_EQ(shamir_reconstruct(subset), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ShamirParamTest,
+                         ::testing::Values(std::pair<size_t, size_t>{1, 4},
+                                           std::pair<size_t, size_t>{2, 7},
+                                           std::pair<size_t, size_t>{4, 13},
+                                           std::pair<size_t, size_t>{13, 40},
+                                           std::pair<size_t, size_t>{1, 2},
+                                           std::pair<size_t, size_t>{0, 1},
+                                           std::pair<size_t, size_t>{3, 10}));
+
+TEST(ShamirTest, ZeroThresholdMeansConstantPolynomial) {
+  Xoshiro256 rng(1);
+  Sc25519 secret = random_scalar(rng);
+  auto shares = shamir_share(secret, 0, 5, rng);
+  for (const auto& s : shares) EXPECT_EQ(s.value, secret);
+}
+
+TEST(ShamirTest, TSharesDoNotDetermineSecret) {
+  // With only t shares, many candidate secrets are consistent; check that
+  // interpolating t shares (as if threshold were t-1) yields a wrong value.
+  Xoshiro256 rng(2);
+  Sc25519 secret = random_scalar(rng);
+  auto shares = shamir_share(secret, 2, 5, rng);
+  std::vector<ShamirShare> two(shares.begin(), shares.begin() + 2);
+  EXPECT_NE(shamir_reconstruct(two), secret);
+}
+
+TEST(ShamirTest, RejectsBadParameters) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(shamir_share(Sc25519::one(), 3, 3, rng), std::invalid_argument);
+}
+
+TEST(ShamirTest, LagrangeCoefficientsSumToOneOnConstant) {
+  // For the constant polynomial f(x) = c every weighted sum is c, which
+  // means the Lagrange coefficients sum to 1.
+  std::vector<uint32_t> points = {1, 4, 7, 9};
+  Sc25519 sum;
+  for (size_t j = 0; j < points.size(); ++j) sum = sum + lagrange_at_zero(points, j);
+  EXPECT_EQ(sum, Sc25519::one());
+}
+
+TEST(ShamirTest, LagrangeRejectsDuplicatePoints) {
+  std::vector<uint32_t> points = {1, 1};
+  EXPECT_THROW(lagrange_at_zero(points, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icc::crypto

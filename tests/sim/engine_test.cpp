@@ -1,0 +1,100 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icc::sim {
+namespace {
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(EngineTest, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) e.schedule_at(10, [&, i] { order.push_back(i); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, EventsScheduleEvents) {
+  Engine e;
+  std::vector<Time> times;
+  e.schedule_at(5, [&] {
+    times.push_back(e.now());
+    e.schedule_after(7, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  EXPECT_EQ(times, (std::vector<Time>{5, 12}));
+}
+
+TEST(EngineTest, PastSchedulesClampToNow) {
+  Engine e;
+  Time fired = -1;
+  e.schedule_at(10, [&] {
+    e.schedule_at(3, [&] { fired = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(10, [&] { ++count; });
+  e.schedule_at(20, [&] { ++count; });
+  e.schedule_at(30, [&] { ++count; });
+  e.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(e.now(), 20);
+  e.run_until(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(e.now(), 100);  // advances to deadline even when idle
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  EventId id = e.schedule_at(10, [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, CancelUnknownIdIsNoop) {
+  Engine e;
+  e.cancel(999);
+  bool fired = false;
+  e.schedule_at(1, [&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, CancelAfterFireIsNoop) {
+  Engine e;
+  int count = 0;
+  EventId id = e.schedule_at(1, [&] { ++count; });
+  e.run();
+  e.cancel(id);
+  e.schedule_at(2, [&] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EngineTest, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_at(1, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+}  // namespace
+}  // namespace icc::sim

@@ -1,0 +1,177 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace icc::sim {
+namespace {
+
+/// Records everything it receives; can echo on command.
+class Recorder : public Process {
+ public:
+  struct Received {
+    PartyIndex from;
+    Bytes payload;
+    Time at;
+  };
+  std::vector<Received> received;
+  std::function<void(Context&)> on_start;
+
+  void start(Context& ctx) override {
+    if (on_start) on_start(ctx);
+  }
+  void receive(Context& ctx, PartyIndex from, BytesView payload) override {
+    received.push_back({from, Bytes(payload.begin(), payload.end()), ctx.now()});
+  }
+};
+
+struct Fixture {
+  Simulation sim;
+  std::vector<Recorder*> procs;
+
+  explicit Fixture(size_t n, std::unique_ptr<DelayModel> model =
+                                 std::make_unique<FixedDelay>(msec(10)))
+      : sim(n, std::move(model), 42) {
+    for (size_t i = 0; i < n; ++i) {
+      auto p = std::make_unique<Recorder>();
+      procs.push_back(p.get());
+      sim.network().set_process(static_cast<PartyIndex>(i), std::move(p));
+    }
+  }
+};
+
+TEST(NetworkTest, BroadcastReachesEveryoneIncludingSelf) {
+  Fixture f(4);
+  f.procs[1]->on_start = [](Context& ctx) { ctx.broadcast(str_bytes("hello")); };
+  f.sim.start();
+  f.sim.run_until(seconds(1));
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(f.procs[i]->received.size(), 1u) << "party " << i;
+    EXPECT_EQ(f.procs[i]->received[0].from, 1u);
+    EXPECT_EQ(f.procs[i]->received[0].payload, str_bytes("hello"));
+  }
+  // Self-delivery at t=0; others at the fixed delay.
+  EXPECT_EQ(f.procs[1]->received[0].at, 0);
+  EXPECT_GE(f.procs[0]->received[0].at, msec(10));
+}
+
+TEST(NetworkTest, FixedDelayIsExact) {
+  Fixture f(3);
+  f.procs[0]->on_start = [](Context& ctx) { ctx.broadcast(str_bytes("x")); };
+  f.sim.start();
+  f.sim.run_until(seconds(1));
+  EXPECT_EQ(f.procs[1]->received[0].at, msec(10));
+  EXPECT_EQ(f.procs[2]->received[0].at, msec(10));
+}
+
+TEST(NetworkTest, PointToPointOnlyReachesTarget) {
+  Fixture f(4);
+  f.procs[2]->on_start = [](Context& ctx) { ctx.send(0, str_bytes("direct")); };
+  f.sim.start();
+  f.sim.run_until(seconds(1));
+  EXPECT_EQ(f.procs[0]->received.size(), 1u);
+  EXPECT_TRUE(f.procs[1]->received.empty());
+  EXPECT_TRUE(f.procs[3]->received.empty());
+  EXPECT_TRUE(f.procs[2]->received.empty());
+}
+
+TEST(NetworkTest, MetricsCountWireTraffic) {
+  Fixture f(4);
+  f.sim.network().set_frame_overhead(0);
+  f.procs[0]->on_start = [](Context& ctx) { ctx.broadcast(Bytes(100, 7)); };
+  f.sim.start();
+  f.sim.run_until(seconds(1));
+  const auto& m = f.sim.network().metrics();
+  EXPECT_EQ(m.messages_sent[0], 3u);  // self-delivery is free
+  EXPECT_EQ(m.bytes_sent[0], 300u);
+  EXPECT_EQ(m.total_messages, 3u);
+  EXPECT_EQ(m.max_bytes_sent(), 300u);
+}
+
+TEST(NetworkTest, FrameOverheadCounted) {
+  Fixture f(2);
+  f.sim.network().set_frame_overhead(64);
+  f.procs[0]->on_start = [](Context& ctx) { ctx.send(1, Bytes(10, 1)); };
+  f.sim.start();
+  f.sim.run_until(seconds(1));
+  EXPECT_EQ(f.sim.network().metrics().bytes_sent[0], 74u);
+}
+
+TEST(NetworkTest, AsyncWindowDelaysDelivery) {
+  Fixture f(2);
+  f.sim.network().synchrony().add_async_window(0, msec(500));
+  f.procs[0]->on_start = [](Context& ctx) { ctx.send(1, str_bytes("held")); };
+  f.sim.start();
+  f.sim.run_until(seconds(2));
+  ASSERT_EQ(f.procs[1]->received.size(), 1u);
+  EXPECT_GE(f.procs[1]->received[0].at, msec(500));
+}
+
+TEST(NetworkTest, ChainedAsyncWindows) {
+  SynchronySchedule s;
+  s.add_async_window(0, 100);
+  s.add_async_window(100, 200);
+  EXPECT_EQ(s.release_time(50), 200);
+  EXPECT_EQ(s.release_time(150), 200);
+  EXPECT_EQ(s.release_time(250), 250);
+  EXPECT_TRUE(s.is_async_at(50));
+  EXPECT_FALSE(s.is_async_at(200));
+}
+
+TEST(NetworkTest, TimersFire) {
+  Fixture f(1);
+  Time fired = -1;
+  f.procs[0]->on_start = [&](Context& ctx) {
+    ctx.set_timer(msec(25), [&, t = &fired, now = ctx.now()] { *t = now + msec(25); });
+  };
+  f.sim.start();
+  f.sim.run_until(seconds(1));
+  EXPECT_EQ(fired, msec(25));
+}
+
+TEST(NetworkTest, WanDelayMatrixSymmetricAndBounded) {
+  WanDelay::Config cfg;
+  cfg.n = 10;
+  cfg.seed = 7;
+  WanDelay wan(cfg);
+  for (PartyIndex i = 0; i < 10; ++i) {
+    for (PartyIndex j = 0; j < 10; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(wan.base(i, j), wan.base(j, i));
+      EXPECT_GE(wan.base(i, j), cfg.min_base);
+      EXPECT_LE(wan.base(i, j), cfg.max_base);
+    }
+  }
+  EXPECT_LE(wan.max_base(), cfg.max_base);
+}
+
+TEST(NetworkTest, WanDelayIncludesTransmissionTime) {
+  WanDelay::Config cfg;
+  cfg.n = 2;
+  cfg.jitter = 0;
+  cfg.loss_probability = 0;
+  cfg.bandwidth_bytes_per_us = 100.0;
+  WanDelay wan(cfg);
+  Xoshiro256 rng(1);
+  Duration small = wan.delay(0, 1, 0, 100, rng);
+  Duration large = wan.delay(0, 1, 0, 1000000, rng);
+  EXPECT_GT(large, small + usec(9000));  // ~10 ms of serialization at 100 B/us
+}
+
+TEST(NetworkTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Fixture f(5, std::make_unique<UniformDelay>(msec(1), msec(50)));
+    f.procs[0]->on_start = [](Context& ctx) { ctx.broadcast(str_bytes("m")); };
+    f.sim.start();
+    f.sim.run_until(seconds(1));
+    std::vector<Time> times;
+    for (auto* p : f.procs)
+      for (const auto& r : p->received) times.push_back(r.at);
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace icc::sim

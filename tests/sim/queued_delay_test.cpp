@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+
+namespace icc::sim {
+namespace {
+
+TEST(QueuedDelayTest, SingleSendIsTransmissionPlusPropagation) {
+  QueuedDelay q(std::make_unique<FixedDelay>(msec(10)), 2, 10.0);  // 10 B/us
+  Xoshiro256 rng(1);
+  // 1000 bytes at 10 B/us = 100 us of wire time.
+  EXPECT_EQ(q.delay(0, 1, 0, 1000, rng), msec(10) + usec(100));
+}
+
+TEST(QueuedDelayTest, BackToBackSendsSerialize) {
+  QueuedDelay q(std::make_unique<FixedDelay>(0), 2, 10.0);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(q.delay(0, 1, 0, 1000, rng), usec(100));
+  // Second send at the same instant waits for the first upload.
+  EXPECT_EQ(q.delay(0, 1, 0, 1000, rng), usec(200));
+  EXPECT_EQ(q.delay(0, 1, 0, 1000, rng), usec(300));
+}
+
+TEST(QueuedDelayTest, QueueDrainsOverTime) {
+  QueuedDelay q(std::make_unique<FixedDelay>(0), 2, 10.0);
+  Xoshiro256 rng(1);
+  q.delay(0, 1, 0, 1000, rng);  // busy until t = 100 us
+  // At t = 50 us the uplink is mid-transfer: wait 50 us + own 100 us.
+  EXPECT_EQ(q.delay(0, 1, usec(50), 1000, rng), usec(150));
+  // Much later: no queueing.
+  EXPECT_EQ(q.delay(0, 1, msec(10), 1000, rng), usec(100));
+}
+
+TEST(QueuedDelayTest, SendersHaveIndependentUplinks) {
+  QueuedDelay q(std::make_unique<FixedDelay>(0), 3, 10.0);
+  Xoshiro256 rng(1);
+  q.delay(0, 1, 0, 10000, rng);                       // party 0 busy 1 ms
+  EXPECT_EQ(q.delay(2, 1, 0, 1000, rng), usec(100));  // party 2 unaffected
+}
+
+TEST(QueuedDelayTest, BroadcastOfLargeBlockSerializesAcrossRecipients) {
+  // The leader-bottleneck mechanism: one broadcast = n-1 sequential uploads.
+  Engine engine;
+  auto model = std::make_unique<QueuedDelay>(std::make_unique<FixedDelay>(msec(5)), 5,
+                                             100.0);  // 100 B/us
+  Network net(engine, 5, std::move(model), 7);
+  net.set_frame_overhead(0);
+
+  struct Recv : Process {
+    Time at = -1;
+    void start(Context&) override {}
+    void receive(Context& ctx, PartyIndex, BytesView) override { at = ctx.now(); }
+  };
+  std::vector<Recv*> recv;
+  for (PartyIndex i = 0; i < 5; ++i) {
+    auto p = std::make_unique<Recv>();
+    recv.push_back(p.get());
+    net.set_process(i, std::move(p));
+  }
+  net.start_all();
+  engine.schedule_at(0, [&] { net.broadcast(0, Bytes(100000, 1)); });  // 1 ms tx each
+  engine.run();
+
+  // Four recipients, uploads serialized: arrival at 1, 2, 3, 4 ms (+5 ms).
+  std::vector<Time> times;
+  for (PartyIndex i = 1; i < 5; ++i) times.push_back(recv[i]->at);
+  std::sort(times.begin(), times.end());
+  EXPECT_EQ(times[0], msec(6));
+  EXPECT_EQ(times[3], msec(9));
+}
+
+}  // namespace
+}  // namespace icc::sim

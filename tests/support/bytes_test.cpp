@@ -1,0 +1,51 @@
+#include "support/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icc {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(b), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), b);
+}
+
+TEST(BytesTest, HexEmpty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, HexUppercaseAccepted) {
+  EXPECT_EQ(from_hex("ABCD"), (Bytes{0xab, 0xcd}));
+}
+
+TEST(BytesTest, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexRejectsBadDigit) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, Concat) {
+  Bytes a = {1, 2}, b = {3}, c = {};
+  EXPECT_EQ(concat(a, b, c), (Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, U32RoundTrip) {
+  Bytes out;
+  put_u32le(out, 0xdeadbeef);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(get_u32le(out.data()), 0xdeadbeefu);
+}
+
+TEST(BytesTest, U64RoundTrip) {
+  Bytes out;
+  put_u64le(out, 0x0123456789abcdefULL);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(get_u64le(out.data()), 0x0123456789abcdefULL);
+}
+
+}  // namespace
+}  // namespace icc

@@ -1,0 +1,66 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace icc {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Xoshiro256 root(7);
+  Xoshiro256 s1 = root.fork(1);
+  Xoshiro256 s2 = root.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (s1.next() == s2.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Xoshiro256 rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BytesLengthAndDeterminism) {
+  Xoshiro256 a(5), b(5);
+  EXPECT_EQ(a.bytes(13), b.bytes(13));
+  EXPECT_EQ(a.bytes(0).size(), 0u);
+  EXPECT_EQ(a.bytes(32).size(), 32u);
+}
+
+}  // namespace
+}  // namespace icc

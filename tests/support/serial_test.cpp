@@ -1,0 +1,71 @@
+#include "support/serial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icc {
+namespace {
+
+TEST(SerialTest, IntegersRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerialTest, BytesRoundTrip) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  r.expect_done();
+}
+
+TEST(SerialTest, RawFixedSize) {
+  Writer w;
+  w.raw(Bytes{9, 8, 7});
+  Reader r(w.data());
+  EXPECT_EQ(r.raw(3), (Bytes{9, 8, 7}));
+}
+
+TEST(SerialTest, TruncatedThrows) {
+  Writer w;
+  w.u32(5);
+  Reader r(w.data());
+  EXPECT_THROW(r.u64(), ParseError);
+}
+
+TEST(SerialTest, TruncatedBytesThrows) {
+  Writer w;
+  w.u32(100);  // length prefix promising 100 bytes that aren't there
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), ParseError);
+}
+
+TEST(SerialTest, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), ParseError);
+}
+
+TEST(SerialTest, EmptyBytesOk) {
+  Writer w;
+  w.bytes(Bytes{});
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace icc

@@ -1,0 +1,125 @@
+#include "types/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "types/messages.hpp"
+
+namespace icc::types {
+namespace {
+
+Block sample_block() {
+  Block b;
+  b.round = 7;
+  b.proposer = 3;
+  b.parent_hash = crypto::Sha256::hash("parent");
+  b.payload = str_bytes("some commands");
+  return b;
+}
+
+TEST(BlockTest, SerializationRoundTrip) {
+  Block b = sample_block();
+  auto back = Block::deserialize(b.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, b);
+}
+
+TEST(BlockTest, HashIsStable) {
+  Block b = sample_block();
+  EXPECT_EQ(b.hash(), b.hash());
+  EXPECT_EQ(b.hash(), Block::deserialize(b.serialize())->hash());
+}
+
+TEST(BlockTest, HashBindsEveryField) {
+  Block b = sample_block();
+  Hash h = b.hash();
+  Block b2 = b;
+  b2.round++;
+  EXPECT_NE(b2.hash(), h);
+  b2 = b;
+  b2.proposer++;
+  EXPECT_NE(b2.hash(), h);
+  b2 = b;
+  b2.parent_hash[0] ^= 1;
+  EXPECT_NE(b2.hash(), h);
+  b2 = b;
+  b2.payload.push_back(0);
+  EXPECT_NE(b2.hash(), h);
+}
+
+TEST(BlockTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Block::deserialize(Bytes{}).has_value());
+  EXPECT_FALSE(Block::deserialize(Bytes{0x00, 0x01}).has_value());
+  Block b = sample_block();
+  Bytes enc = b.serialize();
+  enc.push_back(0xff);  // trailing byte
+  EXPECT_FALSE(Block::deserialize(enc).has_value());
+}
+
+TEST(BlockTest, SignedMessagesAreDomainSeparated) {
+  Hash h = crypto::Sha256::hash("b");
+  Bytes a = authenticator_message(1, 2, h);
+  Bytes n = notarization_message(1, 2, h);
+  Bytes f = finalization_message(1, 2, h);
+  EXPECT_NE(a, n);
+  EXPECT_NE(n, f);
+  EXPECT_NE(a, f);
+}
+
+TEST(BlockTest, BeaconMessageBindsRoundAndPrev) {
+  Bytes r0 = genesis_beacon();
+  EXPECT_NE(beacon_message(1, r0), beacon_message(2, r0));
+  Bytes other(32, 1);
+  EXPECT_NE(beacon_message(1, r0), beacon_message(1, other));
+}
+
+TEST(MessagesTest, AllTypesRoundTrip) {
+  Hash h = crypto::Sha256::hash("x");
+
+  ProposalMsg p;
+  p.block = sample_block();
+  p.authenticator = Bytes(64, 1);
+  p.parent_notarization = Bytes{9, 9};
+
+  NotarizationShareMsg ns{4, 2, h, 1, Bytes(48, 2)};
+  NotarizationMsg nm{4, 2, h, Bytes(48, 3)};
+  FinalizationShareMsg fs{4, 2, h, 1, Bytes(48, 4)};
+  FinalizationMsg fm{4, 2, h, Bytes(48, 5)};
+  BeaconShareMsg bs{5, 3, Bytes(48, 6)};
+  AdvertMsg ad{1, 4, h, 1000};
+  RequestMsg rq{h};
+  RbcFragmentMsg rf{4, 2, h, h, 1234, 5, Bytes(100, 7), Bytes(36, 8), Bytes(64, 9), Bytes{}};
+
+  auto check = [](const Message& m) {
+    Bytes wire = serialize_message(m);
+    auto back = parse_message(wire);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(serialize_message(*back), wire);  // canonical round-trip
+  };
+  check(p);
+  check(ns);
+  check(nm);
+  check(fs);
+  check(fm);
+  check(bs);
+  check(ad);
+  check(rq);
+  check(rf);
+}
+
+TEST(MessagesTest, ParseRejectsUnknownTypeAndGarbage) {
+  EXPECT_FALSE(parse_message(Bytes{}).has_value());
+  EXPECT_FALSE(parse_message(Bytes{0xEE, 1, 2, 3}).has_value());
+  // Truncated notarization share.
+  NotarizationShareMsg ns{1, 0, crypto::Sha256::hash("x"), 0, Bytes(48, 1)};
+  Bytes wire = serialize_message(Message{ns});
+  wire.resize(wire.size() - 3);
+  EXPECT_FALSE(parse_message(wire).has_value());
+}
+
+TEST(MessagesTest, ArtifactIdIsContentHash) {
+  Bytes a = str_bytes("artifact");
+  EXPECT_EQ(artifact_id(a), crypto::Sha256::hash(a));
+}
+
+}  // namespace
+}  // namespace icc::types

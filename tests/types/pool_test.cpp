@@ -1,0 +1,211 @@
+#include "types/pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icc::types {
+namespace {
+
+/// Small fixture with a fast provider for n=4, t=1 and helpers to construct
+/// fully-signed artifacts (playing all parties at once).
+struct PoolFixture : ::testing::Test {
+  std::unique_ptr<crypto::CryptoProvider> crypto_ =
+      crypto::make_fast_provider(4, 1, 99);
+  Pool pool{*crypto_};
+
+  Block make_block(Round round, PartyIndex proposer, const Hash& parent,
+                   std::string_view payload = "p") {
+    Block b;
+    b.round = round;
+    b.proposer = proposer;
+    b.parent_hash = parent;
+    b.payload = str_bytes(payload);
+    return b;
+  }
+
+  ProposalMsg make_proposal(const Block& b, const Bytes& parent_notarization = {}) {
+    ProposalMsg m;
+    m.block = b;
+    m.authenticator =
+        crypto_->sign(b.proposer, authenticator_message(b.round, b.proposer, b.hash()));
+    m.parent_notarization = parent_notarization;
+    return m;
+  }
+
+  NotarizationShareMsg make_notar_share(const Block& b, PartyIndex signer) {
+    Bytes msg = notarization_message(b.round, b.proposer, b.hash());
+    return {b.round, b.proposer, b.hash(), signer,
+            crypto_->threshold_sign_share(crypto::Scheme::kNotary, signer, msg)};
+  }
+
+  NotarizationMsg make_notarization(const Block& b) {
+    Bytes msg = notarization_message(b.round, b.proposer, b.hash());
+    std::vector<std::pair<crypto::PartyIndex, Bytes>> shares;
+    for (crypto::PartyIndex i = 0; i < crypto_->quorum(); ++i)
+      shares.emplace_back(i, crypto_->threshold_sign_share(crypto::Scheme::kNotary, i, msg));
+    return {b.round, b.proposer, b.hash(), crypto_->threshold_combine(
+                                              crypto::Scheme::kNotary, msg, shares)};
+  }
+
+  FinalizationMsg make_finalization(const Block& b) {
+    Bytes msg = finalization_message(b.round, b.proposer, b.hash());
+    std::vector<std::pair<crypto::PartyIndex, Bytes>> shares;
+    for (crypto::PartyIndex i = 0; i < crypto_->quorum(); ++i)
+      shares.emplace_back(i, crypto_->threshold_sign_share(crypto::Scheme::kFinal, i, msg));
+    return {b.round, b.proposer, b.hash(), crypto_->threshold_combine(
+                                              crypto::Scheme::kFinal, msg, shares)};
+  }
+};
+
+TEST_F(PoolFixture, RootIsAlwaysNotarizedAndFinalized) {
+  EXPECT_TRUE(pool.is_notarized(root_hash()));
+  EXPECT_TRUE(pool.is_finalized(root_hash()));
+  EXPECT_EQ(pool.notarized_blocks_at(0), std::vector<Hash>{root_hash()});
+}
+
+TEST_F(PoolFixture, ProposalWithValidAuthenticatorAccepted) {
+  Block b = make_block(1, 0, root_hash());
+  EXPECT_TRUE(pool.add_proposal(make_proposal(b)));
+  EXPECT_TRUE(pool.is_authentic(b.hash()));
+  EXPECT_TRUE(pool.is_valid(b.hash()));  // round-1 child of root
+  EXPECT_FALSE(pool.is_notarized(b.hash()));
+}
+
+TEST_F(PoolFixture, ProposalWithBadAuthenticatorDropped) {
+  Block b = make_block(1, 0, root_hash());
+  ProposalMsg m = make_proposal(b);
+  m.authenticator[0] ^= 1;
+  EXPECT_FALSE(pool.add_proposal(m));
+  EXPECT_EQ(pool.block(b.hash()), nullptr);
+}
+
+TEST_F(PoolFixture, AuthenticatorBySomeoneElseDropped) {
+  Block b = make_block(1, 0, root_hash());
+  ProposalMsg m;
+  m.block = b;
+  // Party 1 signs a block claiming proposer 0.
+  m.authenticator = crypto_->sign(1, authenticator_message(1, 0, b.hash()));
+  EXPECT_FALSE(pool.add_proposal(m));
+}
+
+TEST_F(PoolFixture, ValidityRequiresNotarizedParent) {
+  Block parent = make_block(1, 0, root_hash());
+  Block child = make_block(2, 1, parent.hash());
+  pool.add_proposal(make_proposal(parent));
+  pool.add_proposal(make_proposal(child));
+  EXPECT_TRUE(pool.is_authentic(child.hash()));
+  EXPECT_FALSE(pool.is_valid(child.hash()));  // parent not notarized yet
+  pool.add_notarization(make_notarization(parent));
+  EXPECT_TRUE(pool.is_valid(child.hash()));
+  EXPECT_TRUE(pool.is_notarized(parent.hash()));
+}
+
+TEST_F(PoolFixture, BundledParentNotarizationProcessed) {
+  Block parent = make_block(1, 0, root_hash());
+  Block child = make_block(2, 1, parent.hash());
+  pool.add_proposal(make_proposal(parent));
+  Bytes bundled = serialize_message(Message{make_notarization(parent)});
+  pool.add_proposal(make_proposal(child, bundled));
+  EXPECT_TRUE(pool.is_valid(child.hash()));
+}
+
+TEST_F(PoolFixture, WrongRoundParentRejected) {
+  Block parent = make_block(1, 0, root_hash());
+  pool.add_proposal(make_proposal(parent));
+  pool.add_notarization(make_notarization(parent));
+  Block bad = make_block(3, 1, parent.hash());  // skips round 2
+  pool.add_proposal(make_proposal(bad));
+  EXPECT_FALSE(pool.is_valid(bad.hash()));
+}
+
+TEST_F(PoolFixture, NotarizationShareAccountingAndCombinable) {
+  Block b = make_block(1, 0, root_hash());
+  pool.add_proposal(make_proposal(b));
+  EXPECT_FALSE(pool.combinable_notarization_at(1).has_value());
+  pool.add_notarization_share(make_notar_share(b, 0));
+  pool.add_notarization_share(make_notar_share(b, 1));
+  EXPECT_FALSE(pool.combinable_notarization_at(1).has_value());  // quorum = 3
+  pool.add_notarization_share(make_notar_share(b, 2));
+  auto h = pool.combinable_notarization_at(1);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(*h, b.hash());
+  EXPECT_EQ(pool.notarization_shares(b).size(), 3u);
+}
+
+TEST_F(PoolFixture, DuplicateSharesIgnored) {
+  Block b = make_block(1, 0, root_hash());
+  pool.add_proposal(make_proposal(b));
+  EXPECT_TRUE(pool.add_notarization_share(make_notar_share(b, 0)));
+  EXPECT_FALSE(pool.add_notarization_share(make_notar_share(b, 0)));
+  EXPECT_EQ(pool.notarization_shares(b).size(), 1u);
+}
+
+TEST_F(PoolFixture, InvalidShareRejected) {
+  Block b = make_block(1, 0, root_hash());
+  pool.add_proposal(make_proposal(b));
+  auto share = make_notar_share(b, 0);
+  share.share[0] ^= 1;
+  EXPECT_FALSE(pool.add_notarization_share(share));
+  // A share claiming the wrong signer is also rejected.
+  auto share2 = make_notar_share(b, 1);
+  share2.signer = 2;
+  EXPECT_FALSE(pool.add_notarization_share(share2));
+}
+
+TEST_F(PoolFixture, FinalizationFlow) {
+  Block b = make_block(1, 0, root_hash());
+  pool.add_proposal(make_proposal(b));
+  pool.add_notarization(make_notarization(b));
+  EXPECT_FALSE(pool.is_finalized(b.hash()));
+  pool.add_finalization(make_finalization(b));
+  EXPECT_TRUE(pool.is_finalized(b.hash()));
+  auto f = pool.finalized_above(0);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, b.hash());
+  EXPECT_FALSE(pool.finalized_above(1).has_value());
+}
+
+TEST_F(PoolFixture, ChainToWalksAncestry) {
+  Block b1 = make_block(1, 0, root_hash());
+  Block b2 = make_block(2, 1, b1.hash());
+  Block b3 = make_block(3, 2, b2.hash());
+  pool.add_proposal(make_proposal(b1));
+  pool.add_notarization(make_notarization(b1));
+  pool.add_proposal(make_proposal(b2));
+  pool.add_notarization(make_notarization(b2));
+  pool.add_proposal(make_proposal(b3));
+
+  auto chain = pool.chain_to(b3.hash());
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0]->round, 1u);
+  EXPECT_EQ(chain[2]->round, 3u);
+
+  auto suffix = pool.chain_to(b3.hash(), 1);
+  ASSERT_EQ(suffix.size(), 2u);
+  EXPECT_EQ(suffix[0]->round, 2u);
+}
+
+TEST_F(PoolFixture, PruneDropsOldBlocksKeepsNotarizations) {
+  Block b1 = make_block(1, 0, root_hash());
+  Block b2 = make_block(2, 1, b1.hash());
+  pool.add_proposal(make_proposal(b1));
+  pool.add_notarization(make_notarization(b1));
+  pool.add_proposal(make_proposal(b2));
+  EXPECT_TRUE(pool.is_valid(b2.hash()));
+
+  pool.prune_below(2);
+  EXPECT_EQ(pool.block(b1.hash()), nullptr);
+  EXPECT_NE(pool.block(b2.hash()), nullptr);
+  // Validity of the survivor is preserved (cache + retained notarization).
+  EXPECT_TRUE(pool.is_valid(b2.hash()));
+}
+
+TEST_F(PoolFixture, EquivocatingBlocksBothTracked) {
+  Block a = make_block(1, 0, root_hash(), "a");
+  Block b = make_block(1, 0, root_hash(), "b");
+  pool.add_proposal(make_proposal(a));
+  pool.add_proposal(make_proposal(b));
+  EXPECT_EQ(pool.valid_blocks_at(1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace icc::types
