@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_message_complexity.cpp" "bench/CMakeFiles/bench_message_complexity.dir/bench_message_complexity.cpp.o" "gcc" "bench/CMakeFiles/bench_message_complexity.dir/bench_message_complexity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/icc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/icc_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/icc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/icc_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/icc_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbc/CMakeFiles/icc_rbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/icc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/icc_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rbc_dissemination.dir/bench_rbc_dissemination.cpp.o"
+  "CMakeFiles/bench_rbc_dissemination.dir/bench_rbc_dissemination.cpp.o.d"
+  "bench_rbc_dissemination"
+  "bench_rbc_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rbc_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_round_complexity.dir/bench_round_complexity.cpp.o"
+  "CMakeFiles/bench_round_complexity.dir/bench_round_complexity.cpp.o.d"
+  "bench_round_complexity"
+  "bench_round_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_round_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_simulate.dir/icc_simulate.cpp.o"
+  "CMakeFiles/icc_simulate.dir/icc_simulate.cpp.o.d"
+  "icc_simulate"
+  "icc_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

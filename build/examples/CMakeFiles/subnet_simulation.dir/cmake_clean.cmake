@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subnet_simulation.dir/subnet_simulation.cpp.o"
+  "CMakeFiles/subnet_simulation.dir/subnet_simulation.cpp.o.d"
+  "subnet_simulation"
+  "subnet_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subnet_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("crypto")
+subdirs("codec")
+subdirs("sim")
+subdirs("types")
+subdirs("consensus")
+subdirs("gossip")
+subdirs("rbc")
+subdirs("baselines")
+subdirs("smr")
+subdirs("harness")

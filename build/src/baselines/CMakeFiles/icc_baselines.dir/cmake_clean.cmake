@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_baselines.dir/hotstuff.cpp.o"
+  "CMakeFiles/icc_baselines.dir/hotstuff.cpp.o.d"
+  "CMakeFiles/icc_baselines.dir/pbft.cpp.o"
+  "CMakeFiles/icc_baselines.dir/pbft.cpp.o.d"
+  "CMakeFiles/icc_baselines.dir/tendermint.cpp.o"
+  "CMakeFiles/icc_baselines.dir/tendermint.cpp.o.d"
+  "libicc_baselines.a"
+  "libicc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

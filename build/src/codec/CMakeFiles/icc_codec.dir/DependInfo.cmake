@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/gf256.cpp" "src/codec/CMakeFiles/icc_codec.dir/gf256.cpp.o" "gcc" "src/codec/CMakeFiles/icc_codec.dir/gf256.cpp.o.d"
+  "/root/repo/src/codec/merkle.cpp" "src/codec/CMakeFiles/icc_codec.dir/merkle.cpp.o" "gcc" "src/codec/CMakeFiles/icc_codec.dir/merkle.cpp.o.d"
+  "/root/repo/src/codec/reed_solomon.cpp" "src/codec/CMakeFiles/icc_codec.dir/reed_solomon.cpp.o" "gcc" "src/codec/CMakeFiles/icc_codec.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_codec.dir/gf256.cpp.o"
+  "CMakeFiles/icc_codec.dir/gf256.cpp.o.d"
+  "CMakeFiles/icc_codec.dir/merkle.cpp.o"
+  "CMakeFiles/icc_codec.dir/merkle.cpp.o.d"
+  "CMakeFiles/icc_codec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/icc_codec.dir/reed_solomon.cpp.o.d"
+  "libicc_codec.a"
+  "libicc_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

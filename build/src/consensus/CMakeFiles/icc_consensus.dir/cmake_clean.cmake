@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_consensus.dir/byzantine.cpp.o"
+  "CMakeFiles/icc_consensus.dir/byzantine.cpp.o.d"
+  "CMakeFiles/icc_consensus.dir/icc0.cpp.o"
+  "CMakeFiles/icc_consensus.dir/icc0.cpp.o.d"
+  "CMakeFiles/icc_consensus.dir/icc1.cpp.o"
+  "CMakeFiles/icc_consensus.dir/icc1.cpp.o.d"
+  "CMakeFiles/icc_consensus.dir/icc2.cpp.o"
+  "CMakeFiles/icc_consensus.dir/icc2.cpp.o.d"
+  "CMakeFiles/icc_consensus.dir/permutation.cpp.o"
+  "CMakeFiles/icc_consensus.dir/permutation.cpp.o.d"
+  "libicc_consensus.a"
+  "libicc_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/beacon.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/beacon.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/beacon.cpp.o.d"
+  "/root/repo/src/crypto/dleq.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/dleq.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/dleq.cpp.o.d"
+  "/root/repo/src/crypto/ed25519.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/ed25519.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/ed25519.cpp.o.d"
+  "/root/repo/src/crypto/fe25519.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/fe25519.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/fe25519.cpp.o.d"
+  "/root/repo/src/crypto/multisig.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/multisig.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/multisig.cpp.o.d"
+  "/root/repo/src/crypto/provider.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/provider.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/provider.cpp.o.d"
+  "/root/repo/src/crypto/sc25519.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/sc25519.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/sc25519.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/sha512.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/sha512.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/crypto/CMakeFiles/icc_crypto.dir/shamir.cpp.o" "gcc" "src/crypto/CMakeFiles/icc_crypto.dir/shamir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

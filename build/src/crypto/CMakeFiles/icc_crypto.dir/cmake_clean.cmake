@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_crypto.dir/beacon.cpp.o"
+  "CMakeFiles/icc_crypto.dir/beacon.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/dleq.cpp.o"
+  "CMakeFiles/icc_crypto.dir/dleq.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/icc_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/fe25519.cpp.o"
+  "CMakeFiles/icc_crypto.dir/fe25519.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/multisig.cpp.o"
+  "CMakeFiles/icc_crypto.dir/multisig.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/provider.cpp.o"
+  "CMakeFiles/icc_crypto.dir/provider.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/sc25519.cpp.o"
+  "CMakeFiles/icc_crypto.dir/sc25519.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/icc_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/icc_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/icc_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/icc_crypto.dir/shamir.cpp.o.d"
+  "libicc_crypto.a"
+  "libicc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_gossip.dir/gossip.cpp.o"
+  "CMakeFiles/icc_gossip.dir/gossip.cpp.o.d"
+  "libicc_gossip.a"
+  "libicc_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

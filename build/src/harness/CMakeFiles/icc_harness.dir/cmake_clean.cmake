@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_harness.dir/cluster.cpp.o"
+  "CMakeFiles/icc_harness.dir/cluster.cpp.o.d"
+  "libicc_harness.a"
+  "libicc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_rbc.dir/rbc.cpp.o"
+  "CMakeFiles/icc_rbc.dir/rbc.cpp.o.d"
+  "libicc_rbc.a"
+  "libicc_rbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_rbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

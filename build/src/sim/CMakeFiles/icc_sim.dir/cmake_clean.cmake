@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_sim.dir/engine.cpp.o"
+  "CMakeFiles/icc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/icc_sim.dir/network.cpp.o"
+  "CMakeFiles/icc_sim.dir/network.cpp.o.d"
+  "libicc_sim.a"
+  "libicc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

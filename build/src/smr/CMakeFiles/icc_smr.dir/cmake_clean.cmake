@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_smr.dir/smr.cpp.o"
+  "CMakeFiles/icc_smr.dir/smr.cpp.o.d"
+  "libicc_smr.a"
+  "libicc_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicc_smr.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_support.dir/bytes.cpp.o"
+  "CMakeFiles/icc_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/icc_support.dir/log.cpp.o"
+  "CMakeFiles/icc_support.dir/log.cpp.o.d"
+  "CMakeFiles/icc_support.dir/rng.cpp.o"
+  "CMakeFiles/icc_support.dir/rng.cpp.o.d"
+  "libicc_support.a"
+  "libicc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/block.cpp" "src/types/CMakeFiles/icc_types.dir/block.cpp.o" "gcc" "src/types/CMakeFiles/icc_types.dir/block.cpp.o.d"
+  "/root/repo/src/types/messages.cpp" "src/types/CMakeFiles/icc_types.dir/messages.cpp.o" "gcc" "src/types/CMakeFiles/icc_types.dir/messages.cpp.o.d"
+  "/root/repo/src/types/pool.cpp" "src/types/CMakeFiles/icc_types.dir/pool.cpp.o" "gcc" "src/types/CMakeFiles/icc_types.dir/pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc_types.dir/block.cpp.o"
+  "CMakeFiles/icc_types.dir/block.cpp.o.d"
+  "CMakeFiles/icc_types.dir/messages.cpp.o"
+  "CMakeFiles/icc_types.dir/messages.cpp.o.d"
+  "CMakeFiles/icc_types.dir/pool.cpp.o"
+  "CMakeFiles/icc_types.dir/pool.cpp.o.d"
+  "libicc_types.a"
+  "libicc_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

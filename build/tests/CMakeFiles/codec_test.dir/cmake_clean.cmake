@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_test.dir/codec/gf256_test.cpp.o"
+  "CMakeFiles/codec_test.dir/codec/gf256_test.cpp.o.d"
+  "CMakeFiles/codec_test.dir/codec/merkle_test.cpp.o"
+  "CMakeFiles/codec_test.dir/codec/merkle_test.cpp.o.d"
+  "CMakeFiles/codec_test.dir/codec/reed_solomon_test.cpp.o"
+  "CMakeFiles/codec_test.dir/codec/reed_solomon_test.cpp.o.d"
+  "codec_test"
+  "codec_test.pdb"
+  "codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_ed25519_test.dir/crypto/ed25519_test.cpp.o"
+  "CMakeFiles/crypto_ed25519_test.dir/crypto/ed25519_test.cpp.o.d"
+  "crypto_ed25519_test"
+  "crypto_ed25519_test.pdb"
+  "crypto_ed25519_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_ed25519_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

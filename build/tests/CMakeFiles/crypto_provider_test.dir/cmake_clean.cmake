@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_provider_test.dir/crypto/provider_test.cpp.o"
+  "CMakeFiles/crypto_provider_test.dir/crypto/provider_test.cpp.o.d"
+  "crypto_provider_test"
+  "crypto_provider_test.pdb"
+  "crypto_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_threshold_test.dir/crypto/beacon_test.cpp.o"
+  "CMakeFiles/crypto_threshold_test.dir/crypto/beacon_test.cpp.o.d"
+  "CMakeFiles/crypto_threshold_test.dir/crypto/dleq_test.cpp.o"
+  "CMakeFiles/crypto_threshold_test.dir/crypto/dleq_test.cpp.o.d"
+  "CMakeFiles/crypto_threshold_test.dir/crypto/multisig_test.cpp.o"
+  "CMakeFiles/crypto_threshold_test.dir/crypto/multisig_test.cpp.o.d"
+  "CMakeFiles/crypto_threshold_test.dir/crypto/shamir_test.cpp.o"
+  "CMakeFiles/crypto_threshold_test.dir/crypto/shamir_test.cpp.o.d"
+  "crypto_threshold_test"
+  "crypto_threshold_test.pdb"
+  "crypto_threshold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_threshold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

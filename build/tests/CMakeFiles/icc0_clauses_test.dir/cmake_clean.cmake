@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc0_clauses_test.dir/consensus/icc0_clauses_test.cpp.o"
+  "CMakeFiles/icc0_clauses_test.dir/consensus/icc0_clauses_test.cpp.o.d"
+  "icc0_clauses_test"
+  "icc0_clauses_test.pdb"
+  "icc0_clauses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc0_clauses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

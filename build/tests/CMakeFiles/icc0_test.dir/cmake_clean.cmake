@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc0_test.dir/consensus/icc0_test.cpp.o"
+  "CMakeFiles/icc0_test.dir/consensus/icc0_test.cpp.o.d"
+  "CMakeFiles/icc0_test.dir/consensus/permutation_test.cpp.o"
+  "CMakeFiles/icc0_test.dir/consensus/permutation_test.cpp.o.d"
+  "icc0_test"
+  "icc0_test.pdb"
+  "icc0_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc0_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc1_test.dir/consensus/icc1_test.cpp.o"
+  "CMakeFiles/icc1_test.dir/consensus/icc1_test.cpp.o.d"
+  "icc1_test"
+  "icc1_test.pdb"
+  "icc1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

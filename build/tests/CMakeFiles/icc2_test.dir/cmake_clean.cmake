@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icc2_test.dir/consensus/icc2_test.cpp.o"
+  "CMakeFiles/icc2_test.dir/consensus/icc2_test.cpp.o.d"
+  "icc2_test"
+  "icc2_test.pdb"
+  "icc2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icc2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_test.dir/rbc/rbc_test.cpp.o"
+  "CMakeFiles/rbc_test.dir/rbc/rbc_test.cpp.o.d"
+  "rbc_test"
+  "rbc_test.pdb"
+  "rbc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_field_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_ed25519_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_threshold_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_provider_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/types_test[1]_include.cmake")
+include("/root/repo/build/tests/icc0_test[1]_include.cmake")
+include("/root/repo/build/tests/icc1_test[1]_include.cmake")
+include("/root/repo/build/tests/icc2_test[1]_include.cmake")
+include("/root/repo/build/tests/rbc_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/smr_test[1]_include.cmake")
+include("/root/repo/build/tests/gossip_test[1]_include.cmake")
+include("/root/repo/build/tests/adversarial_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/icc0_clauses_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
