@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sanitizer lane: Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
+# running the full tier-1 ctest suite. Catches the memory and UB bugs an
+# optimized build hides (use-after-free in the event engine, OOB in the codec,
+# signed overflow in timing arithmetic, ...).
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# halt_on_error: any UBSan finding fails the lane instead of scrolling past.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

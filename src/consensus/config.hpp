@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "crypto/provider.hpp"
+#include "pipeline/verifier.hpp"
 #include "sim/time.hpp"
 #include "types/block.hpp"
 
@@ -68,6 +69,10 @@ struct DelayFunctions {
 
 struct PartyConfig {
   crypto::CryptoProvider* crypto = nullptr;
+  /// Staged ingress pipeline knobs (decode → dedup → verify → apply). The
+  /// defaults enable dedup, memoization and batch verification; disable them
+  /// individually to reproduce the pre-pipeline verify-on-insert behaviour.
+  pipeline::PipelineOptions pipeline;
   DelayFunctions delays;
   std::shared_ptr<PayloadBuilder> payload;
   /// Called on every commit, in output order.

@@ -25,7 +25,9 @@ Icc0Party::Icc0Party(PartyIndex self, const PartyConfig& config)
     : self_(self),
       config_(config),
       crypto_(config.crypto),
-      pool_(*config.crypto),
+      verifier_(*config.crypto, config.pipeline),
+      pool_(config.crypto->n(), config.crypto->quorum()),
+      pipeline_(verifier_, config.pipeline, config.crypto->n()),
       delta_local_(config.delays.delta_bnd) {
   beacon_values_[0] = types::genesis_beacon();
 }
@@ -41,8 +43,10 @@ void Icc0Party::receive(sim::Context& ctx, sim::PartyIndex from, BytesView paylo
 }
 
 void Icc0Party::on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes) {
-  auto msg = types::parse_message(bytes);
-  if (!msg) return;  // malformed = adversarial; drop
+  // Stages 1-2: parse once, drop malformed and exact-duplicate payloads
+  // before any cryptography runs.
+  auto msg = pipeline_.decode(from, bytes);
+  if (!msg) return;
   ingest(ctx, from, *msg);
   evaluate(ctx);
 }
@@ -54,11 +58,11 @@ void Icc0Party::disseminate(sim::Context& ctx, const Message& msg, bool /*is_blo
 bool Icc0Party::ingest(sim::Context& ctx, sim::PartyIndex from, const Message& msg) {
   return std::visit(
       Overloaded{
-          [&](const ProposalMsg& m) { return pool_.add_proposal(m); },
-          [&](const NotarizationShareMsg& m) { return pool_.add_notarization_share(m); },
-          [&](const NotarizationMsg& m) { return pool_.add_notarization(m); },
-          [&](const FinalizationShareMsg& m) { return pool_.add_finalization_share(m); },
-          [&](const FinalizationMsg& m) { return pool_.add_finalization(m); },
+          [&](const ProposalMsg& m) { return ingest_proposal(m); },
+          [&](const NotarizationShareMsg& m) { return ingest_notarization_share(m); },
+          [&](const NotarizationMsg& m) { return ingest_notarization(m); },
+          [&](const FinalizationShareMsg& m) { return ingest_finalization_share(m); },
+          [&](const FinalizationMsg& m) { return ingest_finalization(m); },
           [&](const BeaconShareMsg& m) {
             ingest_beacon_share(ctx, m);
             return true;
@@ -80,6 +84,59 @@ bool Icc0Party::ingest(sim::Context& ctx, sim::PartyIndex from, const Message& m
       msg);
 }
 
+// --- stage 3 + 4: verify (memoized) then apply to the crypto-free pool ---
+
+bool Icc0Party::ingest_proposal(const ProposalMsg& msg) {
+  bool changed = false;
+  // The bundled parent notarization is processed even when the block itself
+  // is already known (an echo may carry the notarization we were missing).
+  if (!msg.parent_notarization.empty()) {
+    auto parsed = types::parse_message(msg.parent_notarization);
+    if (parsed) {
+      if (auto* nm = std::get_if<NotarizationMsg>(&*parsed))
+        changed |= ingest_notarization(*nm);
+    }
+  }
+  const Block& b = msg.block;
+  if (b.round < 1 || b.proposer >= crypto_->n()) return changed;
+  if (pool_.block(b.hash())) return changed;  // known: skip the crypto entirely
+  if (!pipeline_.verify_proposal(msg)) return changed;
+  return pool_.add_proposal(msg) || changed;
+}
+
+bool Icc0Party::ingest_notarization(const NotarizationMsg& msg) {
+  if (pool_.notarization_for(msg.block_hash)) return false;  // duplicate
+  if (!pipeline_.verify_notarization(msg)) return false;
+  return pool_.add_notarization(msg);
+}
+
+bool Icc0Party::ingest_notarization_share(const NotarizationShareMsg& msg) {
+  if (msg.signer >= crypto_->n()) return false;
+  // Satiation early-out, before any crypto: once an aggregate exists or a
+  // full quorum of distinct-signer shares is held, further shares for this
+  // block are dead weight. (Identical whether the pipeline stages are on or
+  // off, so on/off runs stay bit-identical.)
+  if (pool_.notarization_for(msg.block_hash)) return false;
+  if (pool_.notarization_share_count(msg.block_hash) >= crypto_->quorum()) return false;
+  if (!pipeline_.verify_notarization_share(msg)) return false;
+  return pool_.add_notarization_share(msg);
+}
+
+bool Icc0Party::ingest_finalization(const FinalizationMsg& msg) {
+  if (pool_.finalization_for(msg.block_hash)) return false;  // duplicate
+  if (!pipeline_.verify_finalization(msg)) return false;
+  return pool_.add_finalization(msg);
+}
+
+bool Icc0Party::ingest_finalization_share(const FinalizationShareMsg& msg) {
+  if (msg.signer >= crypto_->n()) return false;
+  // Same satiation early-out as for notarization shares.
+  if (pool_.finalization_for(msg.block_hash)) return false;
+  if (pool_.finalization_share_count(msg.block_hash) >= crypto_->quorum()) return false;
+  if (!pipeline_.verify_finalization_share(msg)) return false;
+  return pool_.add_finalization_share(msg);
+}
+
 void Icc0Party::ingest_beacon_share(sim::Context& ctx, const BeaconShareMsg& msg) {
   if (msg.signer >= crypto_->n() || msg.round < 1) return;
   // Live traffic for a far-future round means we are lagging badly (e.g.
@@ -95,7 +152,7 @@ void Icc0Party::ingest_beacon_share(sim::Context& ctx, const BeaconShareMsg& msg
     return;
   }
   Bytes canonical = types::beacon_message(msg.round, prev->second);
-  if (!crypto_->beacon_verify_share(msg.signer, canonical, msg.share)) return;
+  if (!verifier_.verify_beacon_share(msg.signer, canonical, msg.share)) return;
   auto& verified = verified_beacon_shares_[msg.round];
   for (const auto& [signer, _] : verified)
     if (signer == msg.signer) return;
@@ -114,7 +171,7 @@ void Icc0Party::drain_pending_beacon_shares(sim::Context& ctx, Round round) {
 void Icc0Party::broadcast_beacon_share(sim::Context& ctx, Round round) {
   if (!beacon_share_broadcast_.insert(round).second) return;
   const Bytes& prev = beacon_values_.at(round - 1);
-  Bytes share = crypto_->beacon_sign_share(self_, types::beacon_message(round, prev));
+  Bytes share = verifier_.beacon_sign_share(self_, types::beacon_message(round, prev));
   disseminate(ctx, BeaconShareMsg{round, self_, std::move(share)}, false);
 }
 
@@ -143,7 +200,7 @@ void Icc0Party::try_advance_beacon(sim::Context& ctx) {
       return;
     }
     Bytes canonical = types::beacon_message(round_, beacon_values_.at(round_ - 1));
-    Bytes value = crypto_->beacon_combine(canonical, it->second);
+    Bytes value = verifier_.beacon_combine(canonical, it->second);
     if (value.empty()) return;
     beacon_values_[round_] = std::move(value);
   }
@@ -196,7 +253,7 @@ bool Icc0Party::fire_finish_round(sim::Context& ctx) {
     const types::Block* b = pool_.block(*h);
     Bytes canonical = types::notarization_message(b->round, b->proposer, *h);
     auto shares = pool_.notarization_shares(*b);
-    Bytes agg = crypto_->threshold_combine(crypto::Scheme::kNotary, canonical, shares);
+    Bytes agg = verifier_.threshold_combine(crypto::Scheme::kNotary, canonical, shares);
     if (agg.empty()) return false;
     NotarizationMsg nm{b->round, b->proposer, *h, std::move(agg)};
     pool_.add_notarization(nm);
@@ -217,7 +274,7 @@ bool Icc0Party::fire_finish_round(sim::Context& ctx) {
   }
   if (only_target) {
     Bytes canonical = types::finalization_message(b->round, b->proposer, *target);
-    Bytes share = crypto_->threshold_sign_share(crypto::Scheme::kFinal, self_, canonical);
+    Bytes share = verifier_.threshold_sign_share(crypto::Scheme::kFinal, self_, canonical);
     FinalizationShareMsg fm{b->round, b->proposer, *target, self_, std::move(share)};
     pool_.add_finalization_share(fm);
     disseminate(ctx, fm, false);
@@ -253,7 +310,7 @@ void Icc0Party::maybe_emit_cup_share(sim::Context& ctx, const CommittedBlock& bl
   cup_round_info_[block.round] = {block.hash, beacon->second};
 
   Bytes canonical = types::cup_message(block.round, block.hash, beacon->second);
-  Bytes share = crypto_->threshold_sign_share(crypto::Scheme::kFinal, self_, canonical);
+  Bytes share = verifier_.threshold_sign_share(crypto::Scheme::kFinal, self_, canonical);
   types::CupShareMsg msg{block.round, block.hash, beacon->second, self_, std::move(share)};
   handle_cup_share(ctx, msg);  // count our own share immediately
   disseminate(ctx, msg, false);
@@ -274,8 +331,8 @@ void Icc0Party::handle_cup_share(sim::Context& /*ctx*/, const types::CupShareMsg
   const auto& [hash, beacon] = info->second;
   if (msg.block_hash != hash || msg.beacon_value != beacon) return;
   Bytes canonical = types::cup_message(msg.round, hash, beacon);
-  if (!crypto_->threshold_verify_share(crypto::Scheme::kFinal, msg.signer, canonical,
-                                       msg.share)) {
+  if (!verifier_.verify_threshold_share(crypto::Scheme::kFinal, msg.signer, canonical,
+                                        msg.share)) {
     return;
   }
   auto& shares = cup_shares_[msg.round];
@@ -289,7 +346,7 @@ void Icc0Party::handle_cup_share(sim::Context& /*ctx*/, const types::CupShareMsg
   const Bytes* auth = pool_.authenticator_for(hash);
   if (!block || !nm || !fm || !auth) return;  // pruned already; next checkpoint
   std::vector<std::pair<crypto::PartyIndex, Bytes>> vec(shares.begin(), shares.end());
-  Bytes agg = crypto_->threshold_combine(crypto::Scheme::kFinal, canonical, vec);
+  Bytes agg = verifier_.threshold_combine(crypto::Scheme::kFinal, canonical, vec);
   if (agg.empty()) return;
 
   types::CupMsg cup;
@@ -341,7 +398,16 @@ bool Icc0Party::adopt_cup(sim::Context& ctx, const types::CupMsg& msg) {
   // The threshold signature binds round, block hash and beacon value: n - t
   // parties vouched for this checkpoint, at least n - 2t of them honest.
   Bytes canonical = types::cup_message(msg.round, h, msg.beacon_value);
-  if (!crypto_->threshold_verify(crypto::Scheme::kFinal, canonical, msg.aggregate))
+  if (!verifier_.verify_threshold(crypto::Scheme::kFinal, canonical, msg.aggregate))
+    return false;
+
+  // The pool's install_checkpoint trusts its caller (pre-verified contract),
+  // so each bundled piece must pass the verify stage here: the CUP aggregate
+  // binds the block hash, but the pieces carry their own signatures.
+  if (!pipeline_.verify_proposal(pm)) return false;
+  if (!pipeline_.verify_notarization(std::get<types::NotarizationMsg>(*notarization)))
+    return false;
+  if (!pipeline_.verify_finalization(std::get<types::FinalizationMsg>(*finalization)))
     return false;
 
   if (!pool_.install_checkpoint(pm, std::get<types::NotarizationMsg>(*notarization),
@@ -419,7 +485,7 @@ types::ProposalMsg Icc0Party::build_proposal(const types::Block& block) {
   pm.block = block;
   const Hash h = block.hash();
   pm.authenticator =
-      crypto_->sign(self_, types::authenticator_message(block.round, block.proposer, h));
+      verifier_.sign_auth(self_, types::authenticator_message(block.round, block.proposer, h));
   if (block.round > 1) {
     const NotarizationMsg* parent_nm = pool_.notarization_for(block.parent_hash);
     if (parent_nm) pm.parent_notarization = types::serialize_message(Message{*parent_nm});
@@ -476,7 +542,7 @@ bool Icc0Party::fire_echo_notarize(sim::Context& ctx) {
     } else {
       notarized_set_.emplace(h, best);
       Bytes canonical = types::notarization_message(b->round, b->proposer, h);
-      Bytes share = crypto_->threshold_sign_share(crypto::Scheme::kNotary, self_, canonical);
+      Bytes share = verifier_.threshold_sign_share(crypto::Scheme::kNotary, self_, canonical);
       NotarizationShareMsg m{b->round, b->proposer, h, self_, std::move(share)};
       pool_.add_notarization_share(m);
       disseminate(ctx, m, false);
@@ -494,7 +560,7 @@ void Icc0Party::check_finalization(sim::Context& ctx) {
         const types::Block* b = pool_.block(*h);
         Bytes canonical = types::finalization_message(b->round, b->proposer, *h);
         auto shares = pool_.finalization_shares(*b);
-        Bytes agg = crypto_->threshold_combine(crypto::Scheme::kFinal, canonical, shares);
+        Bytes agg = verifier_.threshold_combine(crypto::Scheme::kFinal, canonical, shares);
         if (!agg.empty()) {
           FinalizationMsg fm{b->round, b->proposer, *h, std::move(agg)};
           pool_.add_finalization(fm);

@@ -20,6 +20,7 @@
 
 #include "consensus/config.hpp"
 #include "consensus/permutation.hpp"
+#include "pipeline/pipeline.hpp"
 #include "sim/network.hpp"
 #include "types/messages.hpp"
 #include "types/pool.hpp"
@@ -39,6 +40,11 @@ class Icc0Party : public sim::Process {
   Round last_finalized_round() const { return k_max_; }
   const types::Pool& pool() const { return pool_; }
   PartyIndex index() const { return self_; }
+
+  /// Ingress-pipeline counters (decode/dedup stages).
+  const pipeline::IngressPipeline& ingress() const { return pipeline_; }
+  /// Verification counters (cache hits, provider calls, batching).
+  const pipeline::Verifier& verifier() const { return verifier_; }
 
   /// Blocks this party notarization-shared in the current round (the set N
   /// of Fig. 1) — exposed for protocol-invariant tests.
@@ -79,7 +85,16 @@ class Icc0Party : public sim::Process {
   PartyIndex self_;
   PartyConfig config_;
   crypto::CryptoProvider* crypto_;
-  types::Pool pool_;
+  pipeline::Verifier verifier_;        // stage 3: all signature checks
+  types::Pool pool_;                   // stage 4: pre-verified artifacts only
+  pipeline::IngressPipeline pipeline_; // stages 1-2: decode + dedup
+
+  // Verified ingest helpers (stage 3 + 4 for one artifact type each).
+  bool ingest_proposal(const types::ProposalMsg& msg);
+  bool ingest_notarization(const types::NotarizationMsg& msg);
+  bool ingest_notarization_share(const types::NotarizationShareMsg& msg);
+  bool ingest_finalization(const types::FinalizationMsg& msg);
+  bool ingest_finalization_share(const types::FinalizationShareMsg& msg);
 
   // Beacon pipeline.
   std::map<Round, Bytes> beacon_values_;  // beacon_values_[0] = genesis

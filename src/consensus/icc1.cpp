@@ -26,7 +26,10 @@ void Icc1Party::disseminate(sim::Context& ctx, const types::Message& msg,
 }
 
 void Icc1Party::on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes) {
-  auto msg = types::parse_message(bytes);
+  // Shared ingress stages: decode + dedup. Adverts and pull requests are
+  // sender-scoped and bypass dedup inside decode, so the gossip handling
+  // below sees every copy.
+  auto msg = pipeline_.decode(from, bytes);
   if (!msg) return;
 
   if (auto* advert = std::get_if<types::AdvertMsg>(&*msg)) {

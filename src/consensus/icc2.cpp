@@ -23,7 +23,9 @@ void Icc2Party::disseminate(sim::Context& ctx, const types::Message& msg,
 }
 
 void Icc2Party::on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes) {
-  auto msg = types::parse_message(bytes);
+  // Shared ingress stages. Dedup also absorbs repeated copies of the same
+  // fragment (a duplicate insert would be a no-op in the RBC layer anyway).
+  auto msg = pipeline_.decode(from, bytes);
   if (!msg) return;
   if (auto* fragment = std::get_if<types::RbcFragmentMsg>(&*msg)) {
     rbc_.on_fragment(ctx, *fragment);

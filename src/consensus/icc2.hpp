@@ -16,7 +16,7 @@ class Icc2Party : public Icc0Party {
  public:
   Icc2Party(PartyIndex self, const PartyConfig& config)
       : Icc0Party(self, config),
-        rbc_(*config.crypto, self, [this](sim::Context& ctx, const Bytes& raw) {
+        rbc_(verifier_, self, [this](sim::Context& ctx, const Bytes& raw) {
           on_rbc_deliver(ctx, raw);
         }) {}
 

@@ -72,6 +72,22 @@ bool ed25519_verify(const uint8_t public_key[32], BytesView message,
                     const uint8_t signature[64]);
 bool ed25519_verify(BytesView public_key, BytesView message, BytesView signature);
 
+/// One (public key, message, signature) triple of a batch.
+struct Ed25519BatchItem {
+  BytesView public_key;  ///< 32 bytes
+  BytesView message;
+  BytesView signature;  ///< 64 bytes
+};
+
+/// Batch verification (the standard random-linear-combination equation):
+/// checks 8 (sum z_i S_i) B == sum z_i 8 R_i + sum (z_i k_i) 8 A_i for
+/// coefficients z_i derived by Fiat-Shamir from the whole batch, so the
+/// check is deterministic for a given batch yet unpredictable to a signer.
+/// Returns true iff the combined equation holds — which, except with
+/// negligible probability, means every signature in the batch is valid.
+/// On false, callers re-verify per item to identify the bad ones.
+bool ed25519_verify_batch(std::span<const Ed25519BatchItem> items);
+
 /// Hash an arbitrary message to a point in the prime-order subgroup
 /// (try-and-increment + cofactor clearing). Deterministic; never returns the
 /// identity. Domain-separated by `domain`.

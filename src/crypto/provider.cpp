@@ -11,6 +11,27 @@
 
 namespace icc::crypto {
 
+std::vector<uint8_t> CryptoProvider::threshold_verify_share_batch(
+    Scheme scheme, BytesView message,
+    std::span<const std::pair<PartyIndex, Bytes>> shares) const {
+  std::vector<uint8_t> out(shares.size(), 0);
+  for (size_t i = 0; i < shares.size(); ++i) {
+    out[i] = threshold_verify_share(scheme, shares[i].first, message, shares[i].second) ? 1 : 0;
+  }
+  return out;
+}
+
+Bytes CryptoProvider::threshold_combine_preverified(
+    Scheme scheme, BytesView message,
+    std::span<const std::pair<PartyIndex, Bytes>> shares) {
+  return threshold_combine(scheme, message, shares);
+}
+
+Bytes CryptoProvider::beacon_combine_preverified(
+    BytesView message, std::span<const std::pair<PartyIndex, Bytes>> shares) {
+  return beacon_combine(message, shares);
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -63,6 +84,35 @@ class RealCryptoProvider final : public CryptoProvider {
     return verify(signer, tagged(scheme, message), share);
   }
 
+  std::vector<uint8_t> threshold_verify_share_batch(
+      Scheme scheme, BytesView message,
+      std::span<const std::pair<PartyIndex, Bytes>> shares) const override {
+    std::vector<uint8_t> out(shares.size(), 0);
+    Bytes msg = tagged(scheme, message);
+    std::vector<Ed25519BatchItem> items;
+    std::vector<size_t> item_index;  // batch slot -> shares slot
+    items.reserve(shares.size());
+    for (size_t i = 0; i < shares.size(); ++i) {
+      const auto& [signer, data] = shares[i];
+      if (signer >= n_ || data.size() != 64) continue;  // stays 0
+      items.push_back({BytesView(public_keys_[signer].data(), 32), BytesView(msg),
+                       BytesView(data)});
+      item_index.push_back(i);
+    }
+    if (ed25519_verify_batch(items)) {
+      for (size_t i : item_index) out[i] = 1;
+    } else {
+      // At least one bad share: fall back per item to identify it.
+      for (size_t j = 0; j < items.size(); ++j) {
+        out[item_index[j]] = ed25519_verify(items[j].public_key, items[j].message,
+                                            items[j].signature)
+                                 ? 1
+                                 : 0;
+      }
+    }
+    return out;
+  }
+
   Bytes threshold_combine(Scheme scheme, BytesView message,
                           std::span<const std::pair<PartyIndex, Bytes>> shares) override {
     std::vector<MultiSigShare> ms_shares;
@@ -71,6 +121,25 @@ class RealCryptoProvider final : public CryptoProvider {
     for (const auto& [signer, data] : shares) {
       if (data.size() != 64) continue;
       if (!verify(signer, msg, data)) continue;
+      MultiSigShare s;
+      s.signer = signer;
+      std::memcpy(s.signature.data(), data.data(), 64);
+      ms_shares.push_back(s);
+    }
+    auto ms = multisig_combine(ms_shares, quorum(), n_);
+    if (!ms) return {};
+    return ms->serialize();
+  }
+
+  Bytes threshold_combine_preverified(
+      Scheme scheme, BytesView message,
+      std::span<const std::pair<PartyIndex, Bytes>> shares) override {
+    (void)scheme;
+    (void)message;
+    std::vector<MultiSigShare> ms_shares;
+    ms_shares.reserve(shares.size());
+    for (const auto& [signer, data] : shares) {
+      if (signer >= n_ || data.size() != 64) continue;
       MultiSigShare s;
       s.signer = signer;
       std::memcpy(s.signature.data(), data.data(), 64);
@@ -109,6 +178,21 @@ class RealCryptoProvider final : public CryptoProvider {
       auto s = BeaconShare::deserialize(data);
       if (!s || s->signer != signer) continue;
       if (!icc::crypto::beacon_verify_share(message, *s, beacon_.pub)) continue;
+      parsed.push_back(*s);
+    }
+    auto sigma = icc::crypto::beacon_combine(parsed, beacon_.pub);
+    if (!sigma) return {};
+    return icc::crypto::beacon_value(*sigma);
+  }
+
+  Bytes beacon_combine_preverified(
+      BytesView message, std::span<const std::pair<PartyIndex, Bytes>> shares) override {
+    (void)message;
+    std::vector<BeaconShare> parsed;
+    parsed.reserve(shares.size());
+    for (const auto& [signer, data] : shares) {
+      auto s = BeaconShare::deserialize(data);
+      if (!s || s->signer != signer) continue;  // no DLEQ re-check: caller vouches
       parsed.push_back(*s);
     }
     auto sigma = icc::crypto::beacon_combine(parsed, beacon_.pub);
@@ -205,6 +289,18 @@ class FastCryptoProvider final : public CryptoProvider {
     return tag(scheme_name(scheme), 0xffffffffu, message, sizes_.threshold_agg);
   }
 
+  Bytes threshold_combine_preverified(
+      Scheme scheme, BytesView message,
+      std::span<const std::pair<PartyIndex, Bytes>> shares) override {
+    std::map<PartyIndex, bool> distinct;
+    for (const auto& [signer, data] : shares) {
+      (void)data;  // caller vouches for validity; count distinct signers only
+      if (signer < n_) distinct[signer] = true;
+    }
+    if (distinct.size() < quorum()) return {};
+    return tag(scheme_name(scheme), 0xffffffffu, message, sizes_.threshold_agg);
+  }
+
   bool threshold_verify(Scheme scheme, BytesView message, BytesView aggregate) const override {
     return matches(aggregate,
                    tag(scheme_name(scheme), 0xffffffffu, message, sizes_.threshold_agg));
@@ -224,6 +320,17 @@ class FastCryptoProvider final : public CryptoProvider {
     std::map<PartyIndex, bool> distinct;
     for (const auto& [signer, data] : shares) {
       if (beacon_verify_share(signer, message, data)) distinct[signer] = true;
+    }
+    if (distinct.size() < beacon_threshold()) return {};
+    return tag("beacon-value", 0xffffffffu, message, sizes_.beacon_value);
+  }
+
+  Bytes beacon_combine_preverified(
+      BytesView message, std::span<const std::pair<PartyIndex, Bytes>> shares) override {
+    std::map<PartyIndex, bool> distinct;
+    for (const auto& [signer, data] : shares) {
+      (void)data;
+      if (signer < n_) distinct[signer] = true;
     }
     if (distinct.size() < beacon_threshold()) return {};
     return tag("beacon-value", 0xffffffffu, message, sizes_.beacon_value);

@@ -88,6 +88,7 @@ void Sha512::compress(const uint8_t* block) {
 }
 
 Sha512& Sha512::update(BytesView data) {
+  if (data.empty()) return *this;  // memcpy from a null data() is UB
   bit_len_ += static_cast<uint64_t>(data.size()) * 8;
   size_t i = 0;
   if (buffer_len_ > 0) {

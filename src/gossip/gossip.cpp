@@ -4,9 +4,8 @@ namespace icc::gossip {
 
 bool GossipLayer::store(const Bytes& raw, Round round) {
   Hash id = types::artifact_id(raw);
-  auto [it, inserted] = artifacts_.emplace(id, raw);
+  auto [it, inserted] = artifacts_.emplace(id, Stored{raw, round});
   if (!inserted) return false;
-  artifact_round_.emplace(id, round);
   pending_.erase(id);  // no longer waiting for it
   return true;
 }
@@ -69,14 +68,13 @@ void GossipLayer::on_request(sim::Context& ctx, sim::PartyIndex from,
                              const types::RequestMsg& msg) {
   auto it = artifacts_.find(msg.artifact_id);
   if (it == artifacts_.end()) return;  // don't have it (or pruned)
-  ctx.send(from, it->second);
+  ctx.send(from, it->second.bytes);
 }
 
 void GossipLayer::prune_below(Round round) {
-  for (auto it = artifact_round_.begin(); it != artifact_round_.end();) {
-    if (it->second < round) {
-      artifacts_.erase(it->first);
-      it = artifact_round_.erase(it);
+  for (auto it = artifacts_.begin(); it != artifacts_.end();) {
+    if (it->second.round < round) {
+      it = artifacts_.erase(it);
     } else {
       ++it;
     }

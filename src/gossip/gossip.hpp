@@ -82,10 +82,15 @@ class GossipLayer {
     int attempts = 0;
   };
 
+  /// An artifact we hold, with the round it belongs to (for pruning).
+  struct Stored {
+    Bytes bytes;
+    Round round = 0;
+  };
+
   GossipConfig config_;
   sim::PartyIndex self_;
-  std::unordered_map<Hash, Bytes, types::HashHasher> artifacts_;
-  std::unordered_map<Hash, Round, types::HashHasher> artifact_round_;
+  std::unordered_map<Hash, Stored, types::HashHasher> artifacts_;
   std::unordered_map<Hash, Pending, types::HashHasher> pending_;
 };
 

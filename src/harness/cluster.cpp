@@ -36,6 +36,7 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   pc.cup_interval = options.cup_interval;
   pc.lag_threshold = options.lag_threshold;
   pc.adaptive = options.adaptive;
+  pc.pipeline = options.pipeline;
   pc.on_commit = [this](sim::PartyIndex self, const CommittedBlock& b) {
     record_commit(self, b);
   };
@@ -199,6 +200,23 @@ double Cluster::avg_latency_ms() const {
   double sum = 0;
   for (const auto& s : latencies_) sum += sim::to_ms(s.propose_to_commit);
   return sum / static_cast<double>(latencies_.size());
+}
+
+pipeline::PipelineStats Cluster::pipeline_stats() const {
+  pipeline::PipelineStats total;
+  total.duplicates_from.assign(options_.n, 0);
+  for (size_t i = 0; i < parties_.size(); ++i) {
+    if (honest_[i] && parties_[i]) total += parties_[i]->ingress().stats();
+  }
+  return total;
+}
+
+pipeline::Verifier::Stats Cluster::verifier_stats() const {
+  pipeline::Verifier::Stats total;
+  for (size_t i = 0; i < parties_.size(); ++i) {
+    if (honest_[i] && parties_[i]) total += parties_[i]->verifier().stats();
+  }
+  return total;
 }
 
 double Cluster::blocks_per_second(sim::Duration window) const {

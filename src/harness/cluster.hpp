@@ -52,6 +52,10 @@ struct ClusterOptions {
   /// Gossip sub-layer tuning (ICC1 only).
   gossip::GossipConfig gossip;
 
+  /// Ingress pipeline tuning (dedup / verification cache / batch verify).
+  /// Defaults enable all stages; tests and benches flip them off to measure.
+  pipeline::PipelineOptions pipeline;
+
   /// Corrupt slots: party index -> behaviour. Must have size <= t to match
   /// the protocol's fault assumption (not enforced — some experiments probe
   /// beyond-threshold behaviour deliberately).
@@ -115,6 +119,12 @@ class Cluster {
   /// Committed blocks per second of virtual time across the run, measured on
   /// the first honest party.
   double blocks_per_second(sim::Duration window) const;
+
+  /// Ingress-pipeline counters summed over honest parties (decode/dedup).
+  pipeline::PipelineStats pipeline_stats() const;
+  /// Verification counters summed over honest parties (provider calls,
+  /// cache hits, batch calls, ...).
+  pipeline::Verifier::Stats verifier_stats() const;
 
  private:
   void record_propose(sim::PartyIndex self, Round round, const types::Hash& hash,

@@ -1,0 +1,76 @@
+#include "pipeline/pipeline.hpp"
+
+namespace icc::pipeline {
+
+PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
+  decoded += o.decoded;
+  malformed += o.malformed;
+  duplicates += o.duplicates;
+  dedup_exempt += o.dedup_exempt;
+  if (duplicates_from.size() < o.duplicates_from.size())
+    duplicates_from.resize(o.duplicates_from.size(), 0);
+  for (size_t i = 0; i < o.duplicates_from.size(); ++i)
+    duplicates_from[i] += o.duplicates_from[i];
+  return *this;
+}
+
+std::optional<types::Message> IngressPipeline::decode(uint32_t from, BytesView bytes) {
+  if (options_.dedup) {
+    if (types::sender_scoped_wire(bytes)) {
+      stats_.dedup_exempt++;
+    } else {
+      types::Hash id = types::artifact_id(bytes);
+      if (seen_.count(id)) {
+        stats_.duplicates++;
+        if (from < stats_.duplicates_from.size()) stats_.duplicates_from[from]++;
+        return std::nullopt;
+      }
+      seen_.insert(id);
+      seen_order_.push_back(id);
+      while (seen_order_.size() > options_.dedup_capacity) {
+        seen_.erase(seen_order_.front());
+        seen_order_.pop_front();
+      }
+    }
+  }
+  auto msg = types::parse_message(bytes);
+  if (!msg) {
+    stats_.malformed++;
+    return std::nullopt;
+  }
+  stats_.decoded++;
+  return msg;
+}
+
+bool IngressPipeline::verify_proposal(const types::ProposalMsg& m) {
+  const types::Hash h = m.block.hash();
+  return verifier_->verify_auth(
+      m.block.proposer, types::authenticator_message(m.block.round, m.block.proposer, h),
+      m.authenticator);
+}
+
+bool IngressPipeline::verify_notarization_share(const types::NotarizationShareMsg& m) {
+  return verifier_->verify_threshold_share(
+      crypto::Scheme::kNotary, m.signer,
+      types::notarization_message(m.round, m.proposer, m.block_hash), m.share);
+}
+
+bool IngressPipeline::verify_notarization(const types::NotarizationMsg& m) {
+  return verifier_->verify_threshold(
+      crypto::Scheme::kNotary, types::notarization_message(m.round, m.proposer, m.block_hash),
+      m.aggregate);
+}
+
+bool IngressPipeline::verify_finalization_share(const types::FinalizationShareMsg& m) {
+  return verifier_->verify_threshold_share(
+      crypto::Scheme::kFinal, m.signer,
+      types::finalization_message(m.round, m.proposer, m.block_hash), m.share);
+}
+
+bool IngressPipeline::verify_finalization(const types::FinalizationMsg& m) {
+  return verifier_->verify_threshold(
+      crypto::Scheme::kFinal, types::finalization_message(m.round, m.proposer, m.block_hash),
+      m.aggregate);
+}
+
+}  // namespace icc::pipeline

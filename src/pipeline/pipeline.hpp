@@ -1,0 +1,75 @@
+// Staged ingress pipeline shared by ICC0/ICC1/ICC2.
+//
+// Every wire payload a party receives passes through four explicit stages:
+//
+//   1. decode — parse the bytes once into a typed artifact (malformed =
+//      adversarial, dropped);
+//   2. dedup  — drop exact-duplicate wire artifacts, keyed by content hash,
+//      *before any cryptography runs*. Echo-heavy honest traffic (the same
+//      notarization broadcast by n parties, the same share re-gossiped) and
+//      Byzantine duplicate-floods are absorbed here for the price of one
+//      SHA-256. Sender-scoped messages (adverts, pull requests, CUP
+//      requests) are exempt: their meaning depends on who sent them.
+//   3. verify — all signature checks, centralized in pipeline::Verifier
+//      (memoized + batched; see verifier.hpp);
+//   4. apply  — insertion into the now crypto-free types::Pool.
+//
+// This file implements stages 1-2 and the type-specific verify helpers of
+// stage 3; the consensus party drives the stages and owns stage 4.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "pipeline/verifier.hpp"
+#include "types/messages.hpp"
+
+namespace icc::pipeline {
+
+struct PipelineStats {
+  uint64_t decoded = 0;       ///< payloads parsed into a typed artifact
+  uint64_t malformed = 0;     ///< payloads dropped in decode
+  uint64_t duplicates = 0;    ///< payloads dropped in dedup
+  uint64_t dedup_exempt = 0;  ///< sender-scoped payloads that bypassed dedup
+  std::vector<uint64_t> duplicates_from;  ///< per sending party
+
+  PipelineStats& operator+=(const PipelineStats& o);
+};
+
+class IngressPipeline {
+ public:
+  IngressPipeline(Verifier& verifier, const PipelineOptions& options, size_t n_parties)
+      : verifier_(&verifier), options_(options) {
+    stats_.duplicates_from.assign(n_parties, 0);
+  }
+
+  /// Stages 1+2: parse `bytes` from party `from`, dropping malformed and
+  /// exact-duplicate payloads. Returns the typed artifact, or nullopt if the
+  /// payload was dropped.
+  std::optional<types::Message> decode(uint32_t from, BytesView bytes);
+
+  // --- stage 3: type-specific verification (memoized via the Verifier) ---
+  /// Authenticator check for a proposal/echo. The bundled parent
+  /// notarization is NOT covered — parse it and route it through
+  /// verify_notarization like any other artifact.
+  bool verify_proposal(const types::ProposalMsg& m);
+  bool verify_notarization_share(const types::NotarizationShareMsg& m);
+  bool verify_notarization(const types::NotarizationMsg& m);
+  bool verify_finalization_share(const types::FinalizationShareMsg& m);
+  bool verify_finalization(const types::FinalizationMsg& m);
+
+  Verifier& verifier() { return *verifier_; }
+  const PipelineStats& stats() const { return stats_; }
+  size_t dedup_entries() const { return seen_.size(); }
+
+ private:
+  Verifier* verifier_;
+  PipelineOptions options_;
+  PipelineStats stats_;
+
+  // Bounded FIFO set of recently seen wire-artifact content hashes.
+  std::unordered_set<types::Hash, types::HashHasher> seen_;
+  std::deque<types::Hash> seen_order_;
+};
+
+}  // namespace icc::pipeline

@@ -1,0 +1,197 @@
+#include "pipeline/verifier.hpp"
+
+namespace icc::pipeline {
+
+types::Hash Verifier::cache_key(Domain domain, crypto::PartyIndex signer, BytesView message,
+                                BytesView signature) {
+  crypto::Sha256 h;
+  uint8_t header[5] = {static_cast<uint8_t>(domain), static_cast<uint8_t>(signer),
+                       static_cast<uint8_t>(signer >> 8), static_cast<uint8_t>(signer >> 16),
+                       static_cast<uint8_t>(signer >> 24)};
+  h.update(BytesView(header, sizeof(header)));
+  // Length-prefix the message so (message, signature) boundaries are
+  // unambiguous — without it, moving bytes across the boundary would alias.
+  uint8_t len[8];
+  for (int i = 0; i < 8; ++i) len[i] = static_cast<uint8_t>(message.size() >> (8 * i));
+  h.update(BytesView(len, sizeof(len)));
+  h.update(message);
+  h.update(signature);
+  return h.digest();
+}
+
+std::optional<bool> Verifier::lookup(const types::Hash& key) {
+  if (!options_.cache) return std::nullopt;
+  if (auto it = current_.find(key); it != current_.end()) return it->second;
+  if (auto it = previous_.find(key); it != previous_.end()) return it->second;
+  return std::nullopt;
+}
+
+void Verifier::remember(const types::Hash& key, bool verdict) {
+  if (!options_.cache || options_.cache_capacity == 0) return;
+  if (current_.size() >= std::max<size_t>(1, options_.cache_capacity / 2)) {
+    previous_ = std::move(current_);
+    current_.clear();
+  }
+  current_[key] = verdict;
+}
+
+template <typename Check>
+bool Verifier::memoized(Domain domain, crypto::PartyIndex signer, BytesView message,
+                        BytesView signature, Check&& check) {
+  if (!options_.cache) {
+    stats_.provider_verifications++;
+    return check();
+  }
+  types::Hash key = cache_key(domain, signer, message, signature);
+  if (auto verdict = lookup(key)) {
+    stats_.cache_hits++;
+    return *verdict;
+  }
+  stats_.provider_verifications++;
+  bool verdict = check();
+  remember(key, verdict);
+  return verdict;
+}
+
+bool Verifier::verify_auth(crypto::PartyIndex signer, BytesView message,
+                           BytesView signature) {
+  return memoized(Domain::kAuth, signer, message, signature,
+                  [&] { return provider_->verify(signer, message, signature); });
+}
+
+bool Verifier::verify_threshold_share(crypto::Scheme scheme, crypto::PartyIndex signer,
+                                      BytesView message, BytesView share) {
+  return memoized(share_domain(scheme), signer, message, share, [&] {
+    return provider_->threshold_verify_share(scheme, signer, message, share);
+  });
+}
+
+bool Verifier::verify_threshold(crypto::Scheme scheme, BytesView message,
+                                BytesView aggregate) {
+  // Aggregates have no single signer; index 0xffffffff marks "combined".
+  return memoized(agg_domain(scheme), 0xffffffffu, message, aggregate,
+                  [&] { return provider_->threshold_verify(scheme, message, aggregate); });
+}
+
+bool Verifier::verify_beacon_share(crypto::PartyIndex signer, BytesView message,
+                                   BytesView share) {
+  return memoized(Domain::kBeaconShare, signer, message, share,
+                  [&] { return provider_->beacon_verify_share(signer, message, share); });
+}
+
+Bytes Verifier::sign_auth(crypto::PartyIndex signer, BytesView message) {
+  Bytes sig = provider_->sign(signer, message);
+  if (options_.cache) {
+    remember(cache_key(Domain::kAuth, signer, message, sig), true);
+    stats_.primed++;
+  }
+  return sig;
+}
+
+Bytes Verifier::threshold_sign_share(crypto::Scheme scheme, crypto::PartyIndex signer,
+                                     BytesView message) {
+  Bytes share = provider_->threshold_sign_share(scheme, signer, message);
+  if (options_.cache) {
+    remember(cache_key(share_domain(scheme), signer, message, share), true);
+    stats_.primed++;
+  }
+  return share;
+}
+
+Bytes Verifier::beacon_sign_share(crypto::PartyIndex signer, BytesView message) {
+  Bytes share = provider_->beacon_sign_share(signer, message);
+  if (options_.cache) {
+    remember(cache_key(Domain::kBeaconShare, signer, message, share), true);
+    stats_.primed++;
+  }
+  return share;
+}
+
+std::vector<uint8_t> Verifier::verify_shares_batch(
+    crypto::Scheme scheme, BytesView message,
+    std::span<const std::pair<crypto::PartyIndex, Bytes>> shares) {
+  std::vector<uint8_t> verdicts(shares.size(), 0);
+  std::vector<size_t> misses;  // indices not answered by the cache
+  std::vector<types::Hash> miss_keys;
+  for (size_t i = 0; i < shares.size(); ++i) {
+    const auto& [signer, share] = shares[i];
+    types::Hash key = cache_key(share_domain(scheme), signer, message, share);
+    if (auto verdict = lookup(key)) {
+      stats_.cache_hits++;
+      verdicts[i] = *verdict ? 1 : 0;
+    } else {
+      misses.push_back(i);
+      miss_keys.push_back(key);
+    }
+  }
+  if (misses.empty()) return verdicts;
+
+  if (options_.batch && misses.size() > 1) {
+    std::vector<std::pair<crypto::PartyIndex, Bytes>> pending;
+    pending.reserve(misses.size());
+    for (size_t i : misses) pending.push_back(shares[i]);
+    stats_.batch_calls++;
+    stats_.provider_verifications += pending.size();
+    std::vector<uint8_t> batch = provider_->threshold_verify_share_batch(scheme, message, pending);
+    bool all_ok = true;
+    for (size_t j = 0; j < misses.size(); ++j) {
+      verdicts[misses[j]] = batch[j];
+      remember(miss_keys[j], batch[j] != 0);
+      all_ok = all_ok && batch[j];
+    }
+    // The combined equation fails iff some share is invalid, in which case
+    // the provider fell back to per-item checks to identify it.
+    if (!all_ok) stats_.batch_fallbacks++;
+    return verdicts;
+  }
+  for (size_t j = 0; j < misses.size(); ++j) {
+    const auto& [signer, share] = shares[misses[j]];
+    stats_.provider_verifications++;
+    bool ok = provider_->threshold_verify_share(scheme, signer, message, share);
+    remember(miss_keys[j], ok);
+    verdicts[misses[j]] = ok ? 1 : 0;
+  }
+  return verdicts;
+}
+
+Bytes Verifier::threshold_combine(
+    crypto::Scheme scheme, BytesView message,
+    std::span<const std::pair<crypto::PartyIndex, Bytes>> shares) {
+  if (!options_.cache) {
+    // Without memoization the provider's own verify-and-combine is exactly
+    // the pre-pipeline behaviour.
+    stats_.provider_verifications += shares.size();
+    return provider_->threshold_combine(scheme, message, shares);
+  }
+  std::vector<uint8_t> verdicts = verify_shares_batch(scheme, message, shares);
+  std::vector<std::pair<crypto::PartyIndex, Bytes>> valid;
+  valid.reserve(shares.size());
+  for (size_t i = 0; i < shares.size(); ++i) {
+    if (verdicts[i]) valid.push_back(shares[i]);
+  }
+  stats_.combine_share_checks_skipped += valid.size();
+  Bytes agg = provider_->threshold_combine_preverified(scheme, message, valid);
+  if (!agg.empty()) {
+    // Prime the aggregate's verdict: our own broadcast of it echoes back.
+    remember(cache_key(agg_domain(scheme), 0xffffffffu, message, agg), true);
+    stats_.primed++;
+  }
+  return agg;
+}
+
+Bytes Verifier::beacon_combine(
+    BytesView message, std::span<const std::pair<crypto::PartyIndex, Bytes>> shares) {
+  if (!options_.cache) {
+    stats_.provider_verifications += shares.size();
+    return provider_->beacon_combine(message, shares);
+  }
+  std::vector<std::pair<crypto::PartyIndex, Bytes>> valid;
+  valid.reserve(shares.size());
+  for (const auto& s : shares) {
+    if (verify_beacon_share(s.first, message, s.second)) valid.push_back(s);
+  }
+  stats_.combine_share_checks_skipped += valid.size();
+  return provider_->beacon_combine_preverified(message, valid);
+}
+
+}  // namespace icc::pipeline

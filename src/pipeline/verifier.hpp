@@ -1,0 +1,148 @@
+// Centralized signature verification for the ingress pipeline.
+//
+// Every signature check of the consensus layer flows through a Verifier
+// wrapping the crypto::CryptoProvider. The wrapper adds what the raw
+// provider deliberately does not have:
+//
+//   * a bounded memoization cache keyed on H(domain ‖ signer ‖ message ‖
+//     signature). In committee-based BFT the same artifact reaches a party
+//     many times (echoes, share floods, combine-time re-checks), and
+//     signature verification dominates CPU (Li–Sonnino–Jovanovic, PAPERS.md);
+//     a cache hit replaces an Ed25519 verification with one SHA-256. Both
+//     verdicts are cached, so a replayed *invalid* artifact is also free.
+//     Keys cover the signature bytes, so equivocation (same message, a
+//     different signature) can never be conflated with a cached verdict.
+//   * sign-and-prime helpers: a party's own signatures are inserted into the
+//     cache at creation time, making the self-delivery of its broadcasts and
+//     the combine-time re-check of its own shares free.
+//   * a batch API: k pending shares over one message are checked in a single
+//     provider call (Ed25519 batch equation under kReal); if the batch
+//     fails, a per-item pass identifies the bad shares.
+//   * combine wrappers that pass only cache-validated shares to the
+//     provider's *_preverified combine, eliminating the second full
+//     verification of every share that the plain combine performs.
+//
+// The cache is per-party (each simulated party owns one Verifier), bounded
+// by two-generation rotation: inserts go to the current generation, and when
+// it fills, it becomes the previous generation and lookups still see it.
+#pragma once
+
+#include <unordered_map>
+
+#include "crypto/provider.hpp"
+#include "crypto/sha256.hpp"
+#include "types/block.hpp"
+
+namespace icc::pipeline {
+
+/// Tuning knobs for the staged ingress pipeline (decode → dedup → verify →
+/// apply). Lives here so crypto-layer consumers need not pull in the
+/// pipeline itself.
+struct PipelineOptions {
+  bool dedup = true;            ///< drop exact-duplicate wire artifacts
+  bool cache = true;            ///< memoize verification verdicts
+  bool batch = true;            ///< batch-verify pending shares at combine
+  size_t dedup_capacity = 8192;   ///< recent wire hashes remembered per party
+  size_t cache_capacity = 16384;  ///< cached verdicts per party
+};
+
+class Verifier {
+ public:
+  struct Stats {
+    uint64_t provider_verifications = 0;  ///< checks that reached real crypto
+    uint64_t cache_hits = 0;              ///< checks answered from the cache
+    uint64_t primed = 0;                  ///< verdicts inserted at sign time
+    uint64_t batch_calls = 0;             ///< batch verifications issued
+    uint64_t batch_fallbacks = 0;         ///< batches that failed per-item
+    uint64_t combine_share_checks_skipped = 0;  ///< combine re-checks avoided
+
+    Stats& operator+=(const Stats& o) {
+      provider_verifications += o.provider_verifications;
+      cache_hits += o.cache_hits;
+      primed += o.primed;
+      batch_calls += o.batch_calls;
+      batch_fallbacks += o.batch_fallbacks;
+      combine_share_checks_skipped += o.combine_share_checks_skipped;
+      return *this;
+    }
+  };
+
+  Verifier(crypto::CryptoProvider& provider, const PipelineOptions& options)
+      : provider_(&provider), options_(options) {}
+
+  crypto::CryptoProvider& provider() { return *provider_; }
+  size_t n() const { return provider_->n(); }
+  size_t t() const { return provider_->t(); }
+  size_t quorum() const { return provider_->quorum(); }
+  size_t beacon_threshold() const { return provider_->beacon_threshold(); }
+
+  // --- memoized verification ---
+  bool verify_auth(crypto::PartyIndex signer, BytesView message, BytesView signature);
+  bool verify_threshold_share(crypto::Scheme scheme, crypto::PartyIndex signer,
+                              BytesView message, BytesView share);
+  bool verify_threshold(crypto::Scheme scheme, BytesView message, BytesView aggregate);
+  bool verify_beacon_share(crypto::PartyIndex signer, BytesView message, BytesView share);
+
+  // --- sign-and-prime (our own artifacts never need re-verification) ---
+  Bytes sign_auth(crypto::PartyIndex signer, BytesView message);
+  Bytes threshold_sign_share(crypto::Scheme scheme, crypto::PartyIndex signer,
+                             BytesView message);
+  Bytes beacon_sign_share(crypto::PartyIndex signer, BytesView message);
+
+  /// Verify k shares over one message. Returns one verdict per share. All
+  /// cache misses go to the provider as a single batch; a failed batch falls
+  /// back to per-item verification to identify the bad shares.
+  std::vector<uint8_t> verify_shares_batch(
+      crypto::Scheme scheme, BytesView message,
+      std::span<const std::pair<crypto::PartyIndex, Bytes>> shares);
+
+  // --- combine without the provider's second per-share verification ---
+  Bytes threshold_combine(crypto::Scheme scheme, BytesView message,
+                          std::span<const std::pair<crypto::PartyIndex, Bytes>> shares);
+  Bytes beacon_combine(BytesView message,
+                       std::span<const std::pair<crypto::PartyIndex, Bytes>> shares);
+
+  const Stats& stats() const { return stats_; }
+  size_t cached_verdicts() const { return current_.size() + previous_.size(); }
+
+ private:
+  // Verdict-cache key domains (distinct per signature scheme/usage).
+  enum class Domain : uint8_t {
+    kAuth = 1,
+    kNotaryShare = 2,
+    kFinalShare = 3,
+    kNotaryAgg = 4,
+    kFinalAgg = 5,
+    kBeaconShare = 6,
+  };
+  static Domain share_domain(crypto::Scheme s) {
+    return s == crypto::Scheme::kNotary ? Domain::kNotaryShare : Domain::kFinalShare;
+  }
+  static Domain agg_domain(crypto::Scheme s) {
+    return s == crypto::Scheme::kNotary ? Domain::kNotaryAgg : Domain::kFinalAgg;
+  }
+
+  static types::Hash cache_key(Domain domain, crypto::PartyIndex signer, BytesView message,
+                               BytesView signature);
+
+  /// Cache lookup; nullopt on miss (or cache disabled).
+  std::optional<bool> lookup(const types::Hash& key);
+  void remember(const types::Hash& key, bool verdict);
+
+  /// Memoize `check()` under (domain, signer, message, signature).
+  template <typename Check>
+  bool memoized(Domain domain, crypto::PartyIndex signer, BytesView message,
+                BytesView signature, Check&& check);
+
+  crypto::CryptoProvider* provider_;
+  PipelineOptions options_;
+  Stats stats_;
+
+  // Two-generation bounded cache: inserts fill current_; when it reaches
+  // half the capacity, it rotates into previous_ (whose entries remain
+  // visible until the next rotation evicts them).
+  std::unordered_map<types::Hash, bool, types::HashHasher> current_;
+  std::unordered_map<types::Hash, bool, types::HashHasher> previous_;
+};
+
+}  // namespace icc::pipeline

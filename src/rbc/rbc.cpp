@@ -4,12 +4,12 @@
 
 namespace icc::rbc {
 
-RbcLayer::RbcLayer(crypto::CryptoProvider& crypto, sim::PartyIndex self,
+RbcLayer::RbcLayer(pipeline::Verifier& verifier, sim::PartyIndex self,
                    std::function<void(sim::Context&, const Bytes&)> deliver)
-    : crypto_(&crypto),
+    : verifier_(&verifier),
       self_(self),
-      n_(crypto.n()),
-      k_(crypto.n() - 2 * crypto.t() > 0 ? crypto.n() - 2 * crypto.t() : 1),
+      n_(verifier.n()),
+      k_(verifier.n() - 2 * verifier.t() > 0 ? verifier.n() - 2 * verifier.t() : 1),
       deliver_(std::move(deliver)) {}
 
 types::RbcFragmentMsg RbcLayer::make_fragment(const Dispersal& d, uint32_t index,
@@ -66,10 +66,12 @@ void RbcLayer::on_fragment(sim::Context& ctx, const types::RbcFragmentMsg& msg) 
 
   // The authenticator binds (round, proposer, block_hash): fragments that
   // are not rooted in a real proposal by `proposer` are dropped here, so
-  // third parties cannot fabricate dispersals in someone else's name.
-  if (!crypto_->verify(msg.proposer,
-                       types::authenticator_message(msg.round, msg.proposer, msg.block_hash),
-                       msg.authenticator)) {
+  // third parties cannot fabricate dispersals in someone else's name. All n
+  // fragments of a dispersal carry the same authenticator, so only the
+  // first check per dispersal reaches real crypto.
+  if (!verifier_->verify_auth(
+          msg.proposer, types::authenticator_message(msg.round, msg.proposer, msg.block_hash),
+          msg.authenticator)) {
     return;
   }
 

@@ -25,6 +25,10 @@
 // Latency: proposer -> fragments -> echoes -> reconstruct = 2 network hops,
 // one more than direct push, which is exactly why ICC2's reciprocal
 // throughput is 3*delta and latency 4*delta instead of 2/3.
+//
+// Signature checks go through the party's pipeline::Verifier: all n
+// fragments of one dispersal carry the SAME authenticator, so after the
+// first fragment every further check is a cache hit.
 #pragma once
 
 #include <functional>
@@ -33,7 +37,7 @@
 
 #include "codec/merkle.hpp"
 #include "codec/reed_solomon.hpp"
-#include "crypto/provider.hpp"
+#include "pipeline/verifier.hpp"
 #include "sim/network.hpp"
 #include "types/messages.hpp"
 
@@ -46,7 +50,7 @@ class RbcLayer {
  public:
   /// `deliver` is invoked exactly once per reconstructed-and-verified
   /// proposal (the serialized ProposalMsg bytes).
-  RbcLayer(crypto::CryptoProvider& crypto, sim::PartyIndex self,
+  RbcLayer(pipeline::Verifier& verifier, sim::PartyIndex self,
            std::function<void(sim::Context&, const Bytes&)> deliver);
 
   /// Disperse a proposal we originate.
@@ -79,7 +83,7 @@ class RbcLayer {
                                       const codec::Fragment& frag,
                                       const codec::MerkleTree& tree) const;
 
-  crypto::CryptoProvider* crypto_;
+  pipeline::Verifier* verifier_;
   sim::PartyIndex self_;
   size_t n_, k_;
   std::function<void(sim::Context&, const Bytes&)> deliver_;

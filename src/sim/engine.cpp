@@ -5,8 +5,7 @@ namespace icc::sim {
 EventId Engine::schedule_at(Time at, EventFn fn) {
   if (at < now_) at = now_;
   EventId id = next_id_++;
-  if (callbacks_.size() <= id) callbacks_.resize(id + 1);
-  callbacks_[id] = std::move(fn);
+  callbacks_.emplace(id, std::move(fn));
   queue_.push(Event{at, id});
   return id;
 }
@@ -15,15 +14,11 @@ bool Engine::step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      callbacks_[ev.id] = nullptr;
-      continue;
-    }
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled: reap silently
     now_ = ev.at;
-    EventFn fn = std::move(callbacks_[ev.id]);
-    callbacks_[ev.id] = nullptr;
+    EventFn fn = std::move(it->second);
+    callbacks_.erase(it);
     fn();
     return true;
   }
@@ -34,10 +29,8 @@ void Engine::run_until(Time deadline) {
   while (!queue_.empty()) {
     // Peek past cancelled events without running anything.
     Event ev = queue_.top();
-    if (cancelled_.count(ev.id)) {
+    if (!callbacks_.count(ev.id)) {
       queue_.pop();
-      cancelled_.erase(ev.id);
-      callbacks_[ev.id] = nullptr;
       continue;
     }
     if (ev.at > deadline) break;

@@ -4,13 +4,18 @@
 // callback). Ties in time are broken by insertion order, which makes every
 // run with the same seed and inputs bit-identical — the foundation for the
 // reproducibility of every experiment in EXPERIMENTS.md.
+//
+// Memory stays proportional to the number of PENDING events: callbacks live
+// in a map keyed by id and are erased when an event fires or is cancelled,
+// and a cancelled id simply vanishes from the map (the queue entry is
+// skipped when popped). Long simulations that schedule and cancel millions
+// of timers therefore run in bounded space (see engine_test.cpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
-#include <vector>
+#include <unordered_map>
 
 #include "sim/time.hpp"
 
@@ -34,7 +39,7 @@ class Engine {
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
   /// no-op (timers race with the events that obsolete them).
-  void cancel(EventId id) { cancelled_.insert(id); }
+  void cancel(EventId id) { callbacks_.erase(id); }
 
   /// Run a single event. Returns false when the queue is empty.
   bool step();
@@ -46,8 +51,13 @@ class Engine {
   /// Run until the queue drains.
   void run() { run_until(kTimeMax); }
 
-  /// Number of queued events (cancelled-but-not-yet-reaped events included).
+  /// Number of queued events (cancelled-but-not-yet-reaped entries included).
   size_t pending() const { return queue_.size(); }
+
+  /// Number of events that still hold a callback (pending minus cancelled).
+  /// This is what bounds memory; tests assert it stays proportional to the
+  /// genuinely outstanding work.
+  size_t live_callbacks() const { return callbacks_.size(); }
 
  private:
   struct Event {
@@ -63,8 +73,9 @@ class Engine {
   Time now_ = 0;
   EventId next_id_ = 1;
   std::priority_queue<Event> queue_;
-  std::vector<EventFn> callbacks_;  // indexed by id (grow-only)
-  std::unordered_set<EventId> cancelled_;
+  // id -> callback for pending events; an id absent here but still in the
+  // queue is a cancelled event awaiting reap.
+  std::unordered_map<EventId, EventFn> callbacks_;
 };
 
 }  // namespace icc::sim

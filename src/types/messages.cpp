@@ -257,6 +257,18 @@ std::optional<Message> parse_message(BytesView bytes) {
 
 Hash artifact_id(BytesView serialized) { return crypto::Sha256::hash(serialized); }
 
+bool sender_scoped_wire(BytesView serialized) {
+  if (serialized.empty()) return false;
+  switch (static_cast<MsgType>(serialized[0])) {
+    case MsgType::kAdvert:
+    case MsgType::kRequest:
+    case MsgType::kCupRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Bytes cup_message(Round round, const Hash& block_hash, BytesView beacon_value) {
   Writer w;
   w.u8(0x05);  // distinct from authenticator/notarization/finalization/beacon tags

@@ -130,7 +130,17 @@ using Message =
 Bytes serialize_message(const Message& msg);
 std::optional<Message> parse_message(BytesView bytes);
 
-/// Stable artifact id for gossip (hash of the serialized message).
+/// Stable artifact id for gossip and ingress dedup (hash of the serialized
+/// message).
 Hash artifact_id(BytesView serialized);
+
+/// True if the serialized message's *meaning* depends on who sent it
+/// (adverts register the sender as a source; pull/CUP requests are answered
+/// point-to-point). Such messages must bypass content-hash deduplication:
+/// two parties legitimately send byte-identical copies that each need
+/// processing. Everything else is sender-independent pool/subprotocol state
+/// and safe to dedup. Malformed/empty buffers return false (they are dropped
+/// in decode either way).
+bool sender_scoped_wire(BytesView serialized);
 
 }  // namespace icc::types

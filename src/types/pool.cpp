@@ -11,28 +11,10 @@ const Block* Pool::block(const Hash& h) const {
 
 bool Pool::add_proposal(const ProposalMsg& msg) {
   const Block& b = msg.block;
-  if (b.round < 1 || b.proposer >= crypto_->n()) return false;
-
-  bool changed = false;
-  // The bundled parent notarization is processed even when the block itself
-  // is already known (an echo may carry the notarization we were missing).
-  if (!msg.parent_notarization.empty()) {
-    auto parsed = parse_message(msg.parent_notarization);
-    if (parsed) {
-      if (auto* nm = std::get_if<NotarizationMsg>(&*parsed)) changed |= add_notarization(*nm);
-    }
-  }
+  if (b.round < 1 || b.proposer >= n_) return false;
 
   Hash h = b.hash();
-  if (blocks_.count(h)) return changed;
-
-  // Authenticator: S_auth signature by the proposer over (authenticator, k,
-  // alpha, H(B)). A proposal without a valid authenticator is dropped — the
-  // paper only ever classifies blocks that are authentic.
-  if (!crypto_->verify(b.proposer, authenticator_message(b.round, b.proposer, h),
-                       msg.authenticator)) {
-    return changed;
-  }
+  if (blocks_.count(h)) return false;
 
   blocks_.emplace(h, b);
   blocks_by_round_[b.round].push_back(h);
@@ -42,42 +24,26 @@ bool Pool::add_proposal(const ProposalMsg& msg) {
 }
 
 bool Pool::add_notarization_share(const NotarizationShareMsg& msg) {
-  if (msg.signer >= crypto_->n()) return false;
-  Bytes canonical = canonical_notarization_msg(msg);
-  if (!crypto_->threshold_verify_share(crypto::Scheme::kNotary, msg.signer, canonical,
-                                       msg.share)) {
-    return false;
-  }
+  if (msg.signer >= n_) return false;
   auto& set = notar_shares_[msg.block_hash];
   return set.emplace(msg.signer, msg.share).second;
 }
 
 bool Pool::add_notarization(const NotarizationMsg& msg) {
   if (notarizations_.count(msg.block_hash)) return false;
-  Bytes canonical = notarization_message(msg.round, msg.proposer, msg.block_hash);
-  if (!crypto_->threshold_verify(crypto::Scheme::kNotary, canonical, msg.aggregate))
-    return false;
   notarizations_.emplace(msg.block_hash, msg);
   notarized_by_round_[msg.round].push_back(msg.block_hash);
   return true;
 }
 
 bool Pool::add_finalization_share(const FinalizationShareMsg& msg) {
-  if (msg.signer >= crypto_->n()) return false;
-  Bytes canonical = finalization_message(msg.round, msg.proposer, msg.block_hash);
-  if (!crypto_->threshold_verify_share(crypto::Scheme::kFinal, msg.signer, canonical,
-                                       msg.share)) {
-    return false;
-  }
+  if (msg.signer >= n_) return false;
   auto& set = final_shares_[msg.block_hash];
   return set.emplace(msg.signer, msg.share).second;
 }
 
 bool Pool::add_finalization(const FinalizationMsg& msg) {
   if (finalizations_.count(msg.block_hash)) return false;
-  Bytes canonical = finalization_message(msg.round, msg.proposer, msg.block_hash);
-  if (!crypto_->threshold_verify(crypto::Scheme::kFinal, canonical, msg.aggregate))
-    return false;
   finalizations_.emplace(msg.block_hash, msg);
   finalized_by_round_[msg.round].push_back(msg.block_hash);
   return true;
@@ -135,7 +101,7 @@ std::optional<Hash> Pool::combinable_notarization_at(Round round) const {
   for (const Hash& h : it->second) {
     if (notarizations_.count(h)) continue;
     auto sh = notar_shares_.find(h);
-    if (sh == notar_shares_.end() || sh->second.size() < crypto_->quorum()) continue;
+    if (sh == notar_shares_.end() || sh->second.size() < quorum_) continue;
     if (is_valid(h)) return h;
   }
   return std::nullopt;
@@ -143,7 +109,7 @@ std::optional<Hash> Pool::combinable_notarization_at(Round round) const {
 
 std::optional<Hash> Pool::combinable_finalization_above(Round above_round) const {
   for (const auto& [h, shares] : final_shares_) {
-    if (shares.size() < crypto_->quorum()) continue;
+    if (shares.size() < quorum_) continue;
     if (finalizations_.count(h)) continue;
     const Block* b = block(h);
     if (!b || b->round <= above_round) continue;
@@ -161,22 +127,30 @@ std::optional<Hash> Pool::finalized_above(Round above_round) const {
   return std::nullopt;
 }
 
-std::vector<std::pair<crypto::PartyIndex, Bytes>> Pool::notarization_shares(
-    const Block& b) const {
-  std::vector<std::pair<crypto::PartyIndex, Bytes>> out;
+std::vector<std::pair<PartyIndex, Bytes>> Pool::notarization_shares(const Block& b) const {
+  std::vector<std::pair<PartyIndex, Bytes>> out;
   auto it = notar_shares_.find(b.hash());
   if (it == notar_shares_.end()) return out;
   out.assign(it->second.begin(), it->second.end());
   return out;
 }
 
-std::vector<std::pair<crypto::PartyIndex, Bytes>> Pool::finalization_shares(
-    const Block& b) const {
-  std::vector<std::pair<crypto::PartyIndex, Bytes>> out;
+std::vector<std::pair<PartyIndex, Bytes>> Pool::finalization_shares(const Block& b) const {
+  std::vector<std::pair<PartyIndex, Bytes>> out;
   auto it = final_shares_.find(b.hash());
   if (it == final_shares_.end()) return out;
   out.assign(it->second.begin(), it->second.end());
   return out;
+}
+
+size_t Pool::notarization_share_count(const Hash& h) const {
+  auto it = notar_shares_.find(h);
+  return it == notar_shares_.end() ? 0 : it->second.size();
+}
+
+size_t Pool::finalization_share_count(const Hash& h) const {
+  auto it = final_shares_.find(h);
+  return it == final_shares_.end() ? 0 : it->second.size();
 }
 
 const NotarizationMsg* Pool::notarization_for(const Hash& h) const {
@@ -217,10 +191,9 @@ bool Pool::install_checkpoint(const ProposalMsg& proposal,
                               const FinalizationMsg& finalization) {
   const Hash h = proposal.block.hash();
   if (notarization.block_hash != h || finalization.block_hash != h) return false;
-  if (!add_proposal(proposal) && !blocks_.count(h)) return false;  // bad authenticator
-  bool have_notarization = notarizations_.count(h) || add_notarization(notarization);
-  bool have_finalization = finalizations_.count(h) || add_finalization(finalization);
-  if (!have_notarization || !have_finalization) return false;
+  if (!add_proposal(proposal) && !blocks_.count(h)) return false;  // structurally bad
+  if (!notarizations_.count(h)) add_notarization(notarization);
+  if (!finalizations_.count(h)) add_finalization(finalization);
   // The ancestry is not present; the CUP's threshold signature vouches for
   // the block, so validity is granted directly.
   valid_cache_.insert(h);
@@ -237,6 +210,10 @@ void Pool::prune_below(Round round) {
       notar_shares_.erase(h);
       final_shares_.erase(h);
       finalizations_.erase(h);
+      // The validity verdict must go with the block: a stale entry would
+      // make a replayed copy of the pruned block look valid even though its
+      // ancestry is no longer checkable.
+      valid_cache_.erase(h);
       // Notarization aggregates are retained: children's validity checks
       // reference them. They are tiny compared to block payloads.
     }

@@ -1,9 +1,14 @@
 // The per-party message pool (paper Section 3.1/3.4).
 //
 // "Each party has a pool which holds the set of all messages received from
-// all parties (including itself)." The pool validates every artifact's
-// signatures on insertion (invalid ones are dropped — they are adversarial
-// by definition) and implements the paper's block classification:
+// all parties (including itself)." The pool is a pure data structure: it
+// holds PRE-VERIFIED artifacts only. All signature checking happens before
+// insertion, in the staged ingress pipeline (src/pipeline/) — decode, dedup,
+// verify — so the pool performs no cryptography and holds no provider
+// handle; it only needs the protocol parameters n (for signer-range guards)
+// and the quorum size (for combinable-share queries). Callers MUST NOT
+// insert artifacts whose signatures they have not checked. The pool still
+// implements the paper's block classification:
 //
 //   authentic  — an S_auth authenticator by the proposer is present;
 //   valid      — authentic, and the parent is present and notarized
@@ -22,16 +27,22 @@
 #include <unordered_set>
 #include <vector>
 
-#include "crypto/provider.hpp"
 #include "types/messages.hpp"
 
 namespace icc::types {
 
 class Pool {
  public:
-  explicit Pool(crypto::CryptoProvider& crypto) : crypto_(&crypto) {}
+  /// `n` = number of parties (signer/proposer indices must be < n);
+  /// `quorum` = shares needed to combine a notarization/finalization (n - t).
+  Pool(size_t n, size_t quorum) : n_(n), quorum_(quorum) {}
 
   // --- insertion (returns true iff the pool state changed) ---
+  //
+  // Pre-verified contract: every add_* trusts the artifact's signatures.
+  // Only structural guards remain (round/index ranges, duplicates). The
+  // bundled parent_notarization of a ProposalMsg is NOT processed here —
+  // the ingress pipeline verifies and routes it through add_notarization.
   bool add_proposal(const ProposalMsg& msg);
   bool add_notarization_share(const NotarizationShareMsg& msg);
   bool add_notarization(const NotarizationMsg& msg);
@@ -60,8 +71,13 @@ class Pool {
   std::optional<Hash> finalized_above(Round above_round) const;
 
   /// Notarization / finalization shares for a block (canonical message only).
-  std::vector<std::pair<crypto::PartyIndex, Bytes>> notarization_shares(const Block& b) const;
-  std::vector<std::pair<crypto::PartyIndex, Bytes>> finalization_shares(const Block& b) const;
+  std::vector<std::pair<PartyIndex, Bytes>> notarization_shares(const Block& b) const;
+  std::vector<std::pair<PartyIndex, Bytes>> finalization_shares(const Block& b) const;
+
+  /// Distinct-signer share counts, for callers deciding whether one more
+  /// share is even useful (a full quorum makes further shares dead weight).
+  size_t notarization_share_count(const Hash& h) const;
+  size_t finalization_share_count(const Hash& h) const;
 
   const NotarizationMsg* notarization_for(const Hash& h) const;
   const FinalizationMsg* finalization_for(const Hash& h) const;
@@ -76,36 +92,37 @@ class Pool {
 
   /// Drop blocks and shares for rounds < round (checkpointing). Notarization
   /// aggregates are kept (children's validity may still be checked against
-  /// them); block payloads dominate memory anyway.
+  /// them); block payloads dominate memory anyway. Cached validity verdicts
+  /// of the pruned blocks are dropped with them, so a pruned hash cannot
+  /// resurrect as "valid" if its bytes are replayed after its ancestry is
+  /// gone.
   void prune_below(Round round);
 
   /// Install a catch-up checkpoint: a block whose ancestry this pool does
-  /// not hold, vouched for by externally-verified notarization/finalization
-  /// aggregates (the CUP threshold signature binds them; see messages.hpp).
+  /// not hold. The CALLER vouches for all three pieces (the CUP threshold
+  /// signature binds them and the pipeline verifies each; see messages.hpp).
   /// The block is force-marked valid so subsequent rounds chain off it.
-  /// Returns false if any piece fails its own signature verification.
+  /// Returns false only on structural mismatch (hash disagreement).
   bool install_checkpoint(const ProposalMsg& proposal, const NotarizationMsg& notarization,
                           const FinalizationMsg& finalization);
 
   // --- introspection for tests ---
   size_t block_count() const { return blocks_.size(); }
+  size_t n() const { return n_; }
+  size_t quorum() const { return quorum_; }
 
  private:
-  Bytes canonical_notarization_msg(const NotarizationShareMsg& m) const {
-    return notarization_message(m.round, m.proposer, m.block_hash);
-  }
-
-  crypto::CryptoProvider* crypto_;
+  size_t n_, quorum_;
 
   std::unordered_map<Hash, Block, HashHasher> blocks_;
   std::map<Round, std::vector<Hash>> blocks_by_round_;
   std::unordered_set<Hash, HashHasher> authentic_;
   std::unordered_map<Hash, Bytes, HashHasher> authenticators_;
 
-  // Shares keyed by block hash; only shares matching the block's canonical
-  // signed message are stored (mismatched claims fail verification).
-  std::unordered_map<Hash, std::map<crypto::PartyIndex, Bytes>, HashHasher> notar_shares_;
-  std::unordered_map<Hash, std::map<crypto::PartyIndex, Bytes>, HashHasher> final_shares_;
+  // Shares keyed by block hash; the ingress pipeline only admits shares
+  // matching the block's canonical signed message.
+  std::unordered_map<Hash, std::map<PartyIndex, Bytes>, HashHasher> notar_shares_;
+  std::unordered_map<Hash, std::map<PartyIndex, Bytes>, HashHasher> final_shares_;
 
   std::unordered_map<Hash, NotarizationMsg, HashHasher> notarizations_;
   std::unordered_map<Hash, FinalizationMsg, HashHasher> finalizations_;

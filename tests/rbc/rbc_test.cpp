@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline/verifier.hpp"
 #include "sim/simulation.hpp"
 #include "types/pool.hpp"
 
@@ -18,7 +19,8 @@ using types::ProposalMsg;
 class RbcProcess : public sim::Process {
  public:
   RbcProcess(crypto::CryptoProvider& crypto, sim::PartyIndex self)
-      : rbc_(crypto, self,
+      : verifier_(crypto, pipeline::PipelineOptions{}),
+        rbc_(verifier_, self,
              [this](sim::Context&, const Bytes& raw) { delivered.push_back(raw); }) {}
 
   void start(sim::Context&) override {}
@@ -32,6 +34,7 @@ class RbcProcess : public sim::Process {
   std::vector<Bytes> delivered;
 
  private:
+  pipeline::Verifier verifier_;  // must outlive (and precede) rbc_
   RbcLayer rbc_;
 };
 

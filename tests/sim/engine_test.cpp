@@ -88,6 +88,26 @@ TEST(EngineTest, CancelAfterFireIsNoop) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(EngineTest, CallbackStorageStaysBounded) {
+  // Regression: callback storage used to be a grow-only vector (plus a
+  // grow-only cancelled-id set), so a long-running simulation that keeps
+  // scheduling-and-firing timers leaked memory linearly in event count.
+  // Storage must now track only live (scheduled, not yet fired or
+  // cancelled) callbacks.
+  Engine e;
+  constexpr int kRounds = 10000;
+  int fired = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    e.schedule_at(i, [&] { ++fired; });
+    EventId doomed = e.schedule_at(i, [&] { ++fired; });
+    e.cancel(doomed);  // cancellation must free the slot immediately
+    EXPECT_LE(e.live_callbacks(), 2u);  // this round's pair at most
+    e.run_until(i);
+  }
+  EXPECT_EQ(fired, kRounds);
+  EXPECT_EQ(e.live_callbacks(), 0u);  // fully drained, nothing retained
+}
+
 TEST(EngineTest, StepReturnsFalseWhenEmpty) {
   Engine e;
   EXPECT_FALSE(e.step());

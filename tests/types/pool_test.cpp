@@ -5,12 +5,15 @@
 namespace icc::types {
 namespace {
 
-/// Small fixture with a fast provider for n=4, t=1 and helpers to construct
-/// fully-signed artifacts (playing all parties at once).
+/// The pool is a pure data structure under the pre-verified contract: it
+/// never checks signatures, so these tests build artifacts with dummy
+/// signature bytes and exercise only structural behaviour (classification,
+/// share accounting, ancestry walks, pruning). Signature rejection is
+/// covered by the ingress pipeline tests (tests/pipeline/).
 struct PoolFixture : ::testing::Test {
-  std::unique_ptr<crypto::CryptoProvider> crypto_ =
-      crypto::make_fast_provider(4, 1, 99);
-  Pool pool{*crypto_};
+  static constexpr size_t kN = 4;
+  static constexpr size_t kQuorum = 3;  // n - t with t = 1
+  Pool pool{kN, kQuorum};
 
   Block make_block(Round round, PartyIndex proposer, const Hash& parent,
                    std::string_view payload = "p") {
@@ -22,37 +25,23 @@ struct PoolFixture : ::testing::Test {
     return b;
   }
 
-  ProposalMsg make_proposal(const Block& b, const Bytes& parent_notarization = {}) {
+  ProposalMsg make_proposal(const Block& b) {
     ProposalMsg m;
     m.block = b;
-    m.authenticator =
-        crypto_->sign(b.proposer, authenticator_message(b.round, b.proposer, b.hash()));
-    m.parent_notarization = parent_notarization;
+    m.authenticator = str_bytes("auth");  // pre-verified upstream
     return m;
   }
 
   NotarizationShareMsg make_notar_share(const Block& b, PartyIndex signer) {
-    Bytes msg = notarization_message(b.round, b.proposer, b.hash());
-    return {b.round, b.proposer, b.hash(), signer,
-            crypto_->threshold_sign_share(crypto::Scheme::kNotary, signer, msg)};
+    return {b.round, b.proposer, b.hash(), signer, str_bytes("share")};
   }
 
   NotarizationMsg make_notarization(const Block& b) {
-    Bytes msg = notarization_message(b.round, b.proposer, b.hash());
-    std::vector<std::pair<crypto::PartyIndex, Bytes>> shares;
-    for (crypto::PartyIndex i = 0; i < crypto_->quorum(); ++i)
-      shares.emplace_back(i, crypto_->threshold_sign_share(crypto::Scheme::kNotary, i, msg));
-    return {b.round, b.proposer, b.hash(), crypto_->threshold_combine(
-                                              crypto::Scheme::kNotary, msg, shares)};
+    return {b.round, b.proposer, b.hash(), str_bytes("agg-notar")};
   }
 
   FinalizationMsg make_finalization(const Block& b) {
-    Bytes msg = finalization_message(b.round, b.proposer, b.hash());
-    std::vector<std::pair<crypto::PartyIndex, Bytes>> shares;
-    for (crypto::PartyIndex i = 0; i < crypto_->quorum(); ++i)
-      shares.emplace_back(i, crypto_->threshold_sign_share(crypto::Scheme::kFinal, i, msg));
-    return {b.round, b.proposer, b.hash(), crypto_->threshold_combine(
-                                              crypto::Scheme::kFinal, msg, shares)};
+    return {b.round, b.proposer, b.hash(), str_bytes("agg-final")};
   }
 };
 
@@ -62,29 +51,29 @@ TEST_F(PoolFixture, RootIsAlwaysNotarizedAndFinalized) {
   EXPECT_EQ(pool.notarized_blocks_at(0), std::vector<Hash>{root_hash()});
 }
 
-TEST_F(PoolFixture, ProposalWithValidAuthenticatorAccepted) {
+TEST_F(PoolFixture, ProposalAccepted) {
   Block b = make_block(1, 0, root_hash());
   EXPECT_TRUE(pool.add_proposal(make_proposal(b)));
   EXPECT_TRUE(pool.is_authentic(b.hash()));
   EXPECT_TRUE(pool.is_valid(b.hash()));  // round-1 child of root
   EXPECT_FALSE(pool.is_notarized(b.hash()));
+  // Exact duplicate is a no-op.
+  EXPECT_FALSE(pool.add_proposal(make_proposal(b)));
 }
 
-TEST_F(PoolFixture, ProposalWithBadAuthenticatorDropped) {
-  Block b = make_block(1, 0, root_hash());
-  ProposalMsg m = make_proposal(b);
-  m.authenticator[0] ^= 1;
-  EXPECT_FALSE(pool.add_proposal(m));
-  EXPECT_EQ(pool.block(b.hash()), nullptr);
-}
-
-TEST_F(PoolFixture, AuthenticatorBySomeoneElseDropped) {
-  Block b = make_block(1, 0, root_hash());
-  ProposalMsg m;
-  m.block = b;
-  // Party 1 signs a block claiming proposer 0.
-  m.authenticator = crypto_->sign(1, authenticator_message(1, 0, b.hash()));
-  EXPECT_FALSE(pool.add_proposal(m));
+TEST_F(PoolFixture, StructuralGuards) {
+  // Proposer index out of range.
+  Block b = make_block(1, kN, root_hash());
+  EXPECT_FALSE(pool.add_proposal(make_proposal(b)));
+  // Round 0 is reserved for the root.
+  Block r0 = make_block(0, 0, root_hash());
+  EXPECT_FALSE(pool.add_proposal(make_proposal(r0)));
+  // Share with out-of-range signer.
+  Block ok = make_block(1, 0, root_hash());
+  pool.add_proposal(make_proposal(ok));
+  auto share = make_notar_share(ok, 0);
+  share.signer = kN;
+  EXPECT_FALSE(pool.add_notarization_share(share));
 }
 
 TEST_F(PoolFixture, ValidityRequiresNotarizedParent) {
@@ -97,15 +86,6 @@ TEST_F(PoolFixture, ValidityRequiresNotarizedParent) {
   pool.add_notarization(make_notarization(parent));
   EXPECT_TRUE(pool.is_valid(child.hash()));
   EXPECT_TRUE(pool.is_notarized(parent.hash()));
-}
-
-TEST_F(PoolFixture, BundledParentNotarizationProcessed) {
-  Block parent = make_block(1, 0, root_hash());
-  Block child = make_block(2, 1, parent.hash());
-  pool.add_proposal(make_proposal(parent));
-  Bytes bundled = serialize_message(Message{make_notarization(parent)});
-  pool.add_proposal(make_proposal(child, bundled));
-  EXPECT_TRUE(pool.is_valid(child.hash()));
 }
 
 TEST_F(PoolFixture, WrongRoundParentRejected) {
@@ -137,18 +117,6 @@ TEST_F(PoolFixture, DuplicateSharesIgnored) {
   EXPECT_TRUE(pool.add_notarization_share(make_notar_share(b, 0)));
   EXPECT_FALSE(pool.add_notarization_share(make_notar_share(b, 0)));
   EXPECT_EQ(pool.notarization_shares(b).size(), 1u);
-}
-
-TEST_F(PoolFixture, InvalidShareRejected) {
-  Block b = make_block(1, 0, root_hash());
-  pool.add_proposal(make_proposal(b));
-  auto share = make_notar_share(b, 0);
-  share.share[0] ^= 1;
-  EXPECT_FALSE(pool.add_notarization_share(share));
-  // A share claiming the wrong signer is also rejected.
-  auto share2 = make_notar_share(b, 1);
-  share2.signer = 2;
-  EXPECT_FALSE(pool.add_notarization_share(share2));
 }
 
 TEST_F(PoolFixture, FinalizationFlow) {
@@ -199,12 +167,50 @@ TEST_F(PoolFixture, PruneDropsOldBlocksKeepsNotarizations) {
   EXPECT_TRUE(pool.is_valid(b2.hash()));
 }
 
+TEST_F(PoolFixture, PruneDropsStaleValidityVerdicts) {
+  // Regression: cached validity of a pruned block must not survive the
+  // prune. If the same block bytes are replayed after its ancestry is gone,
+  // the pool must re-derive validity (and fail, since the parent block is no
+  // longer present) rather than resurrect the stale cached verdict.
+  Block b1 = make_block(1, 0, root_hash());
+  Block b2 = make_block(2, 1, b1.hash());
+  pool.add_proposal(make_proposal(b1));
+  pool.add_notarization(make_notarization(b1));
+  pool.add_proposal(make_proposal(b2));
+  pool.add_notarization(make_notarization(b2));
+  ASSERT_TRUE(pool.is_valid(b1.hash()));  // populate the validity cache
+  ASSERT_TRUE(pool.is_valid(b2.hash()));
+
+  pool.prune_below(3);  // drops both blocks (notarizations are retained)
+  EXPECT_EQ(pool.block(b2.hash()), nullptr);
+
+  // Replay b2's proposal alone: its parent block b1 is gone, so validity
+  // cannot be established. Before the fix the stale cache said "valid".
+  pool.add_proposal(make_proposal(b2));
+  EXPECT_FALSE(pool.is_valid(b2.hash()));
+}
+
 TEST_F(PoolFixture, EquivocatingBlocksBothTracked) {
   Block a = make_block(1, 0, root_hash(), "a");
   Block b = make_block(1, 0, root_hash(), "b");
   pool.add_proposal(make_proposal(a));
   pool.add_proposal(make_proposal(b));
   EXPECT_EQ(pool.valid_blocks_at(1).size(), 2u);
+}
+
+TEST_F(PoolFixture, CheckpointInstallForcesValidity) {
+  // A checkpoint block's ancestry is absent by construction; install must
+  // mark it valid so later rounds can chain off it.
+  Block far = make_block(50, 2, Hash{});  // unknown parent
+  auto pm = make_proposal(far);
+  EXPECT_TRUE(pool.install_checkpoint(pm, make_notarization(far), make_finalization(far)));
+  EXPECT_TRUE(pool.is_valid(far.hash()));
+  EXPECT_TRUE(pool.is_notarized(far.hash()));
+  EXPECT_TRUE(pool.is_finalized(far.hash()));
+  // Hash disagreement between pieces is rejected.
+  Block other = make_block(51, 3, far.hash());
+  auto bad_notar = make_notarization(other);
+  EXPECT_FALSE(pool.install_checkpoint(pm, bad_notar, make_finalization(far)));
 }
 
 }  // namespace
