@@ -69,6 +69,75 @@ void BM_PointMulArbitrary(benchmark::State& state) {
 }
 BENCHMARK(BM_PointMulArbitrary);
 
+// --- Kernel comparison (F-KERN): each optimized kernel vs its reference. ---
+
+void BM_PointMulNaive(benchmark::State& state) {
+  Xoshiro256 rng(20);
+  Sc25519 k = random_scalar(rng);
+  Point p = Point::mul_base(random_scalar(rng));
+  for (auto _ : state) benchmark::DoNotOptimize(p.mul_naive(k));
+}
+BENCHMARK(BM_PointMulNaive);
+
+void BM_PointMulWNAF(benchmark::State& state) {
+  Xoshiro256 rng(21);
+  Sc25519 k = random_scalar(rng);
+  Point p = Point::mul_base(random_scalar(rng));
+  for (auto _ : state) benchmark::DoNotOptimize(p.mul(k));
+}
+BENCHMARK(BM_PointMulWNAF);
+
+void BM_PointMulConstTime(benchmark::State& state) {
+  Xoshiro256 rng(22);
+  Sc25519 k = random_scalar(rng);
+  Point p = Point::mul_base(random_scalar(rng));
+  for (auto _ : state) benchmark::DoNotOptimize(p.mul_ct(k));
+}
+BENCHMARK(BM_PointMulConstTime);
+
+void BM_MulBaseLadder(benchmark::State& state) {
+  Xoshiro256 rng(23);
+  Sc25519 k = random_scalar(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(Point::mul_base_ladder(k));
+}
+BENCHMARK(BM_MulBaseLadder);
+
+void BM_MulBaseComb(benchmark::State& state) {
+  Xoshiro256 rng(24);
+  Sc25519 k = random_scalar(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(Point::mul_base(k));
+}
+BENCHMARK(BM_MulBaseComb);
+
+void BM_MulDoubleBase(benchmark::State& state) {
+  Xoshiro256 rng(25);
+  Sc25519 s = random_scalar(rng), k = random_scalar(rng);
+  Point a = Point::mul_base(random_scalar(rng));
+  for (auto _ : state) benchmark::DoNotOptimize(Point::mul_double_base(s, k, a));
+}
+BENCHMARK(BM_MulDoubleBase);
+
+void BM_VerifyBatch(benchmark::State& state) {
+  Xoshiro256 rng(26);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Ed25519KeyPair> kps;
+  std::vector<Bytes> msgs;
+  std::vector<std::array<uint8_t, 64>> sigs;
+  for (size_t i = 0; i < n; ++i) {
+    Bytes s = rng.bytes(32);
+    kps.push_back(ed25519_keypair(s.data()));
+    msgs.push_back(rng.bytes(64));
+    sigs.push_back(ed25519_sign(kps.back(), msgs.back()));
+  }
+  std::vector<Ed25519BatchItem> items;
+  for (size_t i = 0; i < n; ++i)
+    items.push_back({BytesView(kps[i].public_key.data(), 32), BytesView(msgs[i]),
+                     BytesView(sigs[i].data(), 64)});
+  for (auto _ : state) benchmark::DoNotOptimize(ed25519_verify_batch(items));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_VerifyBatch)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_HashToPoint(benchmark::State& state) {
   Xoshiro256 rng(6);
   Bytes msg = rng.bytes(48);

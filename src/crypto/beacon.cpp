@@ -57,7 +57,7 @@ BeaconShare beacon_sign_share(BytesView message, uint32_t signer, const Sc25519&
   Point hm = beacon_message_point(message);
   BeaconShare out;
   out.signer = signer;
-  out.sigma = hm.mul(share);
+  out.sigma = hm.mul_ct(share);  // share is a long-lived secret
   out.proof = dleq_prove(Point::base(), pub.share_pks[signer], hm, out.sigma, share);
   return out;
 }

@@ -46,8 +46,9 @@ DleqProof dleq_prove(const Point& g1, const Point& p1, const Point& g2, const Po
   nh.update(BytesView(p2.compress().data(), 32));
   Sc25519 k = Sc25519::from_bytes_wide(nh.digest().data());
 
-  Point a1 = g1.mul(k);
-  Point a2 = g2.mul(k);
+  // k is secret (it masks `secret` in z = k + c*s): constant-time kernel.
+  Point a1 = g1.mul_ct(k);
+  Point a2 = g2.mul_ct(k);
   DleqProof proof;
   proof.c = challenge(g1, p1, g2, p2, a1, a2);
   proof.z = k + proof.c * secret;
@@ -57,8 +58,10 @@ DleqProof dleq_prove(const Point& g1, const Point& p1, const Point& g2, const Po
 bool dleq_verify(const Point& g1, const Point& p1, const Point& g2, const Point& p2,
                  const DleqProof& proof) {
   // a1 = z G1 - c P1, a2 = z G2 - c P2; accept iff the challenge matches.
-  Point a1 = g1.mul(proof.z) - p1.mul(proof.c);
-  Point a2 = g2.mul(proof.z) - p2.mul(proof.c);
+  // Each pair shares doublings via the Straus double-scalar kernel.
+  Sc25519 neg_c = proof.c.negate();
+  Point a1 = Point::mul_double(proof.z, g1, neg_c, p1);
+  Point a2 = Point::mul_double(proof.z, g2, neg_c, p2);
   return challenge(g1, p1, g2, p2, a1, a2) == proof.c;
 }
 

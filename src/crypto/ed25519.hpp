@@ -4,12 +4,31 @@
 //  * the twisted-Edwards group (extended coordinates) used by the signature
 //    scheme, the DLEQ proofs and the threshold random beacon;
 //  * RFC 8032 key generation / sign / verify, tested against the RFC test
-//    vectors (tests/crypto/ed25519_test.cpp).
+//    vectors (tests/crypto/ed25519_test.cpp);
+//  * a family of scalar-multiplication kernels (see DESIGN.md §Kernels):
+//      - mul:        variable-time signed sliding-window wNAF (w = 5), for
+//                    public scalars (verification);
+//      - mul_ct:     constant-time fixed-window radix-16, for secret scalars
+//                    applied to arbitrary points (beacon share evaluation,
+//                    DLEQ proving);
+//      - mul_base:   constant-time signed radix-16 comb over a precomputed
+//                    affine (Niels) table of the base point, for secret
+//                    scalars (signing, key generation);
+//      - mul_double_base / mul_double: Straus (Shamir's trick) shared-
+//                    doubling double-scalar kernels for verification
+//                    equations of the form s B - k A;
+//      - mul_multi_base: multi-scalar s B + sum k_i P_i — Straus for small
+//                    batches, Pippenger's bucket method for large ones —
+//                    backing ed25519_verify_batch;
+//      - mul_naive / mul_base_ladder: the original bit-at-a-time kernels,
+//                    retained as reference oracles for the randomized
+//                    equivalence tests (tests/crypto/kernel_equivalence_*).
 //
 // The paper's `S_auth` (Section 3.2) is instantiated with these signatures.
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "crypto/fe25519.hpp"
 #include "crypto/sc25519.hpp"
@@ -31,14 +50,61 @@ class Point {
   Point negate() const;
   Point operator-(const Point& o) const { return *this + o.negate(); }
 
-  /// Scalar multiplication, simple double-and-add.
+  /// Scalar multiplication for PUBLIC scalars: variable-time signed
+  /// sliding-window wNAF, w = 5 (8 precomputed odd multiples). Roughly 3x
+  /// the naive double-and-add. Do not use with secret scalars.
   Point mul(const Sc25519& k) const;
 
-  /// k * B using a precomputed table of 2^i * B (much faster than mul).
+  /// Scalar multiplication for SECRET scalars: fixed-window radix-16 with
+  /// uniform table scans and branchless conditional negation. Same memory
+  /// access pattern and instruction trace for every scalar.
+  Point mul_ct(const Sc25519& k) const;
+
+  /// Reference oracle: the original bit-at-a-time double-and-add. Kept for
+  /// the randomized kernel-equivalence tests; not used on hot paths.
+  Point mul_naive(const Sc25519& k) const;
+
+  /// k * B for SECRET scalars: signed radix-16 comb over a 32x8 precomputed
+  /// Niels table, constant-time table selection. ~64 additions + 4
+  /// doublings per multiplication.
   static Point mul_base(const Sc25519& k);
 
-  /// Multiply by the cofactor 8.
-  Point mul_cofactor() const { return dbl().dbl().dbl(); }
+  /// Reference oracle: the original 2^i * B table walk (variable time).
+  static Point mul_base_ladder(const Sc25519& k);
+
+  /// s * B + k * A with shared doublings (Straus / Shamir's trick);
+  /// variable time. The base-point half uses a width-8 wNAF over a static
+  /// 64-entry odd-multiple table. This is the single-signature
+  /// verification kernel.
+  static Point mul_double_base(const Sc25519& s, const Sc25519& k, const Point& a);
+
+  /// k1 * P1 + k2 * P2 with shared doublings; variable time (DLEQ checks).
+  static Point mul_double(const Sc25519& k1, const Point& p1, const Sc25519& k2,
+                          const Point& p2);
+
+  /// s * B + sum scalars[i] * points[i]; variable time. Uses Straus with
+  /// per-point wNAF tables for small inputs and Pippenger's bucket method
+  /// beyond ~192 points. This is the batch-verification kernel.
+  static Point mul_multi_base(const Sc25519& s, std::span<const Sc25519> scalars,
+                              std::span<const Point> points);
+
+  /// v * (s B - k A - R) for a verifier-chosen v with v != 0 (mod l):
+  /// 8 * result == identity iff 8 * (s B - k A - R) == identity, so the
+  /// result is a drop-in for the cofactored Ed25519 verification equation.
+  /// A truncated extended Euclid splits k as u/v (mod l) with |u|, |v| of
+  /// ~127 bits (Antipa et al., accelerated signature verification), turning
+  /// the equation into (v s) B - u A - v R whose four half-length wNAF
+  /// streams (v s split over static tables for B and 2^127 B, u over A, v
+  /// over R) share a ~127-step doubling run instead of ~253. Variable time.
+  static Point mul_verify_scaled(const Sc25519& s, const Sc25519& k, const Point& a,
+                                 const Point& r);
+
+  /// Multiply by the cofactor 8 (three doublings, kept in P2 form between).
+  Point mul_cofactor() const {
+    P2 r = dbl_p2(to_p2()).to_p2();
+    r = dbl_p2(r).to_p2();
+    return dbl_p2(r).to_p3();
+  }
 
   /// Compressed 32-byte encoding (y with the sign bit of x).
   std::array<uint8_t, 32> compress() const;
@@ -48,10 +114,61 @@ class Point {
   static std::optional<Point> decompress(const uint8_t bytes[32]);
   static std::optional<Point> decompress(BytesView bytes);
 
+  /// Decompress two encodings at once, running the two square-root
+  /// exponentiations in lockstep (Fe25519::pow_p58_2) so their serial
+  /// squaring chains overlap. Returns false if either encoding is invalid
+  /// (outputs are then unspecified). The verification paths always have a
+  /// (public key, R) pair to decompress, which this makes ~20% cheaper.
+  static bool decompress_pair(const uint8_t a_bytes[32], const uint8_t b_bytes[32],
+                              Point& a_out, Point& b_out);
+
   bool is_identity() const;
   bool operator==(const Point& o) const;
 
  private:
+  /// Precomputed form of a point for repeated mixed addition:
+  /// (Y+X, Y-X, Z, 2dT). Addition against a Cached costs 8M.
+  struct Cached {
+    Fe25519 y_plus_x, y_minus_x, z, t2d;
+  };
+
+  /// Affine precomputed form (Z == 1 implied): (y+x, y-x, 2dxy).
+  /// Addition against a Niels costs 7M; used for static tables.
+  struct Niels {
+    Fe25519 y_plus_x, y_minus_x, xy2d;
+    Niels() : y_plus_x(Fe25519::one()), y_minus_x(Fe25519::one()), xy2d() {}
+  };
+
+  /// Projective (X : Y : Z) without the T coordinate. Doubling only needs
+  /// (X, Y, Z), so runs of doublings between sparse additions stay in this
+  /// form and skip the 1M spent computing T.
+  struct P2 {
+    Fe25519 x, y, z;
+  };
+
+  /// "Completed" point (E, F, G, H) with X = EF, Y = GH, Z = FG, T = EH —
+  /// the common output form of the addition/doubling formulas before the
+  /// final combination multiplies (ref10's ge_p1p1).
+  struct P1P1 {
+    Fe25519 e, f, g, h;
+    Point to_p3() const;  ///< 4M: full extended point.
+    P2 to_p2() const;     ///< 3M: enough for the next doubling.
+  };
+
+  static P1P1 dbl_p2(const P2& p);  ///< 4S, no multiplications.
+  P2 to_p2() const { return {x_, y_, z_}; }
+
+  Cached to_cached() const;
+  Niels to_niels() const;  ///< Requires an inversion; table building only.
+  Point add(const Cached& o) const;
+  Point sub(const Cached& o) const;
+  Point add(const Niels& o) const;
+  Point sub(const Niels& o) const;
+
+  static const std::array<std::array<Niels, 8>, 32>& comb_table();
+  static const std::array<Niels, 64>& base_wnaf_table();
+  static const std::array<Niels, 64>& base_shift_wnaf_table();  ///< odd i * 2^127 B
+
   Fe25519 x_, y_, z_, t_;
 };
 

@@ -6,8 +6,7 @@ namespace icc::crypto {
 
 namespace {
 
-constexpr uint64_t kMask = (1ULL << 51) - 1;
-using u128 = unsigned __int128;
+constexpr uint64_t kMaskLocal = (1ULL << 51) - 1;
 
 inline uint64_t load8(const uint8_t* p) {
   uint64_t v;
@@ -15,45 +14,42 @@ inline uint64_t load8(const uint8_t* p) {
   return v;  // little-endian hosts only (asserted in ed25519.cpp)
 }
 
-/// Generic square-and-multiply with a little-endian 32-byte exponent.
-Fe25519 pow_le(const Fe25519& base, const uint8_t exp_le[32]) {
-  Fe25519 result = Fe25519::one();
-  for (int i = 255; i >= 0; --i) {
-    result = result.square();
-    if ((exp_le[i / 8] >> (i % 8)) & 1) result = result * base;
-  }
-  return result;
+/// x^(2^n) by n successive squarings.
+Fe25519 sqn(Fe25519 x, int n) {
+  for (int i = 0; i < n; ++i) x = x.square();
+  return x;
+}
+
+/// x^(2^250 - 1), the shared prefix of the inversion and sqrt addition
+/// chains (both p - 2 and (p - 5)/8 are of the form (2^250 - 1)·2^k + c).
+/// Also returns x^11 via `x11` for the inversion tail.
+Fe25519 pow_2_250_m1(const Fe25519& x, Fe25519& x11) {
+  Fe25519 t0 = x.square();                 // 2
+  Fe25519 t1 = t0.square().square();       // 8
+  Fe25519 x9 = x * t1;                     // 9
+  x11 = t0 * x9;                           // 11
+  Fe25519 t2 = x11.square();               // 22
+  Fe25519 x31 = x9 * t2;                   // 2^5 - 1
+  t2 = sqn(x31, 5);                        // 2^10 - 2^5
+  Fe25519 x10 = t2 * x31;                  // 2^10 - 1
+  t2 = sqn(x10, 10) * x10;                 // 2^20 - 1
+  Fe25519 x40 = sqn(t2, 20) * t2;          // 2^40 - 1
+  t2 = sqn(x40, 10) * x10;                 // 2^50 - 1
+  Fe25519 x100 = sqn(t2, 50) * t2;         // 2^100 - 1
+  Fe25519 x200 = sqn(x100, 100) * x100;    // 2^200 - 1
+  return sqn(x200, 50) * t2;               // 2^250 - 1
 }
 
 }  // namespace
 
-Fe25519 Fe25519::one() { return from_u64(1); }
-
-Fe25519 Fe25519::from_u64(uint64_t x) {
-  Fe25519 r;
-  r.v_[0] = x & kMask;
-  r.v_[1] = x >> 51;
-  return r;
-}
-
 Fe25519 Fe25519::from_bytes(const uint8_t bytes[32]) {
   Fe25519 r;
-  r.v_[0] = load8(bytes) & kMask;
-  r.v_[1] = (load8(bytes + 6) >> 3) & kMask;
-  r.v_[2] = (load8(bytes + 12) >> 6) & kMask;
-  r.v_[3] = (load8(bytes + 19) >> 1) & kMask;
-  r.v_[4] = (load8(bytes + 24) >> 12) & kMask;
+  r.v_[0] = load8(bytes) & kMaskLocal;
+  r.v_[1] = (load8(bytes + 6) >> 3) & kMaskLocal;
+  r.v_[2] = (load8(bytes + 12) >> 6) & kMaskLocal;
+  r.v_[3] = (load8(bytes + 19) >> 1) & kMaskLocal;
+  r.v_[4] = (load8(bytes + 24) >> 12) & kMaskLocal;
   return r;
-}
-
-void Fe25519::carry() {
-  uint64_t c;
-  c = v_[0] >> 51; v_[0] &= kMask; v_[1] += c;
-  c = v_[1] >> 51; v_[1] &= kMask; v_[2] += c;
-  c = v_[2] >> 51; v_[2] &= kMask; v_[3] += c;
-  c = v_[3] >> 51; v_[3] &= kMask; v_[4] += c;
-  c = v_[4] >> 51; v_[4] &= kMask; v_[0] += 19 * c;
-  c = v_[0] >> 51; v_[0] &= kMask; v_[1] += c;
 }
 
 void Fe25519::to_bytes(uint8_t out[32]) const {
@@ -61,10 +57,10 @@ void Fe25519::to_bytes(uint8_t out[32]) const {
   Fe25519 t = *this;
   t.carry();
   t.carry();
-  constexpr uint64_t kP0 = kMask - 18;  // 2^51 - 19
+  constexpr uint64_t kP0 = kMaskLocal - 18;  // 2^51 - 19
   for (int pass = 0; pass < 2; ++pass) {
-    bool ge = t.v_[4] == kMask && t.v_[3] == kMask && t.v_[2] == kMask &&
-              t.v_[1] == kMask && t.v_[0] >= kP0;
+    bool ge = t.v_[4] == kMaskLocal && t.v_[3] == kMaskLocal && t.v_[2] == kMaskLocal &&
+              t.v_[1] == kMaskLocal && t.v_[0] >= kP0;
     if (ge) {
       t.v_[0] -= kP0;
       t.v_[1] = t.v_[2] = t.v_[3] = t.v_[4] = 0;
@@ -87,68 +83,64 @@ Bytes Fe25519::to_bytes() const {
   return out;
 }
 
-Fe25519 Fe25519::operator+(const Fe25519& o) const {
-  Fe25519 r;
-  for (int i = 0; i < 5; ++i) r.v_[i] = v_[i] + o.v_[i];
-  r.carry();
-  return r;
-}
-
-Fe25519 Fe25519::operator-(const Fe25519& o) const {
-  // Add 2p before subtracting so limbs never underflow (inputs < 2^52).
-  Fe25519 r;
-  r.v_[0] = v_[0] + ((kMask - 18) << 1) - o.v_[0];
-  for (int i = 1; i < 5; ++i) r.v_[i] = v_[i] + (kMask << 1) - o.v_[i];
-  r.carry();
-  return r;
-}
-
-Fe25519 Fe25519::negate() const { return Fe25519::zero() - *this; }
-
-Fe25519 Fe25519::operator*(const Fe25519& o) const {
-  const uint64_t a0 = v_[0], a1 = v_[1], a2 = v_[2], a3 = v_[3], a4 = v_[4];
-  const uint64_t b0 = o.v_[0], b1 = o.v_[1], b2 = o.v_[2], b3 = o.v_[3], b4 = o.v_[4];
-
-  u128 r0 = (u128)a0 * b0 + (u128)19 * ((u128)a1 * b4 + (u128)a2 * b3 + (u128)a3 * b2 + (u128)a4 * b1);
-  u128 r1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)19 * ((u128)a2 * b4 + (u128)a3 * b3 + (u128)a4 * b2);
-  u128 r2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 + (u128)19 * ((u128)a3 * b4 + (u128)a4 * b3);
-  u128 r3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 + (u128)19 * ((u128)a4 * b4);
-  u128 r4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 + (u128)a4 * b0;
-
-  Fe25519 out;
-  u128 c;
-  c = r0 >> 51; r0 &= kMask; r1 += c;
-  c = r1 >> 51; r1 &= kMask; r2 += c;
-  c = r2 >> 51; r2 &= kMask; r3 += c;
-  c = r3 >> 51; r3 &= kMask; r4 += c;
-  c = r4 >> 51; r4 &= kMask; r0 += (u128)19 * c;
-  c = r0 >> 51; r0 &= kMask; r1 += c;
-  out.v_[0] = (uint64_t)r0;
-  out.v_[1] = (uint64_t)r1;
-  out.v_[2] = (uint64_t)r2;
-  out.v_[3] = (uint64_t)r3;
-  out.v_[4] = (uint64_t)r4;
-  return out;
-}
-
-Fe25519 Fe25519::square() const { return *this * *this; }
-
 Fe25519 Fe25519::invert() const {
-  // Exponent p - 2 = 2^255 - 21, little-endian bytes.
-  static constexpr uint8_t kExp[32] = {
-      0xeb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
-  return pow_le(*this, kExp);
+  // p - 2 = (2^250 - 1)·2^5 + 11.
+  Fe25519 x11;
+  Fe25519 t = pow_2_250_m1(*this, x11);
+  return sqn(t, 5) * x11;
 }
 
 Fe25519 Fe25519::pow_p58() const {
-  // Exponent (p - 5) / 8 = 2^252 - 3, little-endian bytes.
-  static constexpr uint8_t kExp[32] = {
-      0xfd, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f};
-  return pow_le(*this, kExp);
+  // (p - 5)/8 = 2^252 - 3 = (2^250 - 1)·2^2 + 1.
+  Fe25519 x11;
+  Fe25519 t = pow_2_250_m1(*this, x11);
+  return sqn(t, 2) * *this;
+}
+
+void Fe25519::pow_p58_2(const Fe25519& x0, const Fe25519& x1, Fe25519& r0, Fe25519& r1) {
+  // Same addition chain as pow_p58, applied to both elements in lockstep so
+  // the two (independent) squaring chains overlap in the pipeline.
+  auto sqn2 = [](Fe25519& a, Fe25519& b, int n) {
+    for (int i = 0; i < n; ++i) {
+      a = a.square();
+      b = b.square();
+    }
+  };
+  Fe25519 t0a = x0.square(), t0b = x1.square();                    // 2
+  Fe25519 t1a = t0a, t1b = t0b;
+  sqn2(t1a, t1b, 2);                                               // 8
+  Fe25519 x9a = x0 * t1a, x9b = x1 * t1b;                          // 9
+  Fe25519 x11a = t0a * x9a, x11b = t0b * x9b;                      // 11
+  Fe25519 t2a = x11a.square(), t2b = x11b.square();                // 22
+  Fe25519 x31a = x9a * t2a, x31b = x9b * t2b;                      // 2^5 - 1
+  t2a = x31a;
+  t2b = x31b;
+  sqn2(t2a, t2b, 5);
+  Fe25519 x10a = t2a * x31a, x10b = t2b * x31b;                    // 2^10 - 1
+  t2a = x10a;
+  t2b = x10b;
+  sqn2(t2a, t2b, 10);
+  t2a = t2a * x10a;                                                // 2^20 - 1
+  t2b = t2b * x10b;
+  Fe25519 x40a = t2a, x40b = t2b;
+  sqn2(x40a, x40b, 20);
+  x40a = x40a * t2a;                                               // 2^40 - 1
+  x40b = x40b * t2b;
+  sqn2(x40a, x40b, 10);
+  Fe25519 x50a = x40a * x10a, x50b = x40b * x10b;                  // 2^50 - 1
+  Fe25519 x100a = x50a, x100b = x50b;
+  sqn2(x100a, x100b, 50);
+  x100a = x100a * x50a;                                            // 2^100 - 1
+  x100b = x100b * x50b;
+  Fe25519 x200a = x100a, x200b = x100b;
+  sqn2(x200a, x200b, 100);
+  x200a = x200a * x100a;                                           // 2^200 - 1
+  x200b = x200b * x100b;
+  sqn2(x200a, x200b, 50);
+  Fe25519 ta = x200a * x50a, tb = x200b * x50b;                    // 2^250 - 1
+  sqn2(ta, tb, 2);
+  r0 = ta * x0;                                                    // 2^252 - 3
+  r1 = tb * x1;
 }
 
 bool Fe25519::is_zero() const {
@@ -173,13 +165,12 @@ bool Fe25519::operator==(const Fe25519& o) const {
 }
 
 const Fe25519& Fe25519::sqrt_m1() {
-  // 2^((p-1)/4); computed once. (p-1)/4 = 2^253 - 5.
+  // 2^((p-1)/4); computed once. (p-1)/4 = 2^253 - 5 = (2^250 - 1)·2^3 + 3.
   static const Fe25519 value = [] {
-    static constexpr uint8_t kExp[32] = {
-        0xfb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f};
-    return pow_le(Fe25519::from_u64(2), kExp);
+    Fe25519 two = Fe25519::from_u64(2);
+    Fe25519 x11;
+    Fe25519 t = pow_2_250_m1(two, x11);
+    return sqn(t, 3) * two.square() * two;
   }();
   return value;
 }

@@ -2,13 +2,20 @@
 //
 // Representation: five 51-bit limbs (radix 2^51), kept reduced so every limb
 // is < 2^52 after each operation. Multiplication uses unsigned __int128
-// accumulators. This is the classic "ref10/donna" layout; we favour clarity
-// over constant-time tricks (the library runs inside a simulator, not on a
-// network-facing host; see DESIGN.md).
+// accumulators. This is the classic "ref10/donna" layout.
+//
+// The hot operations (add, sub, mul, square) are defined inline in this
+// header: the scalar-multiplication kernels in ed25519.cpp execute thousands
+// of field operations per point multiplication, and keeping them visible to
+// the compiler in the caller's translation unit is worth ~30% end to end.
+// Inversion and the square-root exponentiation use fixed addition chains
+// (252 squarings + ~12 multiplications) instead of generic square-and-
+// multiply, which roughly halves point decompression cost.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 
 #include "support/bytes.hpp"
 
@@ -20,8 +27,13 @@ class Fe25519 {
   constexpr Fe25519() : v_{0, 0, 0, 0, 0} {}
 
   static Fe25519 zero() { return Fe25519(); }
-  static Fe25519 one();
-  static Fe25519 from_u64(uint64_t x);
+  static Fe25519 one() { return from_u64(1); }
+  static Fe25519 from_u64(uint64_t x) {
+    Fe25519 r;
+    r.v_[0] = x & kMask;
+    r.v_[1] = x >> 51;
+    return r;
+  }
 
   /// Deserialize 32 little-endian bytes; the top bit is ignored (RFC 7748
   /// convention). The value is not required to be < p.
@@ -31,11 +43,69 @@ class Fe25519 {
   void to_bytes(uint8_t out[32]) const;
   Bytes to_bytes() const;
 
-  Fe25519 operator+(const Fe25519& o) const;
-  Fe25519 operator-(const Fe25519& o) const;
-  Fe25519 operator*(const Fe25519& o) const;
-  Fe25519 square() const;
-  Fe25519 negate() const;
+  // Lazy reduction: operator+ and operator- do NOT normalize their result.
+  // A "+"/"-" result is *loose* (limbs up to ~2^55) and must next flow into
+  // operator*, square(), negate(), to_bytes(), or a comparison — all of
+  // which accept loose limbs and (except the adders) renormalize. Never
+  // build an unbounded chain of +/- on the same value. The point-addition
+  // and doubling formulas in ed25519.cpp maintain this invariant; the carry
+  // chains saved this way are worth ~15% of a scalar multiplication.
+  Fe25519 operator+(const Fe25519& o) const {
+    Fe25519 r;
+    for (int i = 0; i < 5; ++i) r.v_[i] = v_[i] + o.v_[i];
+    return r;
+  }
+
+  Fe25519 operator-(const Fe25519& o) const {
+    // Add 8p before subtracting so limbs never underflow. The subtrahend
+    // may be loose up to one +/- level (< 2^54 - 152 per limb).
+    Fe25519 r;
+    r.v_[0] = v_[0] + ((kMask - 18) << 3) - o.v_[0];
+    for (int i = 1; i < 5; ++i) r.v_[i] = v_[i] + (kMask << 3) - o.v_[i];
+    return r;
+  }
+
+  Fe25519 operator*(const Fe25519& o) const {
+    using u128 = unsigned __int128;
+    const uint64_t a0 = v_[0], a1 = v_[1], a2 = v_[2], a3 = v_[3], a4 = v_[4];
+    const uint64_t b0 = o.v_[0], b1 = o.v_[1], b2 = o.v_[2], b3 = o.v_[3], b4 = o.v_[4];
+    // Pre-scale the wrapping operands by 19 once (four 64-bit multiplies)
+    // instead of multiplying 128-bit partial sums by 19 (several ops each).
+    // Loose inputs are < 2^56, so 19*b fits: 19 * 2^56 < 2^61.
+    const uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+    u128 r0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 + (u128)a3 * b2_19 + (u128)a4 * b1_19;
+    u128 r1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 + (u128)a3 * b3_19 + (u128)a4 * b2_19;
+    u128 r2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 + (u128)a3 * b4_19 + (u128)a4 * b3_19;
+    u128 r3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 + (u128)a4 * b4_19;
+    u128 r4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 + (u128)a4 * b0;
+    return carry_wide(r0, r1, r2, r3, r4);
+  }
+
+  /// Dedicated squaring: 15 word multiplications instead of 25.
+  Fe25519 square() const {
+    using u128 = unsigned __int128;
+    const uint64_t a0 = v_[0], a1 = v_[1], a2 = v_[2], a3 = v_[3], a4 = v_[4];
+    const uint64_t a0_2 = a0 * 2, a1_2 = a1 * 2, a2_2 = a2 * 2, a3_2 = a3 * 2;
+    const uint64_t a3_19 = a3 * 19, a4_19 = a4 * 19;
+
+    u128 r0 = (u128)a0 * a0 + (u128)a1_2 * a4_19 + (u128)a2_2 * a3_19;
+    u128 r1 = (u128)a0_2 * a1 + (u128)a2_2 * a4_19 + (u128)a3 * a3_19;
+    u128 r2 = (u128)a0_2 * a2 + (u128)a1 * a1 + (u128)a3_2 * a4_19;
+    u128 r3 = (u128)a0_2 * a3 + (u128)a1_2 * a2 + (u128)a4 * a4_19;
+    u128 r4 = (u128)a0_2 * a4 + (u128)a1_2 * a3 + (u128)a2 * a2;
+    return carry_wide(r0, r1, r2, r3, r4);
+  }
+
+  /// Normalized negation (result is tight, < 2^52 per limb). Accepts loose
+  /// inputs up to 2^55 per limb thanks to the 16p bias.
+  Fe25519 negate() const {
+    Fe25519 r;
+    r.v_[0] = ((kMask - 18) << 4) - v_[0];
+    for (int i = 1; i < 5; ++i) r.v_[i] = (kMask << 4) - v_[i];
+    r.carry();
+    return r;
+  }
 
   /// Multiplicative inverse via Fermat (x^(p-2)); inverse of 0 is 0.
   Fe25519 invert() const;
@@ -43,6 +113,19 @@ class Fe25519 {
   /// x^((p-5)/8), the core of the square-root computation used in point
   /// decompression (p = 5 mod 8).
   Fe25519 pow_p58() const;
+
+  /// Two independent x^((p-5)/8) computations run in lockstep. The addition
+  /// chain is a serial dependency of ~252 squarings; interleaving two
+  /// independent chains lets them overlap in the multiplier pipeline (~20%
+  /// faster than two sequential calls). Used by Point::decompress_pair.
+  static void pow_p58_2(const Fe25519& x0, const Fe25519& x1, Fe25519& r0, Fe25519& r1);
+
+  /// Constant-time conditional assignment: *this = o when b == 1 (b must be
+  /// 0 or 1). Used for uniform table lookups with secret indices.
+  void cmov(const Fe25519& o, uint64_t b) {
+    const uint64_t mask = 0 - b;
+    for (int i = 0; i < 5; ++i) v_[i] ^= mask & (v_[i] ^ o.v_[i]);
+  }
 
   bool is_zero() const;
   /// "Negative" = least significant bit of the canonical encoding.
@@ -57,9 +140,39 @@ class Fe25519 {
   static const Fe25519& edwards_2d();
 
  private:
+  static constexpr uint64_t kMask = (1ULL << 51) - 1;
+
   explicit constexpr Fe25519(std::array<uint64_t, 5> v) : v_(v) {}
 
-  void carry();
+  static Fe25519 carry_wide(unsigned __int128 r0, unsigned __int128 r1,
+                            unsigned __int128 r2, unsigned __int128 r3,
+                            unsigned __int128 r4) {
+    using u128 = unsigned __int128;
+    Fe25519 out;
+    u128 c;
+    c = r0 >> 51; r0 &= kMask; r1 += c;
+    c = r1 >> 51; r1 &= kMask; r2 += c;
+    c = r2 >> 51; r2 &= kMask; r3 += c;
+    c = r3 >> 51; r3 &= kMask; r4 += c;
+    c = r4 >> 51; r4 &= kMask; r0 += (u128)19 * c;
+    c = r0 >> 51; r0 &= kMask; r1 += c;
+    out.v_[0] = (uint64_t)r0;
+    out.v_[1] = (uint64_t)r1;
+    out.v_[2] = (uint64_t)r2;
+    out.v_[3] = (uint64_t)r3;
+    out.v_[4] = (uint64_t)r4;
+    return out;
+  }
+
+  void carry() {
+    uint64_t c;
+    c = v_[0] >> 51; v_[0] &= kMask; v_[1] += c;
+    c = v_[1] >> 51; v_[1] &= kMask; v_[2] += c;
+    c = v_[2] >> 51; v_[2] &= kMask; v_[3] += c;
+    c = v_[3] >> 51; v_[3] &= kMask; v_[4] += c;
+    c = v_[4] >> 51; v_[4] &= kMask; v_[0] += 19 * c;
+    c = v_[0] >> 51; v_[0] &= kMask; v_[1] += c;
+  }
 
   std::array<uint64_t, 5> v_;
 };

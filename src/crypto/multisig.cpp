@@ -76,14 +76,18 @@ bool multisig_verify(const MultiSig& ms, std::span<const std::array<uint8_t, 32>
   if (ms.signers.size() != pks.size()) return false;
   if (ms.signer_count() != ms.signatures.size()) return false;
   if (ms.signer_count() < h) return false;
+  // All-or-nothing acceptance: one batched random-linear-combination check
+  // replaces signer_count() independent verifications.
+  std::vector<Ed25519BatchItem> items;
+  items.reserve(ms.signatures.size());
   size_t sig_idx = 0;
   for (size_t i = 0; i < ms.signers.size(); ++i) {
     if (!ms.signers[i]) continue;
-    if (!ed25519_verify(pks[i].data(), message, ms.signatures[sig_idx].data()))
-      return false;
+    items.push_back({BytesView(pks[i].data(), 32), message,
+                     BytesView(ms.signatures[sig_idx].data(), 64)});
     ++sig_idx;
   }
-  return true;
+  return ed25519_verify_batch(items);
 }
 
 }  // namespace icc::crypto

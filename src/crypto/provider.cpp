@@ -115,16 +115,32 @@ class RealCryptoProvider final : public CryptoProvider {
 
   Bytes threshold_combine(Scheme scheme, BytesView message,
                           std::span<const std::pair<PartyIndex, Bytes>> shares) override {
-    std::vector<MultiSigShare> ms_shares;
-    ms_shares.reserve(shares.size());
+    // Batch-verify all well-formed shares at once (the common case is that
+    // every share is valid); fall back to per-share verification only when
+    // the combined check fails, to identify and drop the bad ones.
     Bytes msg = tagged(scheme, message);
+    std::vector<MultiSigShare> candidates;
+    std::vector<Ed25519BatchItem> items;
+    candidates.reserve(shares.size());
+    items.reserve(shares.size());
     for (const auto& [signer, data] : shares) {
-      if (data.size() != 64) continue;
-      if (!verify(signer, msg, data)) continue;
+      if (signer >= n_ || data.size() != 64) continue;
       MultiSigShare s;
       s.signer = signer;
       std::memcpy(s.signature.data(), data.data(), 64);
-      ms_shares.push_back(s);
+      candidates.push_back(s);
+      items.push_back({BytesView(public_keys_[signer].data(), 32), BytesView(msg),
+                       BytesView(data)});
+    }
+    std::vector<MultiSigShare> ms_shares;
+    if (ed25519_verify_batch(items)) {
+      ms_shares = std::move(candidates);
+    } else {
+      ms_shares.reserve(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (ed25519_verify(items[i].public_key, items[i].message, items[i].signature))
+          ms_shares.push_back(candidates[i]);
+      }
     }
     auto ms = multisig_combine(ms_shares, quorum(), n_);
     if (!ms) return {};

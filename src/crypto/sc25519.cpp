@@ -32,47 +32,72 @@ void sub4(std::array<uint64_t, 4>& a, const std::array<uint64_t, 4>& b) {
   }
 }
 
-// Reduce an 8-word (512-bit) little-endian number mod l by binary long
-// division: subtract l << i for i from high to low whenever it fits.
-std::array<uint64_t, 4> reduce_wide(std::array<uint64_t, 8> r) {
-  // l << i occupies bits [i, i+253). The value has at most 512 bits, so the
-  // largest useful shift is 512 - 253 = 259.
-  for (int shift = 259; shift >= 0; --shift) {
-    const int word = shift / 64;
-    const int bit = shift % 64;
-    // Build l << bit as 5 words.
-    uint64_t ls[5];
-    if (bit == 0) {
-      for (int i = 0; i < 4; ++i) ls[i] = kL[i];
-      ls[4] = 0;
-    } else {
-      ls[0] = kL[0] << bit;
-      for (int i = 1; i < 4; ++i) ls[i] = (kL[i] << bit) | (kL[i - 1] >> (64 - bit));
-      ls[4] = kL[3] >> (64 - bit);
+// mu = floor(2^512 / l), the Barrett constant for 512-bit inputs (260 bits,
+// five 64-bit little-endian words).
+constexpr uint64_t kMu[5] = {0xed9ce5a30a2c131bULL, 0x2106215d086329a7ULL,
+                             0xffffffffffffffebULL, 0xffffffffffffffffULL,
+                             0x000000000000000fULL};
+
+// out[na + nb] = a[na] * b[nb], schoolbook.
+void mulw(const uint64_t* a, int na, const uint64_t* b, int nb, uint64_t* out) {
+  for (int i = 0; i < na + nb; ++i) out[i] = 0;
+  for (int i = 0; i < na; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < nb; ++j) {
+      u128 cur = (u128)a[i] * b[j] + out[i + j] + carry;
+      out[i + j] = (uint64_t)cur;
+      carry = cur >> 64;
     }
-    // Compare r[word .. word+4] (and everything above, which must be zero
-    // for the subtraction to be allowed) against ls.
-    bool higher_nonzero = false;
-    for (int i = word + 5; i < 8; ++i) higher_nonzero |= (r[i] != 0);
-    if (higher_nonzero) continue;  // cannot happen after earlier shifts, but be safe
-    bool ge = true;
-    for (int i = 4; i >= 0; --i) {
-      uint64_t ri = (word + i < 8) ? r[word + i] : 0;
-      if (ri != ls[i]) {
-        ge = ri > ls[i];
-        break;
+    out[i + nb] = (uint64_t)carry;
+  }
+}
+
+// Reduce an 8-word (512-bit) little-endian number mod l by Barrett
+// reduction: q3 = floor(floor(x / 2^192) * mu / 2^320) underestimates
+// floor(x / l) by at most 2, so r = x - q3*l < 3l needs at most two
+// conditional subtractions. ~45 word multiplications total, versus the
+// 260-iteration shift-subtract division this replaces.
+std::array<uint64_t, 4> reduce_wide(const std::array<uint64_t, 8>& x) {
+  // q2 = (x >> 192) * mu; q3 = q2 >> 320.
+  uint64_t q2[10];
+  mulw(x.data() + 3, 5, kMu, 5, q2);
+  const uint64_t* q3 = q2 + 5;
+
+  // r2 = (q3 * l) mod 2^320.
+  uint64_t prod[9];
+  mulw(q3, 5, kL.data(), 4, prod);
+
+  // r = (x - r2) mod 2^320. The true remainder is in [0, 3l), so the
+  // wrap-around subtraction yields it exactly.
+  uint64_t r[5];
+  uint64_t borrow = 0;
+  for (int i = 0; i < 5; ++i) {
+    uint64_t bi = prod[i] + borrow;
+    uint64_t nb = (bi < prod[i]) || (x[i] < bi) ? 1 : 0;
+    r[i] = x[i] - bi;
+    borrow = nb;
+  }
+
+  // At most two conditional subtractions of l.
+  for (int pass = 0; pass < 2; ++pass) {
+    bool ge = r[4] != 0;
+    if (!ge) {
+      ge = true;
+      for (int i = 3; i >= 0; --i) {
+        if (r[i] != kL[i]) {
+          ge = r[i] > kL[i];
+          break;
+        }
       }
     }
-    if (!ge) continue;
-    // r[word..] -= ls
-    uint64_t borrow = 0;
-    for (int i = 0; i < 5 && word + i < 8; ++i) {
-      uint64_t bi = ls[i] + borrow;
-      uint64_t nb = (bi < ls[i]) || (r[word + i] < bi) ? 1 : 0;
-      r[word + i] -= bi;
-      borrow = nb;
+    if (!ge) break;
+    uint64_t b2 = 0;
+    for (int i = 0; i < 5; ++i) {
+      uint64_t li = (i < 4 ? kL[i] : 0) + b2;
+      uint64_t nb = (i < 4 && li < kL[i]) || (r[i] < li) ? 1 : 0;
+      r[i] -= li;
+      b2 = nb;
     }
-    // No borrow can remain because we checked r >= ls at this offset.
   }
   return {r[0], r[1], r[2], r[3]};
 }
@@ -91,6 +116,12 @@ Sc25519 Sc25519::from_bytes_mod_l(const uint8_t bytes[32]) {
   Sc25519 r;
   r.v_ = reduce_wide(wide);
   return r;
+}
+
+bool Sc25519::is_canonical(const uint8_t bytes[32]) {
+  std::array<uint64_t, 4> w;
+  std::memcpy(w.data(), bytes, 32);
+  return cmp4(w, kL) < 0;
 }
 
 Sc25519 Sc25519::from_bytes_wide(const uint8_t bytes[64]) {

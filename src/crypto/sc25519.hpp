@@ -28,6 +28,10 @@ class Sc25519 {
 
   /// Reduce a 32-byte little-endian value mod l.
   static Sc25519 from_bytes_mod_l(const uint8_t bytes[32]);
+  /// True iff the 32-byte little-endian value is already canonical (< l).
+  /// Much cheaper than a reduce-and-compare round trip; used to reject
+  /// non-canonical signature S values before any point work.
+  static bool is_canonical(const uint8_t bytes[32]);
   /// Reduce a 64-byte little-endian value mod l (hash outputs).
   static Sc25519 from_bytes_wide(const uint8_t bytes[64]);
   static Sc25519 from_bytes_wide(BytesView bytes);

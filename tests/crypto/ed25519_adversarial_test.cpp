@@ -1,0 +1,255 @@
+// Adversarial Ed25519 inputs: locks the accept/reject semantics of
+// ed25519_verify / ed25519_verify_batch / Point::decompress on the edge cases
+// where real-world Ed25519 implementations diverge (see "Taming the many
+// EdDSAs"). This library implements the *cofactored* check
+// 8SB == 8R + 8kA with canonical-S rejection, which means:
+//   - non-canonical S (S >= l) is rejected;
+//   - small-order and mixed-order A / R are accepted when the cofactored
+//     equation holds (torsion components are annihilated by the factor 8);
+//   - non-canonical *field* encodings (y >= p) decompress to the reduced
+//     point (RFC 7748 convention: from_bytes ignores nothing but the top
+//     bit and does not require y < p);
+//   - a flipped x-sign bit names a different point and must reject.
+// These tests pin that behavior so the optimized scalar-multiplication
+// kernels (wNAF / comb / Straus / Pippenger) cannot silently change it.
+#include "crypto/ed25519.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/sha512.hpp"
+#include "crypto/shamir.hpp"
+#include "support/rng.hpp"
+
+namespace icc::crypto {
+namespace {
+
+// Canonical encodings of all eight small-order (torsion) points.
+const char* const kSmallOrderEncodings[8] = {
+    // identity (order 1)
+    "0100000000000000000000000000000000000000000000000000000000000000",
+    // (0, -1), order 2
+    "ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+    // (±sqrt(-1), 0), order 4
+    "0000000000000000000000000000000000000000000000000000000000000000",
+    "0000000000000000000000000000000000000000000000000000000000000080",
+    // order 8
+    "c7176a703d4dd84fba3c0b760d10670f2a2053fa2c39ccc64ec7fd7792ac037a",
+    "c7176a703d4dd84fba3c0b760d10670f2a2053fa2c39ccc64ec7fd7792ac03fa",
+    "26e8958fc2b227b045c3f489f2ef98f0d5dfac05d3c63339b13802886d53fc05",
+    "26e8958fc2b227b045c3f489f2ef98f0d5dfac05d3c63339b13802886d53fc85",
+};
+
+std::array<uint8_t, 64> make_sig(BytesView r_enc, const Sc25519& s) {
+  std::array<uint8_t, 64> sig;
+  std::memcpy(sig.data(), r_enc.data(), 32);
+  s.to_bytes(sig.data() + 32);
+  return sig;
+}
+
+Sc25519 challenge_scalar(BytesView r_enc, BytesView a_enc, BytesView message) {
+  Sha512 kh;
+  kh.update(r_enc);
+  kh.update(a_enc);
+  kh.update(message);
+  return Sc25519::from_bytes_wide(kh.digest().data());
+}
+
+// The clamped secret scalar of a keypair (what ed25519_sign derives).
+Sc25519 secret_scalar(const Ed25519KeyPair& kp, Sha512Digest* hash_out = nullptr) {
+  Sha512Digest h = Sha512::hash(BytesView(kp.seed.data(), 32));
+  uint8_t sb[32];
+  std::memcpy(sb, h.data(), 32);
+  sb[0] &= 248;
+  sb[31] &= 127;
+  sb[31] |= 64;
+  if (hash_out) *hash_out = h;
+  return Sc25519::from_bytes_mod_l(sb);
+}
+
+TEST(Ed25519AdversarialTest, SmallOrderPointsDecompress) {
+  for (const char* enc : kSmallOrderEncodings) {
+    Bytes b = from_hex(enc);
+    auto p = Point::decompress(b.data());
+    ASSERT_TRUE(p.has_value()) << enc;
+    // All torsion: multiplying by the cofactor annihilates the point.
+    EXPECT_TRUE(p->mul_cofactor().is_identity()) << enc;
+    // And re-compression round-trips the canonical encoding.
+    EXPECT_EQ(to_hex(BytesView(p->compress().data(), 32)), enc);
+  }
+}
+
+TEST(Ed25519AdversarialTest, NegativeZeroEncodingRejected) {
+  // y = 1, x-sign bit set would name (-0, 1): invalid.
+  Bytes b = from_hex("0100000000000000000000000000000000000000000000000000000000000080");
+  EXPECT_FALSE(Point::decompress(b.data()).has_value());
+  // Same for y = -1 (x = 0, order-2 point) with the sign bit set.
+  Bytes c = from_hex("ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  EXPECT_FALSE(Point::decompress(c.data()).has_value());
+}
+
+TEST(Ed25519AdversarialTest, NonCanonicalFieldEncodingsDecompressReduced) {
+  // y = p encodes the same point as y = 0 (RFC 7748 from_bytes convention:
+  // values >= p are accepted and reduced). Locked as *accepted* here.
+  Bytes yp = from_hex("edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+  auto p0 = Point::decompress(yp.data());
+  ASSERT_TRUE(p0.has_value());
+  Bytes y0 = from_hex("0000000000000000000000000000000000000000000000000000000000000000");
+  auto q0 = Point::decompress(y0.data());
+  ASSERT_TRUE(q0.has_value());
+  EXPECT_EQ(*p0, *q0);
+
+  // y = p + 1 ≡ 1: the identity under a non-canonical encoding.
+  Bytes yp1 = from_hex("eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+  auto p1 = Point::decompress(yp1.data());
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_TRUE(p1->is_identity());
+}
+
+TEST(Ed25519AdversarialTest, SmallOrderPublicKeyForgeryAccepted) {
+  // With a small-order A, k*A is annihilated by the cofactored check, so
+  // (R = S*B, S) "verifies" for any message. The cofactored equation accepts
+  // this by design (consensus only ever uses honestly generated keys; this
+  // test documents and pins the semantics rather than endorsing them).
+  Xoshiro256 rng(101);
+  Bytes m = str_bytes("forged-under-torsion-key");
+  for (const char* enc : kSmallOrderEncodings) {
+    Bytes a_enc = from_hex(enc);
+    Sc25519 s = random_scalar(rng);
+    auto r_enc = Point::mul_base(s).compress();
+    auto sig = make_sig(BytesView(r_enc.data(), 32), s);
+    EXPECT_TRUE(ed25519_verify(a_enc.data(), m, sig.data())) << enc;
+  }
+}
+
+TEST(Ed25519AdversarialTest, SmallOrderRForgeryAccepted) {
+  // Small-order R: 8R = identity, so S = k (mod l) satisfies 8SB == 8kA for
+  // A = B. Accepted by the cofactored check.
+  Bytes m = str_bytes("forged-small-order-R");
+  auto a_enc = Point::base().compress();
+  for (const char* enc : kSmallOrderEncodings) {
+    Bytes r_enc = from_hex(enc);
+    Sc25519 k = challenge_scalar(BytesView(r_enc), BytesView(a_enc.data(), 32), m);
+    auto sig = make_sig(BytesView(r_enc), k);
+    EXPECT_TRUE(ed25519_verify(a_enc.data(), m, sig.data())) << enc;
+  }
+}
+
+TEST(Ed25519AdversarialTest, MixedOrderPublicKeyAccepted) {
+  // A' = A + T8 (honest key plus an order-8 component). A signature produced
+  // with the honest scalar but hashing the A' encoding verifies under the
+  // cofactored check: 8kA' == 8kA.
+  Xoshiro256 rng(102);
+  Bytes seed = rng.bytes(32);
+  auto kp = ed25519_keypair(seed.data());
+  Sha512Digest h;
+  Sc25519 s = secret_scalar(kp, &h);
+
+  auto t8 = Point::decompress(from_hex(kSmallOrderEncodings[4]).data());
+  ASSERT_TRUE(t8.has_value());
+  auto a = Point::decompress(kp.public_key.data());
+  ASSERT_TRUE(a.has_value());
+  auto a_mixed_enc = (*a + *t8).compress();
+
+  Bytes m = str_bytes("mixed-order-key-message");
+  Sha512 rh;
+  rh.update(BytesView(h.data() + 32, 32));
+  rh.update(m);
+  Sc25519 r = Sc25519::from_bytes_wide(rh.digest().data());
+  auto r_enc = Point::mul_base(r).compress();
+  Sc25519 k = challenge_scalar(BytesView(r_enc.data(), 32),
+                               BytesView(a_mixed_enc.data(), 32), m);
+  auto sig = make_sig(BytesView(r_enc.data(), 32), r + k * s);
+  EXPECT_TRUE(ed25519_verify(a_mixed_enc.data(), m, sig.data()));
+  // But the same signature does not verify under the torsion-free key: the
+  // challenge hash binds the encoding of A'.
+  EXPECT_FALSE(ed25519_verify(kp.public_key.data(), m, sig.data()));
+}
+
+TEST(Ed25519AdversarialTest, FlippedSignBitRejected) {
+  Xoshiro256 rng(103);
+  Bytes seed = rng.bytes(32);
+  auto kp = ed25519_keypair(seed.data());
+  Bytes m = str_bytes("sign-bit");
+  auto sig = ed25519_sign(kp, m);
+
+  auto pk = kp.public_key;
+  pk[31] ^= 0x80;  // -A: different point
+  EXPECT_FALSE(ed25519_verify(pk.data(), m, sig.data()));
+
+  auto sig2 = sig;
+  sig2[31] ^= 0x80;  // -R
+  EXPECT_FALSE(ed25519_verify(kp.public_key.data(), m, sig2.data()));
+}
+
+TEST(Ed25519AdversarialTest, NonCanonicalSRejectedEverywhere) {
+  Xoshiro256 rng(104);
+  Bytes seed = rng.bytes(32);
+  auto kp = ed25519_keypair(seed.data());
+  Bytes m = str_bytes("canonical-S");
+  auto sig = ed25519_sign(kp, m);
+  // S + l: same residue, non-canonical encoding.
+  Bytes l = from_hex("edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  auto bad = sig;
+  uint16_t carry = 0;
+  for (int i = 0; i < 32; ++i) {
+    uint16_t sum = static_cast<uint16_t>(bad[32 + i]) + l[i] + carry;
+    bad[32 + i] = static_cast<uint8_t>(sum);
+    carry = sum >> 8;
+  }
+  EXPECT_FALSE(ed25519_verify(kp.public_key.data(), m, bad.data()));
+
+  // The batch path must reject it too (and reject the whole batch).
+  std::vector<Ed25519BatchItem> items;
+  items.push_back({BytesView(kp.public_key.data(), 32), BytesView(m),
+                   BytesView(bad.data(), 64)});
+  items.push_back({BytesView(kp.public_key.data(), 32), BytesView(m),
+                   BytesView(sig.data(), 64)});
+  EXPECT_FALSE(ed25519_verify_batch(items));
+}
+
+TEST(Ed25519AdversarialTest, BatchMatchesSingleOnSmallOrderInputs) {
+  // Cofactored batch verification accepts the same torsion forgeries the
+  // single-signature path accepts; batch and single must agree.
+  Xoshiro256 rng(105);
+  Bytes m = str_bytes("batch-torsion");
+  Bytes a_enc = from_hex(kSmallOrderEncodings[5]);
+  Sc25519 s = random_scalar(rng);
+  auto r_enc = Point::mul_base(s).compress();
+  auto forged = make_sig(BytesView(r_enc.data(), 32), s);
+  ASSERT_TRUE(ed25519_verify(a_enc.data(), m, forged.data()));
+
+  Bytes seed = rng.bytes(32);
+  auto kp = ed25519_keypair(seed.data());
+  Bytes m2 = str_bytes("honest");
+  auto honest = ed25519_sign(kp, m2);
+
+  std::vector<Ed25519BatchItem> items;
+  items.push_back({BytesView(a_enc), BytesView(m), BytesView(forged.data(), 64)});
+  items.push_back({BytesView(kp.public_key.data(), 32), BytesView(m2),
+                   BytesView(honest.data(), 64)});
+  EXPECT_TRUE(ed25519_verify_batch(items));
+}
+
+TEST(Ed25519AdversarialTest, TamperedBatchIdentifiesNoFalseAccept) {
+  // A batch with one bit-flipped signature must fail as a whole.
+  Xoshiro256 rng(106);
+  Bytes m = str_bytes("batch-bitflip");
+  std::vector<Ed25519KeyPair> kps;
+  std::vector<std::array<uint8_t, 64>> sigs;
+  for (int i = 0; i < 8; ++i) {
+    Bytes seed = rng.bytes(32);
+    kps.push_back(ed25519_keypair(seed.data()));
+    sigs.push_back(ed25519_sign(kps.back(), m));
+  }
+  sigs[3][7] ^= 0x10;
+  std::vector<Ed25519BatchItem> items;
+  for (int i = 0; i < 8; ++i)
+    items.push_back({BytesView(kps[i].public_key.data(), 32), BytesView(m),
+                     BytesView(sigs[i].data(), 64)});
+  EXPECT_FALSE(ed25519_verify_batch(items));
+}
+
+}  // namespace
+}  // namespace icc::crypto
