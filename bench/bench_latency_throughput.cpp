@@ -10,7 +10,15 @@
 // This bench sweeps delta with a fixed-delay network and prints measured
 // round interval (reciprocal throughput) and propose->everyone-committed
 // latency, next to the paper's formulas.
+//
+// `--obs-overhead` runs the F-OBS smoke check instead: the same ICC1
+// workload timed wall-clock with telemetry off and on (7 interleaved
+// off/on pairs, median per-pair ratio); exits 1 if enabling telemetry
+// costs >= 5%.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "harness/baseline_cluster.hpp"
 #include "harness/cluster.hpp"
@@ -70,9 +78,65 @@ Measured run_baseline(harness::BaselineKind kind, sim::Duration delta,
   return m;
 }
 
+// F-OBS: wall-clock cost of enabling telemetry on the F-LAT workload.
+double timed_run_s(bool obs_enabled) {
+  harness::ClusterOptions o;
+  o.n = 7;
+  o.t = 2;
+  o.seed = 11;
+  o.protocol = harness::Protocol::kIcc1;
+  o.delta_bnd = sim::msec(600);
+  o.payload_size = 256;
+  o.prune_lag = 8;
+  o.record_payloads = false;
+  o.obs.enabled = obs_enabled;
+  o.delay_model = [](size_t, uint64_t) {
+    return std::make_unique<sim::FixedDelay>(sim::msec(10));
+  };
+  // 60 s virtual (~3x the F-LAT window): short runs put the per-run noise
+  // floor near the effect size, and the gate starts flaking.
+  const auto start = std::chrono::steady_clock::now();
+  harness::Cluster c(o);
+  c.run_for(sim::seconds(60));
+  const auto end = std::chrono::steady_clock::now();
+  if (c.party(0)->committed().empty()) {
+    std::fprintf(stderr, "obs-overhead run made no progress\n");
+    std::exit(2);
+  }
+  return std::chrono::duration<double>(end - start).count();
+}
+
+int obs_overhead_main() {
+  // Warm-up both variants (allocator, page cache, branch predictors).
+  timed_run_s(false);
+  timed_run_s(true);
+  // Paired off/on runs: clock-frequency drift and thermal throttling move
+  // slowly, so they hit both halves of a pair roughly equally and cancel in
+  // the per-pair ratio. The median pair-ratio then discards the outliers a
+  // min-vs-min comparison is vulnerable to.
+  std::vector<double> ratios;
+  double off_med = 0, on_med = 0;
+  for (int i = 0; i < 7; ++i) {
+    const double off = timed_run_s(false);
+    const double on = timed_run_s(true);
+    ratios.push_back(on / off);
+    off_med += off;
+    on_med += on;
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double overhead_pct = (ratios[ratios.size() / 2] - 1.0) * 100.0;
+  std::printf("F-OBS: telemetry overhead on the F-LAT ICC1 workload\n");
+  std::printf("  telemetry off: %.3f s (mean of 7)\n", off_med / 7.0);
+  std::printf("  telemetry on:  %.3f s (mean of 7)\n", on_med / 7.0);
+  std::printf("  overhead:      %+.2f %%  (median pair-ratio; budget < 5 %%)\n",
+              overhead_pct);
+  return overhead_pct < 5.0 ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--obs-overhead") == 0) return obs_overhead_main();
   const sim::Duration delta_bnd = sim::msec(600);
   std::printf("F-LAT: reciprocal throughput / latency vs delta "
               "(n = 7, honest, Delta_bnd = 600 ms)\n");

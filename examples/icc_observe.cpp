@@ -1,0 +1,165 @@
+// icc_observe — run a fully instrumented cluster and export its telemetry.
+//
+//   icc_observe [options]
+//     --protocol icc0|icc1|icc2      (default icc1)
+//     --n <int>                      parties (default 16)
+//     --t <int>                      corruption bound (default (n-1)/3)
+//     --seconds <int>                virtual run time (default 20)
+//     --delta-ms <int>               fixed one-way delay; 0 = WAN model (default 10)
+//     --payload <bytes>              block payload size (default 4096)
+//     --crash <int>                  # crashed parties (default 0)
+//     --equivocate <int>             # equivocating parties (default 0)
+//     --trace <path>                 Chrome trace_event output (default trace.json)
+//     --metrics <path>               metrics snapshot output (default metrics.json)
+//     --trace-capacity <int>         span ring slots (default 65536)
+//     --stage-wall-timing            wall-clock decode/verify histograms
+//     --seed <int>
+//
+// The trace opens in chrome://tracing or https://ui.perfetto.dev: one
+// process per party, with consensus rounds as spans and propose/finalize
+// instants on lane 0, gossip fetches on lane 1. The metrics snapshot is a
+// single JSON object; see DESIGN.md § Observability for the mapping from
+// metric names to the paper's claims.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "harness/cluster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icc;
+
+  harness::ClusterOptions o;
+  o.n = 16;
+  o.t = 0;  // resolved below
+  o.protocol = harness::Protocol::kIcc1;
+  o.seed = 42;
+  o.delta_bnd = sim::msec(600);
+  o.payload_size = 4096;
+  o.obs.enabled = true;
+  int seconds = 20;
+  int delta_ms = 10;
+  int crash = 0, equivocate = 0;
+  const char* trace_path = "trace.json";
+  const char* metrics_path = "metrics.json";
+
+  for (int i = 1; i < argc; ++i) {
+    auto is = [&](const char* flag) { return std::strcmp(argv[i], flag) == 0; };
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (is("--protocol")) {
+      const char* v = next();
+      if (!std::strcmp(v, "icc0")) o.protocol = harness::Protocol::kIcc0;
+      else if (!std::strcmp(v, "icc1")) o.protocol = harness::Protocol::kIcc1;
+      else if (!std::strcmp(v, "icc2")) o.protocol = harness::Protocol::kIcc2;
+      else {
+        std::fprintf(stderr, "unknown protocol %s\n", v);
+        return 2;
+      }
+    } else if (is("--n")) o.n = static_cast<size_t>(atoi(next()));
+    else if (is("--t")) o.t = static_cast<size_t>(atoi(next()));
+    else if (is("--seconds")) seconds = atoi(next());
+    else if (is("--delta-ms")) delta_ms = atoi(next());
+    else if (is("--payload")) o.payload_size = static_cast<size_t>(atoi(next()));
+    else if (is("--crash")) crash = atoi(next());
+    else if (is("--equivocate")) equivocate = atoi(next());
+    else if (is("--trace")) trace_path = next();
+    else if (is("--metrics")) metrics_path = next();
+    else if (is("--trace-capacity"))
+      o.obs.trace_capacity = static_cast<size_t>(atoi(next()));
+    else if (is("--stage-wall-timing")) o.obs.stage_wall_timing = true;
+    else if (is("--seed")) o.seed = static_cast<uint64_t>(atoll(next()));
+    else {
+      std::fprintf(stderr, "unknown flag %s (see header of examples/icc_observe.cpp)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (o.t == 0) o.t = (o.n - 1) / 3;
+
+  size_t corrupted = 0;
+  auto assign = [&](harness::CorruptBehavior b, int count) {
+    for (int j = 0; j < count && corrupted < o.n; ++j) {
+      o.corrupt.emplace_back(static_cast<sim::PartyIndex>(1 + 3 * corrupted % o.n), b);
+      ++corrupted;
+    }
+  };
+  assign(harness::Crashed{}, crash);
+  consensus::ByzantineBehavior eq;
+  eq.equivocate = true;
+  assign(eq, equivocate);
+
+  if (delta_ms > 0) {
+    o.delay_model = [delta_ms](size_t, uint64_t) {
+      return std::make_unique<sim::FixedDelay>(sim::msec(delta_ms));
+    };
+  } else {
+    o.delay_model = [](size_t n, uint64_t seed) {
+      sim::WanDelay::Config wan;
+      wan.n = n;
+      wan.seed = seed;
+      return std::make_unique<sim::WanDelay>(wan);
+    };
+  }
+
+  harness::Cluster cluster(o);
+  const char* proto_name = o.protocol == harness::Protocol::kIcc0   ? "ICC0"
+                           : o.protocol == harness::Protocol::kIcc1 ? "ICC1"
+                                                                    : "ICC2";
+  std::printf("icc_observe: %s, n=%zu t=%zu, %d s virtual, telemetry on\n", proto_name,
+              o.n, o.t, seconds);
+  cluster.run_for(sim::seconds(seconds));
+
+  // --- console digest of the key metrics ---
+  const obs::Registry& r = cluster.obs()->registry();
+  auto counter = [&](const char* name) -> uint64_t {
+    const obs::Counter* c = r.find_counter(name);
+    return c ? c->value() : 0;
+  };
+  const size_t honest = o.n - corrupted;
+  std::printf("\nrounds reached:      %zu\n", cluster.max_honest_round());
+  std::printf("blocks committed:    %zu\n", cluster.min_honest_committed());
+  std::printf("rounds observed:     %lu  (clean: %lu, on leader block: %lu)\n",
+              static_cast<unsigned long>(counter("consensus.rounds") / honest),
+              static_cast<unsigned long>(counter("consensus.rounds_clean") / honest),
+              static_cast<unsigned long>(counter("consensus.rounds_leader_block") / honest));
+  if (const obs::Histogram* h = r.find_histogram("consensus.finalize_us")) {
+    if (h->count() > 0)
+      std::printf("finalize latency ms: p50 %.1f   p99 %.1f   max %.1f\n",
+                  static_cast<double>(h->percentile(0.5)) / 1000.0,
+                  static_cast<double>(h->percentile(0.99)) / 1000.0,
+                  static_cast<double>(h->max()) / 1000.0);
+  }
+  const auto& nm = cluster.sim().network().metrics();
+  std::printf("wire messages:       %lu  (%lu MB)\n",
+              static_cast<unsigned long>(nm.total_messages),
+              static_cast<unsigned long>(nm.total_bytes >> 20));
+  std::printf("trace events:        %lu recorded, %lu dropped\n",
+              static_cast<unsigned long>(cluster.obs()->tracer().recorded()),
+              static_cast<unsigned long>(cluster.obs()->tracer().dropped()));
+
+  // --- artifacts ---
+  std::ofstream mf(metrics_path);
+  if (!mf) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_path);
+    return 1;
+  }
+  mf << cluster.metrics_json() << "\n";
+  mf.close();
+  if (!cluster.dump_trace(trace_path)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_path);
+    return 1;
+  }
+  std::printf("\nwrote %s and %s — open the trace in chrome://tracing or ui.perfetto.dev\n",
+              metrics_path, trace_path);
+
+  auto safety = cluster.check_safety();
+  std::printf("safety:              %s\n", safety ? safety->c_str() : "OK");
+  return safety ? 1 : 0;
+}

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "crypto/provider.hpp"
+#include "obs/obs.hpp"
 #include "pipeline/verifier.hpp"
 #include "sim/time.hpp"
 #include "types/block.hpp"
@@ -75,6 +76,14 @@ struct PartyConfig {
   pipeline::PipelineOptions pipeline;
   DelayFunctions delays;
   std::shared_ptr<PayloadBuilder> payload;
+  /// Telemetry sink (metrics registry + span tracer). Null disables every
+  /// probe — the party then pays one pointer check per probe site.
+  obs::Obs* obs = nullptr;
+  /// Tags rounds by the actual corruption status of the rank-0 leader
+  /// (only the harness knows the corrupt slots). Optional; without it the
+  /// leader-honesty metrics fall back to the party-observable proxy
+  /// (round finished on the rank-0 block).
+  std::function<bool(PartyIndex)> party_honesty;
   /// Called on every commit, in output order.
   std::function<void(PartyIndex self, const CommittedBlock&)> on_commit;
   /// Called when this party proposes a block (latency instrumentation).

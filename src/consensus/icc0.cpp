@@ -30,6 +30,9 @@ Icc0Party::Icc0Party(PartyIndex self, const PartyConfig& config)
       pipeline_(verifier_, config.pipeline, config.crypto->n()),
       delta_local_(config.delays.delta_bnd) {
   beacon_values_[0] = types::genesis_beacon();
+  probe_.attach(config.obs, self, config.party_honesty);
+  pipeline_.attach_obs(config.obs);
+  verifier_.attach_obs(config.obs);
 }
 
 void Icc0Party::start(sim::Context& ctx) {
@@ -58,7 +61,12 @@ void Icc0Party::disseminate(sim::Context& ctx, const Message& msg, bool /*is_blo
 bool Icc0Party::ingest(sim::Context& ctx, sim::PartyIndex from, const Message& msg) {
   return std::visit(
       Overloaded{
-          [&](const ProposalMsg& m) { return ingest_proposal(m); },
+          [&](const ProposalMsg& m) {
+            bool changed = ingest_proposal(m);
+            if (probe_.on() && changed && pool_.block(m.block.hash()) != nullptr)
+              probe_.on_proposal_seen(m.block.round, ctx.now());
+            return changed;
+          },
           [&](const NotarizationShareMsg& m) { return ingest_notarization_share(m); },
           [&](const NotarizationMsg& m) { return ingest_notarization(m); },
           [&](const FinalizationShareMsg& m) { return ingest_finalization_share(m); },
@@ -210,6 +218,7 @@ void Icc0Party::try_advance_beacon(sim::Context& ctx) {
 void Icc0Party::enter_round(sim::Context& ctx) {
   in_round_ = true;
   t0_ = ctx.now();
+  probe_.on_enter_round(round_, t0_);
   proposed_ = false;
   notarized_set_.clear();
   disqualified_.clear();
@@ -286,6 +295,9 @@ bool Icc0Party::fire_finish_round(sim::Context& ctx) {
     const bool leader_block = ranks_.rank_of[b->proposer] == 0;
     adapt_delays(leader_block && only_target);
   }
+
+  probe_.on_round_done(round_, ranks_.leader(), ranks_.rank_of[b->proposer] == 0,
+                       only_target, ctx.now());
 
   // The round is done; proceed to the next one (its beacon first).
   round_ += 1;
@@ -427,6 +439,7 @@ bool Icc0Party::adopt_cup(sim::Context& ctx, const types::CupMsg& msg) {
     if (config_.record_payloads) c.payload = pm.block.payload;
     c.committed_at = ctx.now();
     if (config_.on_commit) config_.on_commit(self_, c);
+    probe_.on_commit(c.round, c.committed_at);
     committed_.push_back(std::move(c));
     k_max_ = msg.round;
   }
@@ -477,6 +490,8 @@ void Icc0Party::emit_proposal(sim::Context& ctx, const Bytes& payload) {
   proposal_times_[h] = ctx.now();
   if (config_.on_propose) config_.on_propose(self_, round_, h, ctx.now());
   pool_.add_proposal(pm);
+  probe_.on_proposed(round_, ctx.now());
+  probe_.on_proposal_seen(round_, ctx.now());
   disseminate(ctx, pm, true);
 }
 
@@ -590,8 +605,10 @@ void Icc0Party::check_finalization(sim::Context& ctx) {
       c.committed_at = ctx.now();
       if (config_.on_commit) config_.on_commit(self_, c);
       maybe_emit_cup_share(ctx, c);
+      probe_.on_commit(c.round, c.committed_at);
       committed_.push_back(std::move(c));
     }
+    probe_.on_finalized(b->round, b->round - k_max_, ctx.now());
     k_max_ = b->round;
     if (config_.prune_lag != 0 && k_max_ > config_.prune_lag) {
       pool_.prune_below(k_max_ - config_.prune_lag);

@@ -20,6 +20,7 @@
 
 #include "consensus/config.hpp"
 #include "consensus/permutation.hpp"
+#include "obs/obs.hpp"
 #include "pipeline/pipeline.hpp"
 #include "sim/network.hpp"
 #include "types/messages.hpp"
@@ -45,6 +46,8 @@ class Icc0Party : public sim::Process {
   const pipeline::IngressPipeline& ingress() const { return pipeline_; }
   /// Verification counters (cache hits, provider calls, batching).
   const pipeline::Verifier& verifier() const { return verifier_; }
+  /// Per-round telemetry probe (null-Obs when PartyConfig::obs is unset).
+  const obs::PartyProbe& probe() const { return probe_; }
 
   /// Blocks this party notarization-shared in the current round (the set N
   /// of Fig. 1) — exposed for protocol-invariant tests.
@@ -88,6 +91,7 @@ class Icc0Party : public sim::Process {
   pipeline::Verifier verifier_;        // stage 3: all signature checks
   types::Pool pool_;                   // stage 4: pre-verified artifacts only
   pipeline::IngressPipeline pipeline_; // stages 1-2: decode + dedup
+  obs::PartyProbe probe_;              // telemetry (no-op when detached)
 
   // Verified ingest helpers (stage 3 + 4 for one artifact type each).
   bool ingest_proposal(const types::ProposalMsg& msg);

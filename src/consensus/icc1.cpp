@@ -15,7 +15,7 @@ void Icc1Party::disseminate(sim::Context& ctx, const types::Message& msg,
   // Small blocks are pushed whole (pulling costs two extra hops); large ones
   // are advertised and pulled on demand.
   Round round = current_round();
-  if (gossip_.store(raw, round)) {
+  if (gossip_.store(raw, round, ctx.now())) {
     if (raw.size() <= gossip_.config().push_threshold) {
       ctx.broadcast(std::move(raw));  // includes self-delivery
       return;
@@ -46,7 +46,7 @@ void Icc1Party::on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes
   if (std::holds_alternative<types::ProposalMsg>(*msg)) {
     Bytes raw(bytes.begin(), bytes.end());
     const auto& block = std::get<types::ProposalMsg>(*msg).block;
-    if (gossip_.store(raw, block.round)) {
+    if (gossip_.store(raw, block.round, ctx.now())) {
       ctx.broadcast(
           types::serialize_message(types::Message{gossip_.advert_for(raw, block.round)}));
     }

@@ -16,7 +16,9 @@ class Icc1Party : public Icc0Party {
  public:
   Icc1Party(PartyIndex self, const PartyConfig& config,
             const gossip::GossipConfig& gossip_config = {})
-      : Icc0Party(self, config), gossip_(gossip_config, self) {}
+      : Icc0Party(self, config), gossip_(gossip_config, self) {
+    gossip_.attach_obs(config.obs);
+  }
 
   const gossip::GossipLayer& gossip() const { return gossip_; }
 

@@ -36,6 +36,7 @@ void Icc2Party::on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes
 }
 
 void Icc2Party::on_rbc_deliver(sim::Context& ctx, const Bytes& raw) {
+  probe_.on_rbc_delivered(raw.size());
   auto msg = types::parse_message(raw);
   if (!msg) return;
   ingest(ctx, ctx.self(), *msg);

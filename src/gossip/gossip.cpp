@@ -2,11 +2,16 @@
 
 namespace icc::gossip {
 
-bool GossipLayer::store(const Bytes& raw, Round round) {
+bool GossipLayer::store(const Bytes& raw, Round round, sim::Time now) {
   Hash id = types::artifact_id(raw);
   auto [it, inserted] = artifacts_.emplace(id, Stored{raw, round});
   if (!inserted) return false;
-  pending_.erase(id);  // no longer waiting for it
+  if (auto pit = pending_.find(id); pit != pending_.end()) {
+    if (probe_.on() && now >= 0 && pit->second.first_advert_at >= 0)
+      probe_.on_fetched(raw.size(), pit->second.first_advert_at, now);
+    pending_.erase(pit);  // no longer waiting for it
+    probe_.on_pending_depth(static_cast<int64_t>(pending_.size()));
+  }
   return true;
 }
 
@@ -24,9 +29,11 @@ void GossipLayer::on_advert(sim::Context& ctx, sim::PartyIndex from,
   if (has(msg.artifact_id)) return;
   Pending& p = pending_[msg.artifact_id];
   p.round = msg.round;
+  if (p.first_advert_at < 0) p.first_advert_at = ctx.now();
   for (sim::PartyIndex a : p.advertisers)
     if (a == from) return;  // duplicate advert
   p.advertisers.push_back(from);
+  probe_.on_advert(static_cast<int64_t>(pending_.size()));
   if (p.request_scheduled) return;
   p.request_scheduled = true;
 
@@ -48,6 +55,7 @@ void GossipLayer::try_request(sim::Context ctx, Hash id) {
   Pending& p = it->second;
   if (p.attempts >= config_.max_attempts || p.advertisers.empty()) return;
   p.attempts++;
+  probe_.on_request_sent(p.attempts > 1, ctx.now());
 
   // Rotate through advertisers, starting from a random position on the
   // first attempt so concurrent requesters pick different sources.
@@ -68,12 +76,15 @@ void GossipLayer::on_request(sim::Context& ctx, sim::PartyIndex from,
                              const types::RequestMsg& msg) {
   auto it = artifacts_.find(msg.artifact_id);
   if (it == artifacts_.end()) return;  // don't have it (or pruned)
+  it->second.serves++;
+  probe_.on_request_served(it->second.bytes.size());
   ctx.send(from, it->second.bytes);
 }
 
 void GossipLayer::prune_below(Round round) {
   for (auto it = artifacts_.begin(); it != artifacts_.end();) {
     if (it->second.round < round) {
+      probe_.on_artifact_retired(it->second.serves);
       it = artifacts_.erase(it);
     } else {
       ++it;
@@ -86,6 +97,7 @@ void GossipLayer::prune_below(Round round) {
       ++it;
     }
   }
+  probe_.on_pending_depth(static_cast<int64_t>(pending_.size()));
 }
 
 }  // namespace icc::gossip

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/network.hpp"
 #include "types/messages.hpp"
 
@@ -50,9 +51,13 @@ class GossipLayer {
 
   const GossipConfig& config() const { return config_; }
 
+  /// Attach telemetry (queue depth, fetch latency, delivery fan-out).
+  void attach_obs(obs::Obs* obs) { probe_.attach(obs, self_); }
+
   /// Record an artifact we hold (originated or received). Returns true if it
-  /// was new — the caller should then advertise it.
-  bool store(const Bytes& raw, Round round);
+  /// was new — the caller should then advertise it. `now` (virtual µs)
+  /// stamps the fetch-latency probe; -1 skips it.
+  bool store(const Bytes& raw, Round round, sim::Time now = -1);
 
   bool has(const Hash& id) const { return artifacts_.count(id) > 0; }
 
@@ -80,16 +85,19 @@ class GossipLayer {
     size_t next_advertiser = 0;  // rotation cursor
     bool request_scheduled = false;
     int attempts = 0;
+    sim::Time first_advert_at = -1;  // telemetry: advert → stored latency
   };
 
   /// An artifact we hold, with the round it belongs to (for pruning).
   struct Stored {
     Bytes bytes;
     Round round = 0;
+    uint32_t serves = 0;  // telemetry: times we uploaded it (fan-out)
   };
 
   GossipConfig config_;
   sim::PartyIndex self_;
+  obs::GossipProbe probe_;
   std::unordered_map<Hash, Stored, types::HashHasher> artifacts_;
   std::unordered_map<Hash, Pending, types::HashHasher> pending_;
 };

@@ -25,6 +25,11 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
                    : std::make_unique<sim::FixedDelay>(sim::msec(10));
   sim_ = std::make_unique<sim::Simulation>(options.n, std::move(model), options.seed);
 
+  if (options.obs.enabled) {
+    obs_ = std::make_unique<obs::Obs>(options.obs);
+    sim_->network().attach_obs(obs_.get());
+  }
+
   PartyConfig pc;
   pc.crypto = crypto_.get();
   pc.delays.delta_bnd = options.delta_bnd;
@@ -42,6 +47,11 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   };
   pc.on_propose = [this](sim::PartyIndex self, Round round, const types::Hash& hash,
                          sim::Time now) { record_propose(self, round, hash, now); };
+  // Only the harness knows which slots are corrupt; probes use this oracle
+  // to tag rounds by actual leader honesty (honest_ is final before start).
+  pc.party_honesty = [this](consensus::PartyIndex p) {
+    return p < honest_.size() && honest_[p];
+  };
 
   parties_.assign(options.n, nullptr);
   honest_.assign(options.n, true);
@@ -57,6 +67,9 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
       sim_->network().set_process(i, std::move(proc));
       continue;
     }
+    // Probes attach to honest parties only, so aggregate metrics describe
+    // honest behaviour (matching pipeline_stats()/verifier_stats()).
+    pc.obs = it == corrupt.end() ? obs_.get() : nullptr;
     if (it == corrupt.end()) {
       std::unique_ptr<Icc0Party> p;
       switch (options.protocol) {
@@ -217,6 +230,45 @@ pipeline::Verifier::Stats Cluster::verifier_stats() const {
     if (honest_[i] && parties_[i]) total += parties_[i]->verifier().stats();
   }
   return total;
+}
+
+std::string Cluster::metrics_json() {
+  if (!obs_) return "{}";
+  obs::Registry& r = obs_->registry();
+
+  // Fold the existing stats structs in as gauges. Doing it at snapshot time
+  // keeps the hot paths untouched, and gauges are last-write-wins so
+  // repeated snapshots stay correct.
+  const auto ps = pipeline_stats();
+  r.gauge("pipeline.decoded").set(static_cast<int64_t>(ps.decoded));
+  r.gauge("pipeline.malformed").set(static_cast<int64_t>(ps.malformed));
+  r.gauge("pipeline.duplicates").set(static_cast<int64_t>(ps.duplicates));
+  r.gauge("pipeline.dedup_exempt").set(static_cast<int64_t>(ps.dedup_exempt));
+
+  const auto vs = verifier_stats();
+  r.gauge("verify.provider_verifications")
+      .set(static_cast<int64_t>(vs.provider_verifications));
+  r.gauge("verify.cache_hits").set(static_cast<int64_t>(vs.cache_hits));
+  r.gauge("verify.primed").set(static_cast<int64_t>(vs.primed));
+  r.gauge("verify.batch_calls").set(static_cast<int64_t>(vs.batch_calls));
+  r.gauge("verify.batch_fallbacks").set(static_cast<int64_t>(vs.batch_fallbacks));
+  r.gauge("verify.combine_share_checks_skipped")
+      .set(static_cast<int64_t>(vs.combine_share_checks_skipped));
+
+  const auto& nm = sim_->network().metrics();
+  r.gauge("net.total_messages").set(static_cast<int64_t>(nm.total_messages));
+  r.gauge("net.total_bytes").set(static_cast<int64_t>(nm.total_bytes));
+  r.gauge("net.max_bytes_sent").set(static_cast<int64_t>(nm.max_bytes_sent()));
+
+  r.gauge("trace.recorded").set(static_cast<int64_t>(obs_->tracer().recorded()));
+  r.gauge("trace.dropped").set(static_cast<int64_t>(obs_->tracer().dropped()));
+  return r.snapshot_json();
+}
+
+std::string Cluster::trace_json() const { return obs_ ? obs_->tracer().to_json() : "{}"; }
+
+bool Cluster::dump_trace(const std::string& path) const {
+  return obs_ && obs_->tracer().write_json(path);
 }
 
 double Cluster::blocks_per_second(sim::Duration window) const {

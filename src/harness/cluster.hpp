@@ -15,6 +15,7 @@
 #include "consensus/byzantine.hpp"
 #include "consensus/icc0.hpp"
 #include "gossip/gossip.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 
 namespace icc::harness {
@@ -55,6 +56,12 @@ struct ClusterOptions {
   /// Ingress pipeline tuning (dedup / verification cache / batch verify).
   /// Defaults enable all stages; tests and benches flip them off to measure.
   pipeline::PipelineOptions pipeline;
+
+  /// Telemetry (metrics + span tracing). Disabled by default; when enabled,
+  /// probes are attached to honest parties and the network, and the cluster
+  /// exposes metrics_json() / trace_json(). Enabling telemetry never changes
+  /// protocol behaviour (probes are read-only; asserted by tests/obs).
+  obs::ObsConfig obs;
 
   /// Corrupt slots: party index -> behaviour. Must have size <= t to match
   /// the protocol's fault assumption (not enforced — some experiments probe
@@ -126,6 +133,19 @@ class Cluster {
   /// cache hits, batch calls, ...).
   pipeline::Verifier::Stats verifier_stats() const;
 
+  // --- telemetry (ClusterOptions::obs.enabled) ---
+  /// The run's telemetry sink; null when telemetry is disabled.
+  obs::Obs* obs() { return obs_.get(); }
+  /// Metrics snapshot as JSON. Folds the pipeline/verifier/network stats
+  /// structs into the registry as gauges first (idempotent — gauges are
+  /// last-write-wins), so one document carries every number the run
+  /// produced. Returns "{}" when telemetry is disabled.
+  std::string metrics_json();
+  /// Chrome trace_event JSON of the span ring ("{}" when disabled).
+  std::string trace_json() const;
+  /// Write trace_json() to `path`; false when disabled or on I/O error.
+  bool dump_trace(const std::string& path) const;
+
  private:
   void record_propose(sim::PartyIndex self, Round round, const types::Hash& hash,
                       sim::Time now);
@@ -133,6 +153,7 @@ class Cluster {
 
   ClusterOptions options_;
   std::unique_ptr<crypto::CryptoProvider> crypto_;
+  std::unique_ptr<obs::Obs> obs_;  ///< null unless options.obs.enabled
   std::unique_ptr<sim::Simulation> sim_;
   std::vector<consensus::Icc0Party*> parties_;
   std::vector<bool> honest_;

@@ -1,9 +1,16 @@
 // Small descriptive-statistics helpers for benches and tools.
+//
+// Summary keeps every sample (exact order statistics, O(n) memory, a sort
+// per percentile query). For high-volume streams where bucket resolution is
+// enough, record into an obs::Histogram instead — O(buckets) memory, O(log
+// buckets) insert — or convert a finished Summary via to_histogram().
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace icc::harness {
 
@@ -31,7 +38,10 @@ class Summary {
     return std::sqrt(s / static_cast<double>(values_.size() - 1));
   }
 
-  /// q in [0, 1]; nearest-rank on a sorted copy.
+  /// q in [0, 1]; linear interpolation between the two nearest order
+  /// statistics (the "exclusive" method most plotting libraries use). The
+  /// result is generally *not* one of the samples; use
+  /// percentile_nearest_rank() when an actually-observed value is needed.
   double percentile(double q) const {
     if (values_.empty()) return 0;
     std::vector<double> sorted = values_;
@@ -43,11 +53,33 @@ class Summary {
     return sorted[lo] * (1 - frac) + sorted[hi] * frac;
   }
 
+  /// q in (0, 1]; classic nearest-rank definition — the smallest sample
+  /// such that at least ceil(q * n) samples are <= it. Always returns an
+  /// observed value.
+  double percentile_nearest_rank(double q) const {
+    if (values_.empty()) return 0;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    auto rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank > 0) rank--;  // 1-based rank -> index (q = 0 maps to the min)
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
   double min() const {
     return values_.empty() ? 0 : *std::min_element(values_.begin(), values_.end());
   }
   double max() const {
     return values_.empty() ? 0 : *std::max_element(values_.begin(), values_.end());
+  }
+
+  /// Bucket the samples into an obs::Histogram (rounded toward zero) — the
+  /// cheap hand-off when a bench wants to keep a distribution but drop the
+  /// per-sample storage.
+  obs::Histogram to_histogram(std::vector<int64_t> bounds) const {
+    obs::Histogram h(std::move(bounds));
+    for (double v : values_) h.record(static_cast<int64_t>(v));
+    return h;
   }
 
  private:

@@ -1,0 +1,187 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace icc::obs {
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: no bounds");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds not ascending");
+  buckets_.assign(bounds_.size(), 0);
+}
+
+void Histogram::record(int64_t v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  if (it == bounds_.end()) {
+    overflow_++;
+  } else {
+    buckets_[static_cast<size_t>(it - bounds_.begin())]++;
+  }
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  count_++;
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (o.bounds_ != bounds_) throw std::invalid_argument("Histogram::merge: bound mismatch");
+  if (o.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
+  overflow_ += o.overflow_;
+  min_ = count_ ? std::min(min_, o.min_) : o.min_;
+  max_ = count_ ? std::max(max_, o.max_) : o.max_;
+  sum_ += o.sum_;
+  count_ += o.count_;
+}
+
+int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  // Nearest-rank: the value of the ceil(q*n)-th smallest sample, resolved
+  // to its bucket's upper bound.
+  auto rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  rank = std::max<uint64_t>(1, std::min(rank, count_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    // Clamp to the exact max: the bucket's upper bound can overshoot it.
+    if (seen >= rank) return std::min(bounds_[i], max_);
+  }
+  return max_;  // rank falls in the overflow bucket
+}
+
+std::vector<int64_t> Histogram::exponential(int64_t start, double factor, size_t count) {
+  std::vector<int64_t> b;
+  b.reserve(count);
+  double v = static_cast<double>(start);
+  for (size_t i = 0; i < count; ++i) {
+    auto bound = static_cast<int64_t>(v);
+    if (!b.empty() && bound <= b.back()) bound = b.back() + 1;  // keep strictly ascending
+    b.push_back(bound);
+    v *= factor;
+  }
+  return b;
+}
+
+std::vector<int64_t> Histogram::linear(int64_t step, size_t count) {
+  std::vector<int64_t> b;
+  b.reserve(count);
+  for (size_t i = 1; i <= count; ++i) b.push_back(step * static_cast<int64_t>(i));
+  return b;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<int64_t> bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void Registry::merge(const Registry& o) {
+  for (const auto& [name, c] : o.counters_) counter(name).merge(*c);
+  for (const auto& [name, g] : o.gauges_) gauge(name).set(g->value());
+  for (const auto& [name, h] : o.histograms_) histogram(name, h->bounds()).merge(*h);
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Registry::snapshot_json() const {
+  std::ostringstream os;
+  os << "{";
+
+  os << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << c->value();
+  }
+  os << "},";
+
+  os << "\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << g->value();
+  }
+  os << "},";
+
+  os << "\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{"
+       << "\"count\":" << h->count() << ",\"sum\":" << h->sum() << ",\"min\":" << h->min()
+       << ",\"max\":" << h->max() << ",\"buckets\":[";
+    const auto& bounds = h->bounds();
+    const auto& counts = h->bucket_counts();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      if (i) os << ",";
+      os << "[" << bounds[i] << "," << counts[i] << "]";
+    }
+    os << "],\"overflow\":" << h->overflow() << "}";
+  }
+  os << "}";
+
+  os << "}";
+  return os.str();
+}
+
+}  // namespace icc::obs

@@ -1,0 +1,118 @@
+// Low-overhead metrics: counters, gauges, fixed-bucket histograms, and a
+// Registry that snapshots everything to JSON.
+//
+// Hot-path discipline (same as support/log.hpp): a probe that fires on every
+// simulated message must cost a handful of instructions. Counter::add and
+// Gauge::set are single-word writes; Histogram::record is one binary search
+// over a small fixed bound vector plus three word updates. The simulator is
+// single-threaded by design (sim/engine.hpp), so plain words — not atomics —
+// are the correct monotonic storage; nothing here may be shared across
+// threads (benches that run clusters on several threads give each cluster
+// its own Registry).
+//
+// Metric objects are owned by the Registry and have stable addresses for the
+// lifetime of the Registry, so probes cache raw pointers and never pay the
+// name lookup after attachment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace icc::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(uint64_t d = 1) { value_ += d; }
+  uint64_t value() const { return value_; }
+  void merge(const Counter& o) { value_ += o.value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depths, watermarks).
+class Gauge {
+ public:
+  void set(int64_t v) { value_ = v; }
+  void add(int64_t d) { value_ += d; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram over int64 samples (virtual-time durations in µs,
+/// sizes, counts). Bucket i counts samples <= bounds[i] (cumulative-style
+/// "le" upper bounds, first matching bucket wins); samples above the last
+/// bound land in the overflow bucket. Sum/min/max are exact regardless of
+/// bucket resolution.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void record(int64_t v);
+  void merge(const Histogram& o);  ///< requires identical bounds
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return min_; }
+  int64_t max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+  /// q in [0, 1]; nearest-rank over the bucket upper bounds (resolution is
+  /// the bucket width; exact min/max are available separately).
+  int64_t percentile(double q) const;
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+  uint64_t overflow() const { return overflow_; }
+
+  /// Exponential bucket bounds: start, start*factor, ... (count bounds).
+  static std::vector<int64_t> exponential(int64_t start, double factor, size_t count);
+  /// Linear bucket bounds: step, 2*step, ... (count bounds).
+  static std::vector<int64_t> linear(int64_t step, size_t count);
+
+ private:
+  std::vector<int64_t> bounds_;    // ascending "le" upper bounds
+  std::vector<uint64_t> buckets_;  // one per bound
+  uint64_t overflow_ = 0;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// Named metric store. Lookup is by exact name; re-registering a name
+/// returns the existing metric (so n parties naturally share aggregate
+/// metrics). Snapshot order is deterministic (name-sorted).
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is used only on first registration of `name`.
+  Histogram& histogram(const std::string& name, std::vector<int64_t> bounds);
+
+  /// Merge every metric of `o` into this registry (same-name histograms
+  /// must have identical bounds; gauges take the other's value).
+  void merge(const Registry& o);
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string snapshot_json() const;
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
+
+}  // namespace icc::obs

@@ -1,0 +1,65 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"  // json_escape
+
+namespace icc::obs {
+
+Tracer::Tracer(size_t capacity) { ring_.resize(capacity); }
+
+void Tracer::record(const TraceEvent& ev) {
+  if (ring_.empty()) return;
+  ring_[recorded_ % ring_.size()] = ev;
+  recorded_++;
+}
+
+size_t Tracer::size() const { return std::min<uint64_t>(recorded_, ring_.size()); }
+
+uint64_t Tracer::dropped() const {
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+std::string Tracer::to_json() const {
+  // Collect the live slots and restore time order (the ring wraps, and
+  // events are recorded at their *end* for 'X' spans, so ts is not
+  // monotone even without wrapping).
+  std::vector<const TraceEvent*> events;
+  events.reserve(size());
+  for (size_t i = 0; i < size(); ++i) events.push_back(&ring_[i]);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) { return a->ts < b->ts; });
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent* ev : events) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << json_escape(ev->name ? ev->name : "") << "\",\"cat\":\""
+       << json_escape(ev->cat ? ev->cat : "") << "\",\"ph\":\"" << ev->ph
+       << "\",\"ts\":" << ev->ts;
+    if (ev->ph == 'X') os << ",\"dur\":" << ev->dur;
+    os << ",\"pid\":" << ev->pid << ",\"tid\":" << ev->tid;
+    if (ev->ph == 'i') os << ",\"s\":\"t\"";  // instant scope: thread
+    if (ev->arg0_key) {
+      os << ",\"args\":{\"" << json_escape(ev->arg0_key) << "\":" << ev->arg0;
+      if (ev->arg1_key) os << ",\"" << json_escape(ev->arg1_key) << "\":" << ev->arg1;
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace icc::obs

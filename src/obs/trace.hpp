@@ -1,0 +1,75 @@
+// Ring-buffer span tracer stamped with simulation virtual time, exporting
+// Chrome trace_event JSON (the format chrome://tracing and Perfetto open).
+//
+// Events carry static-string names/categories — recording an event is a
+// struct copy into a preallocated ring, no allocation, no formatting. The
+// ring overwrites the oldest events when full (a long run keeps its tail,
+// which is usually what a latency investigation wants); `dropped()` reports
+// how many were overwritten so exports are never silently partial.
+//
+// Mapping to the trace_event model: pid = simulated party index, tid =
+// subsystem lane within the party (consensus / gossip / pipeline), ts/dur =
+// virtual microseconds (sim::Time is already µs, so traces line up exactly
+// with the simulator's clock).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icc::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< static string (never freed before export)
+  const char* cat = nullptr;   ///< static string category
+  char ph = 'X';               ///< 'X' complete, 'i' instant, 'C' counter
+  int64_t ts = 0;              ///< virtual µs
+  int64_t dur = 0;             ///< virtual µs ('X' only)
+  uint32_t pid = 0;            ///< party index
+  uint32_t tid = 0;            ///< subsystem lane (see Lane)
+  // Up to two small numeric args, rendered into "args": {...}.
+  const char* arg0_key = nullptr;
+  int64_t arg0 = 0;
+  const char* arg1_key = nullptr;
+  int64_t arg1 = 0;
+};
+
+/// Subsystem lanes (trace tid per party).
+enum Lane : uint32_t { kLaneConsensus = 0, kLaneGossip = 1, kLanePipeline = 2 };
+
+class Tracer {
+ public:
+  /// capacity 0 disables recording entirely (record() is a no-op).
+  explicit Tracer(size_t capacity);
+
+  void record(const TraceEvent& ev);
+
+  void complete(const char* name, const char* cat, uint32_t pid, uint32_t tid, int64_t ts,
+                int64_t dur, const char* arg0_key = nullptr, int64_t arg0 = 0,
+                const char* arg1_key = nullptr, int64_t arg1 = 0) {
+    record(TraceEvent{name, cat, 'X', ts, dur, pid, tid, arg0_key, arg0, arg1_key, arg1});
+  }
+
+  void instant(const char* name, const char* cat, uint32_t pid, uint32_t tid, int64_t ts,
+               const char* arg0_key = nullptr, int64_t arg0 = 0) {
+    record(TraceEvent{name, cat, 'i', ts, 0, pid, tid, arg0_key, arg0, nullptr, 0});
+  }
+
+  size_t capacity() const { return ring_.size(); }
+  /// Events currently held (<= capacity).
+  size_t size() const;
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const;
+  uint64_t recorded() const { return recorded_; }
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — events sorted by ts.
+  std::string to_json() const;
+  /// Write to_json() to `path`; false on I/O error.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  uint64_t recorded_ = 0;  // total record() calls; ring slot = recorded_ % capacity
+};
+
+}  // namespace icc::obs

@@ -1,6 +1,41 @@
 #include "pipeline/pipeline.hpp"
 
+#include <chrono>
+
 namespace icc::pipeline {
+namespace {
+
+/// Records elapsed wall-clock nanoseconds into a histogram on scope exit.
+/// A null histogram (stage timing off) costs one branch, no clock reads.
+class StageTimer {
+ public:
+  explicit StageTimer(obs::Histogram* h) : h_(h) {
+    if (h_) start_ = std::chrono::steady_clock::now();
+  }
+  ~StageTimer() {
+    if (h_) {
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+      h_->record(static_cast<int64_t>(ns));
+    }
+  }
+
+ private:
+  obs::Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+void IngressPipeline::attach_obs(obs::Obs* obs) {
+  if (obs == nullptr || !obs->enabled() || !obs->config().stage_wall_timing) return;
+  // 64 ns … ~1 s, exponential.
+  decode_wall_ns_ = &obs->registry().histogram("pipeline.decode_wall_ns",
+                                               obs::Histogram::exponential(64, 2.0, 24));
+  verify_wall_ns_ = &obs->registry().histogram("pipeline.verify_wall_ns",
+                                               obs::Histogram::exponential(64, 2.0, 24));
+}
 
 PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
   decoded += o.decoded;
@@ -15,6 +50,7 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
 }
 
 std::optional<types::Message> IngressPipeline::decode(uint32_t from, BytesView bytes) {
+  StageTimer timer(decode_wall_ns_);
   if (options_.dedup) {
     if (types::sender_scoped_wire(bytes)) {
       stats_.dedup_exempt++;
@@ -43,6 +79,7 @@ std::optional<types::Message> IngressPipeline::decode(uint32_t from, BytesView b
 }
 
 bool IngressPipeline::verify_proposal(const types::ProposalMsg& m) {
+  StageTimer timer(verify_wall_ns_);
   const types::Hash h = m.block.hash();
   return verifier_->verify_auth(
       m.block.proposer, types::authenticator_message(m.block.round, m.block.proposer, h),
@@ -50,24 +87,28 @@ bool IngressPipeline::verify_proposal(const types::ProposalMsg& m) {
 }
 
 bool IngressPipeline::verify_notarization_share(const types::NotarizationShareMsg& m) {
+  StageTimer timer(verify_wall_ns_);
   return verifier_->verify_threshold_share(
       crypto::Scheme::kNotary, m.signer,
       types::notarization_message(m.round, m.proposer, m.block_hash), m.share);
 }
 
 bool IngressPipeline::verify_notarization(const types::NotarizationMsg& m) {
+  StageTimer timer(verify_wall_ns_);
   return verifier_->verify_threshold(
       crypto::Scheme::kNotary, types::notarization_message(m.round, m.proposer, m.block_hash),
       m.aggregate);
 }
 
 bool IngressPipeline::verify_finalization_share(const types::FinalizationShareMsg& m) {
+  StageTimer timer(verify_wall_ns_);
   return verifier_->verify_threshold_share(
       crypto::Scheme::kFinal, m.signer,
       types::finalization_message(m.round, m.proposer, m.block_hash), m.share);
 }
 
 bool IngressPipeline::verify_finalization(const types::FinalizationMsg& m) {
+  StageTimer timer(verify_wall_ns_);
   return verifier_->verify_threshold(
       crypto::Scheme::kFinal, types::finalization_message(m.round, m.proposer, m.block_hash),
       m.aggregate);

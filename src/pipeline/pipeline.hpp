@@ -21,6 +21,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "pipeline/verifier.hpp"
 #include "types/messages.hpp"
 
@@ -62,10 +63,17 @@ class IngressPipeline {
   const PipelineStats& stats() const { return stats_; }
   size_t dedup_entries() const { return seen_.size(); }
 
+  /// Attach telemetry. Wall-clock decode/verify stage histograms are only
+  /// armed when ObsConfig::stage_wall_timing is set (they cost ~2
+  /// steady_clock reads per payload).
+  void attach_obs(obs::Obs* obs);
+
  private:
   Verifier* verifier_;
   PipelineOptions options_;
   PipelineStats stats_;
+  obs::Histogram* decode_wall_ns_ = nullptr;
+  obs::Histogram* verify_wall_ns_ = nullptr;
 
   // Bounded FIFO set of recently seen wire-artifact content hashes.
   std::unordered_set<types::Hash, types::HashHasher> seen_;

@@ -131,6 +131,7 @@ std::vector<uint8_t> Verifier::verify_shares_batch(
     pending.reserve(misses.size());
     for (size_t i : misses) pending.push_back(shares[i]);
     stats_.batch_calls++;
+    if (batch_size_hist_) batch_size_hist_->record(static_cast<int64_t>(pending.size()));
     stats_.provider_verifications += pending.size();
     std::vector<uint8_t> batch = provider_->threshold_verify_share_batch(scheme, message, pending);
     bool all_ok = true;
@@ -192,6 +193,12 @@ Bytes Verifier::beacon_combine(
   }
   stats_.combine_share_checks_skipped += valid.size();
   return provider_->beacon_combine_preverified(message, valid);
+}
+
+void Verifier::attach_obs(obs::Obs* obs) {
+  if (obs == nullptr || !obs->enabled()) return;
+  batch_size_hist_ =
+      &obs->registry().histogram("verify.batch_size", obs::Histogram::linear(1, 64));
 }
 
 }  // namespace icc::pipeline

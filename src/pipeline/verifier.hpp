@@ -31,6 +31,7 @@
 
 #include "crypto/provider.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/obs.hpp"
 #include "types/block.hpp"
 
 namespace icc::pipeline {
@@ -105,6 +106,9 @@ class Verifier {
   const Stats& stats() const { return stats_; }
   size_t cached_verdicts() const { return current_.size() + previous_.size(); }
 
+  /// Attach telemetry: a batch-size histogram recorded per batch call.
+  void attach_obs(obs::Obs* obs);
+
  private:
   // Verdict-cache key domains (distinct per signature scheme/usage).
   enum class Domain : uint8_t {
@@ -137,6 +141,7 @@ class Verifier {
   crypto::CryptoProvider* provider_;
   PipelineOptions options_;
   Stats stats_;
+  obs::Histogram* batch_size_hist_ = nullptr;
 
   // Two-generation bounded cache: inserts fill current_; when it reaches
   // half the capacity, it rotates into previous_ (whose entries remain

@@ -151,7 +151,9 @@ void Network::deliver(PartyIndex from, PartyIndex to,
 
   Duration d = model_->delay(from, to, now, wire, net_rng_);
   Time arrive = std::max(now + d, synchrony_.release_time(now));
+  probe_.on_send(wire, arrive - now);
   engine_->schedule_at(arrive, [this, from, to, payload] {
+    probe_.on_deliver();
     processes_[to]->receive(contexts_[to], from, *payload);
   });
 }

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
@@ -221,6 +222,10 @@ class Network {
   /// TLS record overhead, ...). Default 64 bytes.
   void set_frame_overhead(size_t bytes) { frame_overhead_ = bytes; }
 
+  /// Attach telemetry (message/byte counters, in-flight gauge, delay
+  /// histogram). Null detaches.
+  void attach_obs(obs::Obs* obs) { probe_.attach(obs); }
+
  private:
   void deliver(PartyIndex from, PartyIndex to, const std::shared_ptr<const Bytes>& payload);
 
@@ -233,6 +238,7 @@ class Network {
   NetworkMetrics metrics_;
   Xoshiro256 net_rng_;
   size_t frame_overhead_ = 64;
+  obs::NetProbe probe_;
 };
 
 }  // namespace icc::sim

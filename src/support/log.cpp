@@ -1,9 +1,26 @@
 #include "support/log.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace icc {
 
-LogLevel& log_level() {
-  static LogLevel level = LogLevel::kWarn;
+namespace {
+LogLevel initial_level() {
+  const char* env = std::getenv("ICC_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;  // unknown value: keep the default
+}
+}  // namespace
+
+std::atomic<LogLevel>& log_level() {
+  static std::atomic<LogLevel> level{initial_level()};
   return level;
 }
 

@@ -5,6 +5,7 @@
 // buffer that is flushed as one line (so concurrent tests don't interleave).
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -13,8 +14,16 @@ namespace icc {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log threshold. Tests and examples may lower it; defaults to warn.
-LogLevel& log_level();
+/// Global log threshold, atomic so benches that run clusters on several
+/// threads can flip it safely. Defaults to warn, overridable via the
+/// ICC_LOG_LEVEL environment variable (trace|debug|info|warn|error|off,
+/// read once at first use).
+std::atomic<LogLevel>& log_level();
+
+/// Set the global threshold (tests, examples, CLI flags).
+inline void set_log_level(LogLevel level) {
+  log_level().store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 class LogLine {
@@ -32,9 +41,9 @@ class LogLine {
 };
 }  // namespace detail
 
-#define ICC_LOG(level, tag)                        \
-  if (::icc::log_level() > (level)) {              \
-  } else                                           \
+#define ICC_LOG(level, tag)                                               \
+  if (::icc::log_level().load(std::memory_order_relaxed) > (level)) {     \
+  } else                                                                  \
     ::icc::detail::LogLine((level), (tag))
 
 #define ICC_TRACE(tag) ICC_LOG(::icc::LogLevel::kTrace, tag)
