@@ -19,6 +19,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "harness/baseline_cluster.hpp"
 #include "harness/cluster.hpp"
@@ -89,7 +92,10 @@ double timed_run_s(bool obs_enabled) {
   o.payload_size = 256;
   o.prune_lag = 8;
   o.record_payloads = false;
+  // The "on" leg enables the full recorder stack — metrics, tracing AND the
+  // event journal — so the <5% budget covers the flight recorder too.
   o.obs.enabled = obs_enabled;
+  o.obs.journal = obs_enabled;
   o.delay_model = [](size_t, uint64_t) {
     return std::make_unique<sim::FixedDelay>(sim::msec(10));
   };
@@ -110,33 +116,60 @@ int obs_overhead_main() {
   // Warm-up both variants (allocator, page cache, branch predictors).
   timed_run_s(false);
   timed_run_s(true);
-  // Paired off/on runs: clock-frequency drift and thermal throttling move
-  // slowly, so they hit both halves of a pair roughly equally and cancel in
-  // the per-pair ratio. The median pair-ratio then discards the outliers a
-  // min-vs-min comparison is vulnerable to.
-  std::vector<double> ratios;
-  double off_med = 0, on_med = 0;
+  // Interleaved off/on runs (drift hits both legs alike), compared by
+  // per-leg *minimum*. Scheduling noise on a shared machine is one-sided —
+  // contention only ever adds time — so the minimum over 7 runs is the best
+  // estimate of each leg's uncontended runtime. Ratio-of-means and median
+  // pair-ratio both inherit the noise (observed ±5-10 % per run on CI-class
+  // machines, the size of the budget itself); min-vs-min does not.
+  std::vector<double> offs, ons;
   for (int i = 0; i < 7; ++i) {
-    const double off = timed_run_s(false);
-    const double on = timed_run_s(true);
-    ratios.push_back(on / off);
-    off_med += off;
-    on_med += on;
+    offs.push_back(timed_run_s(false));
+    ons.push_back(timed_run_s(true));
   }
-  std::sort(ratios.begin(), ratios.end());
-  const double overhead_pct = (ratios[ratios.size() / 2] - 1.0) * 100.0;
+  const double off_min = *std::min_element(offs.begin(), offs.end());
+  const double on_min = *std::min_element(ons.begin(), ons.end());
+  const double overhead_pct = (on_min / off_min - 1.0) * 100.0;
   std::printf("F-OBS: telemetry overhead on the F-LAT ICC1 workload\n");
-  std::printf("  telemetry off: %.3f s (mean of 7)\n", off_med / 7.0);
-  std::printf("  telemetry on:  %.3f s (mean of 7)\n", on_med / 7.0);
-  std::printf("  overhead:      %+.2f %%  (median pair-ratio; budget < 5 %%)\n",
-              overhead_pct);
+  std::printf("  telemetry off: %.3f s (min of 7)\n", off_min);
+  std::printf("  telemetry on:  %.3f s (min of 7)\n", on_min);
+  std::printf("  overhead:      %+.2f %%  (min-vs-min; budget < 5 %%)\n", overhead_pct);
   return overhead_pct < 5.0 ? 0 : 1;
+}
+
+/// One named scalar for the BENCH_*.json baseline (schema icc-bench/v1).
+/// Values come from virtual time, so they are identical on any machine —
+/// exactly what makes them gateable in CI (ci/bench_compare.py).
+struct BenchResult {
+  std::string name;
+  double value;
+  const char* unit;
+};
+
+bool write_bench_json(const char* path, const char* bench, const std::string& config,
+                      const std::vector<BenchResult>& results) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << "{\"schema\":\"icc-bench/v1\",\"bench\":\"" << bench << "\",\"config\":{"
+      << config << "},\"results\":[";
+  char buf[64];
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i) out << ",";
+    std::snprintf(buf, sizeof buf, "%.3f", results[i].value);
+    out << "\n  {\"name\":\"" << results[i].name << "\",\"value\":" << buf
+        << ",\"unit\":\"" << results[i].unit << "\"}";
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--obs-overhead") == 0) return obs_overhead_main();
+  const char* json_path = "BENCH_latency.json";
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
   const sim::Duration delta_bnd = sim::msec(600);
   std::printf("F-LAT: reciprocal throughput / latency vs delta "
               "(n = 7, honest, Delta_bnd = 600 ms)\n");
@@ -145,6 +178,12 @@ int main(int argc, char** argv) {
               "Tendermint (O(D))");
   std::printf("---------+---------------------+---------------------+---------------------+"
               "---------------------+---------------------\n");
+  std::vector<BenchResult> results;
+  auto record = [&](const char* proto, int delta_ms, const Measured& m) {
+    std::string prefix = std::string(proto) + "/delta" + std::to_string(delta_ms);
+    results.push_back({prefix + "/recip_ms", m.recip_ms, "ms"});
+    results.push_back({prefix + "/latency_ms", m.latency_ms, "ms"});
+  };
   for (int delta_ms : {5, 10, 20, 40, 80}) {
     sim::Duration delta = sim::msec(delta_ms);
     Measured icc0 = run_icc(harness::Protocol::kIcc0, delta, delta_bnd);
@@ -157,10 +196,23 @@ int main(int argc, char** argv) {
                 delta_ms, icc0.recip_ms, icc0.latency_ms, icc1.recip_ms, icc1.latency_ms,
                 icc2.recip_ms, icc2.latency_ms, hs.recip_ms, hs.latency_ms, tm.recip_ms,
                 tm.latency_ms);
+    record("icc0", delta_ms, icc0);
+    record("icc1", delta_ms, icc1);
+    record("icc2", delta_ms, icc2);
+    record("hotstuff", delta_ms, hs);
+    record("tendermint", delta_ms, tm);
   }
   std::printf("\nEach cell: reciprocal throughput / commit latency. Expected shapes:\n"
               "ICC0/ICC1 track 2d/3d, ICC2 3d/4d (one extra dispersal hop), HotStuff\n"
               "2d but ~6-7d latency (3-chain), Tendermint pinned at Delta_bnd-scale\n"
               "regardless of d (not optimistically responsive).\n");
+  if (!write_bench_json(json_path, "latency_throughput",
+                        "\"n\":7,\"t\":2,\"seed\":11,\"window_s\":20,"
+                        "\"deltas_ms\":[5,10,20,40,80]",
+                        results)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path);
   return 0;
 }

@@ -16,6 +16,10 @@
 // comparison targets the paper's *shape*: load adds ~3 Mb/s of gossip
 // traffic, failures cut the block rate ~2.5x and reduce traffic.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "harness/cluster.hpp"
 #include "smr/smr.hpp"
@@ -128,7 +132,16 @@ Row run_scenario(size_t n, size_t t, bool load, bool failures, sim::Duration win
 }  // namespace
 
 int main(int argc, char** argv) {
-  sim::Duration window = sim::seconds(argc > 1 ? atoi(argv[1]) : 30);
+  int window_s = 30;
+  const char* json_path = "BENCH_table1.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      window_s = atoi(argv[i]);
+    }
+  }
+  sim::Duration window = sim::seconds(window_s);
 
   const Scenario scenarios[] = {{"without load", false, false},
                                 {"with load", true, false},
@@ -154,6 +167,15 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-18s %-24s %-24s\n", "subnet", "scenario", "blocks/s (paper)",
               "Mb/s per node (paper)");
   std::printf("--------------------------------------------------------------------------\n");
+  // Named scalars for the committed BENCH_table1.json baseline (schema
+  // icc-bench/v1). Virtual-time-derived, so identical on any machine.
+  struct NamedResult {
+    std::string name;
+    double value;
+    const char* unit;
+  };
+  std::vector<NamedResult> results;
+  const char* scenario_key[] = {"no_load", "load", "load_failures"};
   for (const auto& sub : subnets) {
     for (int s = 0; s < 3; ++s) {
       Row r = run_scenario(sub.n, sub.t, scenarios[s].load, scenarios[s].failures, window,
@@ -161,6 +183,9 @@ int main(int argc, char** argv) {
       std::printf("%2zu nodes   %-18s %6.2f   (%4.2f)        %6.2f   (%4.2f)\n", sub.n,
                   scenarios[s].name, r.blocks_per_s, sub.paper_rate[s], r.mbps,
                   sub.paper_mbps[s]);
+      std::string prefix = "n" + std::to_string(sub.n) + "/" + scenario_key[s];
+      results.push_back({prefix + "/blocks_per_s", r.blocks_per_s, "blocks/s"});
+      results.push_back({prefix + "/mbps_per_node", r.mbps, "Mb/s"});
     }
   }
   std::printf("\nNotes: paper traffic includes non-consensus overhead (clients, key\n"
@@ -168,5 +193,22 @@ int main(int argc, char** argv) {
               "traffic only. The shape to check: load adds ~3 Mb/s, failures cut\n"
               "block rate ~2.5x and reduce per-node traffic; larger subnets are\n"
               "slower but chattier.\n");
+
+  std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  out << "{\"schema\":\"icc-bench/v1\",\"bench\":\"table1\",\"config\":{\"window_s\":"
+      << window_s << ",\"subnets\":[13,40],\"seed_base\":1234},\"results\":[";
+  char buf[64];
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i) out << ",";
+    std::snprintf(buf, sizeof buf, "%.3f", results[i].value);
+    out << "\n  {\"name\":\"" << results[i].name << "\",\"value\":" << buf
+        << ",\"unit\":\"" << results[i].unit << "\"}";
+  }
+  out << "\n]}\n";
+  std::printf("wrote %s\n", json_path);
   return 0;
 }

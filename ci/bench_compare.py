@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_*.json against a committed baseline.
+
+Both files follow schema icc-bench/v1:
+
+    {"schema": "icc-bench/v1", "bench": "...", "config": {...},
+     "results": [{"name": "...", "value": 1.234, "unit": "ms"}, ...]}
+
+Results are matched by name. Relative deviation bands (defaults):
+  warn  > ±10 %  -> reported, exit 0
+  fail  > ±25 %  -> reported, exit 1
+
+Missing or extra result names are failures: a renamed metric silently
+dropping out of regression tracking is exactly the kind of drift this
+gate exists to catch. Config mismatches (different window, n, seed)
+are also failures — the numbers would not be comparable.
+
+Usage:
+  ci/bench_compare.py <baseline.json> <fresh.json> [--warn-pct 10] [--fail-pct 25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "icc-bench/v1":
+        sys.exit(f"{path}: unsupported schema {doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--warn-pct", type=float, default=10.0)
+    ap.add_argument("--fail-pct", type=float, default=25.0)
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures, warnings = [], []
+
+    if base.get("bench") != fresh.get("bench"):
+        failures.append(
+            f"bench mismatch: baseline {base.get('bench')!r} vs fresh {fresh.get('bench')!r}"
+        )
+    if base.get("config") != fresh.get("config"):
+        failures.append(
+            f"config mismatch: baseline {base.get('config')} vs fresh {fresh.get('config')}"
+        )
+
+    base_results = {r["name"]: r for r in base.get("results", [])}
+    fresh_results = {r["name"]: r for r in fresh.get("results", [])}
+
+    for name in sorted(base_results.keys() - fresh_results.keys()):
+        failures.append(f"{name}: present in baseline, missing from fresh run")
+    for name in sorted(fresh_results.keys() - base_results.keys()):
+        failures.append(f"{name}: new result not in baseline (re-commit the baseline)")
+
+    for name in sorted(base_results.keys() & fresh_results.keys()):
+        b, f = base_results[name]["value"], fresh_results[name]["value"]
+        if b == 0.0 and f == 0.0:
+            continue
+        if b == 0.0:
+            failures.append(f"{name}: baseline 0, fresh {f}")
+            continue
+        dev = (f - b) / abs(b) * 100.0
+        line = f"{name}: baseline {b} -> fresh {f} ({dev:+.1f} %)"
+        if abs(dev) > args.fail_pct:
+            failures.append(line)
+        elif abs(dev) > args.warn_pct:
+            warnings.append(line)
+
+    for w in warnings:
+        print(f"WARN {w}")
+    for f in failures:
+        print(f"FAIL {f}")
+    n = len(base_results)
+    print(
+        f"bench_compare: {base.get('bench')}: {n} baseline results, "
+        f"{len(warnings)} warnings (>{args.warn_pct:g} %), "
+        f"{len(failures)} failures (>{args.fail_pct:g} %)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@
 //     --equivocate <int>             # equivocating parties (default 0)
 //     --trace <path>                 Chrome trace_event output (default trace.json)
 //     --metrics <path>               metrics snapshot output (default metrics.json)
+//     --journal <path>               flight-recorder JSONL output; also runs the
+//                                    offline safety audit inline (icc_audit
+//                                    semantics) and folds it into the digest
 //     --trace-capacity <int>         span ring slots (default 65536)
 //     --stage-wall-timing            wall-clock decode/verify histograms
 //     --seed <int>
@@ -26,6 +29,7 @@
 #include <fstream>
 
 #include "harness/cluster.hpp"
+#include "obs/audit.hpp"
 
 int main(int argc, char** argv) {
   using namespace icc;
@@ -43,6 +47,7 @@ int main(int argc, char** argv) {
   int crash = 0, equivocate = 0;
   const char* trace_path = "trace.json";
   const char* metrics_path = "metrics.json";
+  const char* journal_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     auto is = [&](const char* flag) { return std::strcmp(argv[i], flag) == 0; };
@@ -71,6 +76,10 @@ int main(int argc, char** argv) {
     else if (is("--equivocate")) equivocate = atoi(next());
     else if (is("--trace")) trace_path = next();
     else if (is("--metrics")) metrics_path = next();
+    else if (is("--journal")) {
+      journal_path = next();
+      o.obs.journal = true;
+    }
     else if (is("--trace-capacity"))
       o.obs.trace_capacity = static_cast<size_t>(atoi(next()));
     else if (is("--stage-wall-timing")) o.obs.stage_wall_timing = true;
@@ -159,7 +168,28 @@ int main(int argc, char** argv) {
   std::printf("\nwrote %s and %s — open the trace in chrome://tracing or ui.perfetto.dev\n",
               metrics_path, trace_path);
 
+  // --- flight recorder + inline offline audit (icc_audit semantics) ---
+  size_t audit_violations = 0;
+  if (journal_path != nullptr) {
+    if (!cluster.dump_journal(journal_path)) {
+      std::fprintf(stderr, "cannot write %s\n", journal_path);
+      return 1;
+    }
+    const obs::Journal* j = cluster.journal();
+    obs::AuditReport audit = obs::audit_journal(j->events(), j->meta(), true);
+    audit_violations = audit.violations.size();
+    std::printf("journal events:      %zu recorded, %lu dropped -> %s\n", j->size(),
+                static_cast<unsigned long>(j->dropped()), journal_path);
+    std::printf("audit violations:    %zu  (%lu rounds attributed, "
+                "propose->finalize mean %.1f ms)\n",
+                audit_violations, static_cast<unsigned long>(audit.finalized_rounds),
+                static_cast<double>(audit.mean_propose_to_final_us) / 1000.0);
+    for (const auto& v : audit.violations)
+      std::fprintf(stderr, "audit VIOLATION %s round %lu: %s\n", v.invariant.c_str(),
+                   static_cast<unsigned long>(v.round), v.detail.c_str());
+  }
+
   auto safety = cluster.check_safety();
   std::printf("safety:              %s\n", safety ? safety->c_str() : "OK");
-  return safety ? 1 : 0;
+  return (safety || audit_violations > 0) ? 1 : 0;
 }

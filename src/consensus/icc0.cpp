@@ -31,6 +31,7 @@ Icc0Party::Icc0Party(PartyIndex self, const PartyConfig& config)
       delta_local_(config.delays.delta_bnd) {
   beacon_values_[0] = types::genesis_beacon();
   probe_.attach(config.obs, self, config.party_honesty);
+  journal_.attach(config.obs, self);
   pipeline_.attach_obs(config.obs);
   verifier_.attach_obs(config.obs);
 }
@@ -63,14 +64,31 @@ bool Icc0Party::ingest(sim::Context& ctx, sim::PartyIndex from, const Message& m
       Overloaded{
           [&](const ProposalMsg& m) {
             bool changed = ingest_proposal(m);
-            if (probe_.on() && changed && pool_.block(m.block.hash()) != nullptr)
-              probe_.on_proposal_seen(m.block.round, ctx.now());
+            if ((probe_.on() || journal_.on()) && changed) {
+              const Hash h = m.block.hash();
+              if (pool_.block(h) != nullptr) {
+                probe_.on_proposal_seen(m.block.round, ctx.now());
+                journal_.proposal(m.block.round, m.block.proposer, h, ctx.now());
+              }
+            }
             return changed;
           },
           [&](const NotarizationShareMsg& m) { return ingest_notarization_share(m); },
-          [&](const NotarizationMsg& m) { return ingest_notarization(m); },
+          [&](const NotarizationMsg& m) {
+            bool changed = ingest_notarization(m);
+            // Signer sets are not recoverable from an already-combined wire
+            // aggregate; record it as a latency/uniqueness witness only.
+            if (changed)
+              journal_.notar_agg(m.round, m.proposer, m.block_hash, {}, "wire", ctx.now());
+            return changed;
+          },
           [&](const FinalizationShareMsg& m) { return ingest_finalization_share(m); },
-          [&](const FinalizationMsg& m) { return ingest_finalization(m); },
+          [&](const FinalizationMsg& m) {
+            bool changed = ingest_finalization(m);
+            if (changed)
+              journal_.final_agg(m.round, m.proposer, m.block_hash, {}, "wire", ctx.now());
+            return changed;
+          },
           [&](const BeaconShareMsg& m) {
             ingest_beacon_share(ctx, m);
             return true;
@@ -181,6 +199,7 @@ void Icc0Party::broadcast_beacon_share(sim::Context& ctx, Round round) {
   const Bytes& prev = beacon_values_.at(round - 1);
   Bytes share = verifier_.beacon_sign_share(self_, types::beacon_message(round, prev));
   disseminate(ctx, BeaconShareMsg{round, self_, std::move(share)}, false);
+  journal_.beacon_share(round, ctx.now());
 }
 
 void Icc0Party::evaluate(sim::Context& ctx) {
@@ -210,6 +229,7 @@ void Icc0Party::try_advance_beacon(sim::Context& ctx) {
     Bytes canonical = types::beacon_message(round_, beacon_values_.at(round_ - 1));
     Bytes value = verifier_.beacon_combine(canonical, it->second);
     if (value.empty()) return;
+    journal_.beacon(round_, value, ctx.now());
     beacon_values_[round_] = std::move(value);
   }
   enter_round(ctx);
@@ -219,6 +239,7 @@ void Icc0Party::enter_round(sim::Context& ctx) {
   in_round_ = true;
   t0_ = ctx.now();
   probe_.on_enter_round(round_, t0_);
+  journal_.round_enter(round_, t0_);
   proposed_ = false;
   notarized_set_.clear();
   disqualified_.clear();
@@ -266,6 +287,13 @@ bool Icc0Party::fire_finish_round(sim::Context& ctx) {
     if (agg.empty()) return false;
     NotarizationMsg nm{b->round, b->proposer, *h, std::move(agg)};
     pool_.add_notarization(nm);
+    if (journal_.on()) {
+      std::vector<uint32_t> signers;
+      signers.reserve(shares.size());
+      for (const auto& [signer, _] : shares) signers.push_back(signer);
+      journal_.notar_agg(b->round, b->proposer, *h, std::move(signers), "combined",
+                         ctx.now());
+    }
     target = *h;
   } else {
     return false;
@@ -286,6 +314,7 @@ bool Icc0Party::fire_finish_round(sim::Context& ctx) {
     Bytes share = verifier_.threshold_sign_share(crypto::Scheme::kFinal, self_, canonical);
     FinalizationShareMsg fm{b->round, b->proposer, *target, self_, std::move(share)};
     pool_.add_finalization_share(fm);
+    journal_.final_share(b->round, b->proposer, *target, ctx.now());
     disseminate(ctx, fm, false);
   }
 
@@ -440,6 +469,7 @@ bool Icc0Party::adopt_cup(sim::Context& ctx, const types::CupMsg& msg) {
     c.committed_at = ctx.now();
     if (config_.on_commit) config_.on_commit(self_, c);
     probe_.on_commit(c.round, c.committed_at);
+    journal_.commit(c.round, c.hash, c.committed_at);
     committed_.push_back(std::move(c));
     k_max_ = msg.round;
   }
@@ -492,6 +522,7 @@ void Icc0Party::emit_proposal(sim::Context& ctx, const Bytes& payload) {
   pool_.add_proposal(pm);
   probe_.on_proposed(round_, ctx.now());
   probe_.on_proposal_seen(round_, ctx.now());
+  journal_.propose(round_, h, ctx.now());
   disseminate(ctx, pm, true);
 }
 
@@ -560,6 +591,7 @@ bool Icc0Party::fire_echo_notarize(sim::Context& ctx) {
       Bytes share = verifier_.threshold_sign_share(crypto::Scheme::kNotary, self_, canonical);
       NotarizationShareMsg m{b->round, b->proposer, h, self_, std::move(share)};
       pool_.add_notarization_share(m);
+      journal_.notar_share(b->round, b->proposer, h, ctx.now());
       disseminate(ctx, m, false);
     }
     return true;
@@ -579,6 +611,13 @@ void Icc0Party::check_finalization(sim::Context& ctx) {
         if (!agg.empty()) {
           FinalizationMsg fm{b->round, b->proposer, *h, std::move(agg)};
           pool_.add_finalization(fm);
+          if (journal_.on()) {
+            std::vector<uint32_t> signers;
+            signers.reserve(shares.size());
+            for (const auto& [signer, _] : shares) signers.push_back(signer);
+            journal_.final_agg(b->round, b->proposer, *h, std::move(signers), "combined",
+                               ctx.now());
+          }
           target = *h;
         }
       }
@@ -606,9 +645,11 @@ void Icc0Party::check_finalization(sim::Context& ctx) {
       if (config_.on_commit) config_.on_commit(self_, c);
       maybe_emit_cup_share(ctx, c);
       probe_.on_commit(c.round, c.committed_at);
+      journal_.commit(c.round, c.hash, c.committed_at);
       committed_.push_back(std::move(c));
     }
     probe_.on_finalized(b->round, b->round - k_max_, ctx.now());
+    journal_.finalized(b->round, *target, ctx.now());
     k_max_ = b->round;
     if (config_.prune_lag != 0 && k_max_ > config_.prune_lag) {
       pool_.prune_below(k_max_ - config_.prune_lag);

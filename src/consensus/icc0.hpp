@@ -92,6 +92,7 @@ class Icc0Party : public sim::Process {
   types::Pool pool_;                   // stage 4: pre-verified artifacts only
   pipeline::IngressPipeline pipeline_; // stages 1-2: decode + dedup
   obs::PartyProbe probe_;              // telemetry (no-op when detached)
+  obs::JournalScribe journal_;         // flight recorder (no-op when detached)
 
   // Verified ingest helpers (stage 3 + 4 for one artifact type each).
   bool ingest_proposal(const types::ProposalMsg& msg);

@@ -39,6 +39,11 @@ void Icc2Party::on_rbc_deliver(sim::Context& ctx, const Bytes& raw) {
   probe_.on_rbc_delivered(raw.size());
   auto msg = types::parse_message(raw);
   if (!msg) return;
+  if (journal_.on()) {
+    if (auto* proposal = std::get_if<types::ProposalMsg>(&*msg))
+      journal_.rbc_phase(proposal->block.round, proposal->block.proposer,
+                         proposal->block.hash(), "deliver", ctx.now());
+  }
   ingest(ctx, ctx.self(), *msg);
   evaluate(ctx);
 }

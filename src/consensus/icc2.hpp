@@ -18,7 +18,9 @@ class Icc2Party : public Icc0Party {
       : Icc0Party(self, config),
         rbc_(verifier_, self, [this](sim::Context& ctx, const Bytes& raw) {
           on_rbc_deliver(ctx, raw);
-        }) {}
+        }) {
+    rbc_.attach_obs(config.obs);
+  }
 
  protected:
   void disseminate(sim::Context& ctx, const types::Message& msg,

@@ -9,6 +9,7 @@ bool GossipLayer::store(const Bytes& raw, Round round, sim::Time now) {
   if (auto pit = pending_.find(id); pit != pending_.end()) {
     if (probe_.on() && now >= 0 && pit->second.first_advert_at >= 0)
       probe_.on_fetched(raw.size(), pit->second.first_advert_at, now);
+    if (now >= 0) journal_.gossip_deliver(round, id, raw.size(), now);
     pending_.erase(pit);  // no longer waiting for it
     probe_.on_pending_depth(static_cast<int64_t>(pending_.size()));
   }

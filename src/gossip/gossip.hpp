@@ -51,8 +51,12 @@ class GossipLayer {
 
   const GossipConfig& config() const { return config_; }
 
-  /// Attach telemetry (queue depth, fetch latency, delivery fan-out).
-  void attach_obs(obs::Obs* obs) { probe_.attach(obs, self_); }
+  /// Attach telemetry (queue depth, fetch latency, delivery fan-out) and the
+  /// flight recorder (pulled-artifact delivery events).
+  void attach_obs(obs::Obs* obs) {
+    probe_.attach(obs, self_);
+    journal_.attach(obs, self_);
+  }
 
   /// Record an artifact we hold (originated or received). Returns true if it
   /// was new — the caller should then advertise it. `now` (virtual µs)
@@ -98,6 +102,7 @@ class GossipLayer {
   GossipConfig config_;
   sim::PartyIndex self_;
   obs::GossipProbe probe_;
+  obs::JournalScribe journal_;
   std::unordered_map<Hash, Stored, types::HashHasher> artifacts_;
   std::unordered_map<Hash, Pending, types::HashHasher> pending_;
 };

@@ -28,6 +28,13 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   if (options.obs.enabled) {
     obs_ = std::make_unique<obs::Obs>(options.obs);
     sim_->network().attach_obs(obs_.get());
+    if (obs::Journal* j = obs_->journal()) {
+      const char* proto = options.protocol == Protocol::kIcc0   ? "icc0"
+                          : options.protocol == Protocol::kIcc1 ? "icc1"
+                                                                : "icc2";
+      j->set_meta({static_cast<uint32_t>(options.n), static_cast<uint32_t>(options.t),
+                   proto, options.seed});
+    }
   }
 
   PartyConfig pc;
@@ -269,6 +276,18 @@ std::string Cluster::trace_json() const { return obs_ ? obs_->tracer().to_json()
 
 bool Cluster::dump_trace(const std::string& path) const {
   return obs_ && obs_->tracer().write_json(path);
+}
+
+obs::Journal* Cluster::journal() const { return obs_ ? obs_->journal() : nullptr; }
+
+std::string Cluster::journal_jsonl() const {
+  const obs::Journal* j = journal();
+  return j ? j->to_jsonl() : std::string();
+}
+
+bool Cluster::dump_journal(const std::string& path) const {
+  const obs::Journal* j = journal();
+  return j && j->write_jsonl(path);
 }
 
 double Cluster::blocks_per_second(sim::Duration window) const {

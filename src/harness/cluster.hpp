@@ -146,6 +146,15 @@ class Cluster {
   /// Write trace_json() to `path`; false when disabled or on I/O error.
   bool dump_trace(const std::string& path) const;
 
+  // --- flight recorder (ClusterOptions::obs.journal) ---
+  /// The run's event journal; null unless obs.enabled && obs.journal. Meta
+  /// (n, t, protocol, seed) is stamped at construction.
+  obs::Journal* journal() const;
+  /// Deterministic JSONL export; empty string when journaling is disabled.
+  std::string journal_jsonl() const;
+  /// Write journal_jsonl() to `path`; false when disabled or on I/O error.
+  bool dump_journal(const std::string& path) const;
+
  private:
   void record_propose(sim::PartyIndex self, Round round, const types::Hash& hash,
                       sim::Time now);

@@ -1,0 +1,424 @@
+#include "obs/journal.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"  // json_escape
+#include "obs/obs.hpp"
+
+namespace icc::obs {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+/// Intern a parsed string onto the static journal constants (event types,
+/// provenance/phase literals) so recorded and parsed events compare equal by
+/// pointer; unknown strings are copied into a small leak-free-enough static
+/// pool (parsing happens in offline tools).
+const char* intern_string(const std::string& s) {
+  using namespace journal_type;
+  static constexpr const char* kKnown[] = {
+      kRoundEnter, kProposal,   kPropose,       kNotarShare, kNotarAgg,
+      kFinalShare, kFinalAgg,   kFinalized,     kCommit,     kBeaconShare,
+      kBeacon,     kRbcPhase,   kGossipDeliver, "combined",  "wire",
+      "disperse",  "echo",      "reconstruct",  "deliver",   "reject"};
+  for (const char* k : kKnown)
+    if (s == k) return k;
+  static std::vector<std::unique_ptr<std::string>>* pool =
+      new std::vector<std::unique_ptr<std::string>>();
+  for (const auto& p : *pool)
+    if (*p == s) return p->c_str();
+  pool->push_back(std::make_unique<std::string>(s));
+  return pool->back()->c_str();
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Find `"key":` in `line` and return the character offset just past the
+/// colon, or npos. Good enough for the journal's own output format (keys
+/// are never substrings of string values thanks to the quoted-colon form).
+size_t value_offset(const std::string& line, const char* key) {
+  std::string pat = std::string("\"") + key + "\":";
+  size_t at = line.find(pat);
+  return at == std::string::npos ? std::string::npos : at + pat.size();
+}
+
+bool parse_u64(const std::string& line, const char* key, uint64_t* out) {
+  size_t at = value_offset(line, key);
+  if (at == std::string::npos) return false;
+  *out = std::strtoull(line.c_str() + at, nullptr, 10);
+  return true;
+}
+
+bool parse_i64(const std::string& line, const char* key, int64_t* out) {
+  size_t at = value_offset(line, key);
+  if (at == std::string::npos) return false;
+  *out = std::strtoll(line.c_str() + at, nullptr, 10);
+  return true;
+}
+
+bool parse_string(const std::string& line, const char* key, std::string* out) {
+  size_t at = value_offset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') return false;
+  size_t end = line.find('"', at + 1);
+  if (end == std::string::npos) return false;
+  *out = line.substr(at + 1, end - at - 1);
+  return true;
+}
+
+bool parse_u32_array(const std::string& line, const char* key, std::vector<uint32_t>* out) {
+  size_t at = value_offset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '[') return false;
+  size_t end = line.find(']', at);
+  if (end == std::string::npos) return false;
+  out->clear();
+  const char* p = line.c_str() + at + 1;
+  const char* stop = line.c_str() + end;
+  while (p < stop) {
+    char* next = nullptr;
+    unsigned long v = std::strtoul(p, &next, 10);
+    if (next == p) break;
+    out->push_back(static_cast<uint32_t>(v));
+    p = next;
+    while (p < stop && (*p == ',' || *p == ' ')) ++p;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string hash_hex(const std::array<uint8_t, 32>& h) {
+  return bytes_hex(h.data(), h.size());
+}
+
+void JournalEvent::set_hash(const uint8_t* data, size_t len) {
+  hash_len = static_cast<uint8_t>(len < hash.size() ? len : hash.size());
+  std::memcpy(hash.data(), data, hash_len);
+}
+
+std::string JournalEvent::hash_hex() const {
+  return bytes_hex(hash.data(), hash_len);
+}
+
+std::string bytes_hex(const uint8_t* data, size_t len) {
+  std::string s(len * 2, '0');
+  for (size_t i = 0; i < len; ++i) {
+    s[2 * i] = kHexDigits[data[i] >> 4];
+    s[2 * i + 1] = kHexDigits[data[i] & 0xf];
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+void Journal::append(JournalEvent ev) {
+  if (capacity_ == 0) return;
+  if (events_.size() >= capacity_) {
+    dropped_++;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+std::string Journal::meta_json(const JournalMeta& meta, uint64_t event_count,
+                               uint64_t dropped) {
+  std::ostringstream os;
+  os << "{\"type\":\"meta\",\"schema\":\"icc-journal/v1\",\"n\":" << meta.n
+     << ",\"t\":" << meta.t << ",\"quorum\":" << meta.quorum() << ",\"protocol\":\""
+     << json_escape(meta.protocol) << "\",\"seed\":" << meta.seed
+     << ",\"events\":" << event_count << ",\"dropped\":" << dropped << "}";
+  return os.str();
+}
+
+std::string Journal::event_json(const JournalEvent& ev, uint64_t seq) {
+  std::ostringstream os;
+  os << "{\"seq\":" << seq << ",\"type\":\"" << json_escape(ev.type ? ev.type : "")
+     << "\",\"ts\":" << ev.ts;
+  if (ev.party != JournalEvent::kNoParty) os << ",\"party\":" << ev.party;
+  if (ev.round != 0) os << ",\"round\":" << ev.round;
+  if (ev.proposer != JournalEvent::kNoParty) os << ",\"proposer\":" << ev.proposer;
+  if (ev.hash_len != 0) {
+    os << ",\"hash\":\"";
+    for (uint8_t i = 0; i < ev.hash_len; ++i)
+      os << kHexDigits[ev.hash[i] >> 4] << kHexDigits[ev.hash[i] & 0xf];
+    os << "\"";
+  }
+  if (!ev.signers.empty()) {
+    os << ",\"signers\":[";
+    for (size_t i = 0; i < ev.signers.size(); ++i) {
+      if (i) os << ",";
+      os << ev.signers[i];
+    }
+    os << "]";
+  }
+  if (ev.has_detail()) os << ",\"detail\":\"" << json_escape(ev.detail) << "\"";
+  if (ev.value != JournalEvent::kNoValue) os << ",\"value\":" << ev.value;
+  os << "}";
+  return os.str();
+}
+
+std::string Journal::to_jsonl() const {
+  std::ostringstream os;
+  os << meta_json(meta_, events_.size(), dropped_) << "\n";
+  uint64_t seq = 1;
+  for (const JournalEvent& ev : events_) os << event_json(ev, seq++) << "\n";
+  return os.str();
+}
+
+bool Journal::write_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_jsonl();
+  return static_cast<bool>(out);
+}
+
+std::optional<JournalEvent> Journal::parse_event_line(const std::string& line) {
+  std::string type;
+  if (!parse_string(line, "type", &type) || type.empty() || type == "meta")
+    return std::nullopt;
+  JournalEvent ev;
+  ev.type = intern_string(type);
+  parse_i64(line, "ts", &ev.ts);
+  uint64_t u = 0;
+  if (parse_u64(line, "party", &u)) ev.party = static_cast<uint32_t>(u);
+  parse_u64(line, "round", &ev.round);
+  if (parse_u64(line, "proposer", &u)) ev.proposer = static_cast<uint32_t>(u);
+  std::string hex;
+  if (parse_string(line, "hash", &hex)) {
+    for (size_t i = 0; i + 1 < hex.size() && ev.hash_len < ev.hash.size(); i += 2) {
+      int hi = hex_nibble(hex[i]), lo = hex_nibble(hex[i + 1]);
+      if (hi < 0 || lo < 0) break;
+      ev.hash[ev.hash_len++] = static_cast<uint8_t>(hi << 4 | lo);
+    }
+  }
+  parse_u32_array(line, "signers", &ev.signers);
+  std::string detail;
+  if (parse_string(line, "detail", &detail) && !detail.empty())
+    ev.detail = intern_string(detail);
+  parse_i64(line, "value", &ev.value);
+  return ev;
+}
+
+std::optional<JournalMeta> Journal::parse_meta_line(const std::string& line) {
+  std::string type;
+  if (!parse_string(line, "type", &type) || type != "meta") return std::nullopt;
+  JournalMeta m;
+  uint64_t u = 0;
+  if (parse_u64(line, "n", &u)) m.n = static_cast<uint32_t>(u);
+  if (parse_u64(line, "t", &u)) m.t = static_cast<uint32_t>(u);
+  parse_string(line, "protocol", &m.protocol);
+  parse_u64(line, "seed", &m.seed);
+  return m;
+}
+
+Journal::Parsed Journal::parse_jsonl(const std::string& text) {
+  Parsed out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (!out.has_meta) {
+      if (auto meta = parse_meta_line(line)) {
+        out.meta = *meta;
+        out.has_meta = true;
+        continue;
+      }
+    }
+    if (auto ev = parse_event_line(line)) out.events.push_back(std::move(*ev));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JournalScribe
+// ---------------------------------------------------------------------------
+
+void JournalScribe::attach(Obs* obs, uint32_t party) {
+  journal_ = obs ? obs->journal() : nullptr;
+  party_ = party;
+}
+
+void JournalScribe::round_enter(uint64_t round, int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kRoundEnter;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::proposal(uint64_t round, uint32_t proposer,
+                             const std::array<uint8_t, 32>& hash, int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kProposal;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.proposer = proposer;
+  ev.set_hash(hash.data(), hash.size());
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::propose(uint64_t round, const std::array<uint8_t, 32>& hash,
+                            int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kPropose;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.proposer = party_;
+  ev.set_hash(hash.data(), hash.size());
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::notar_share(uint64_t round, uint32_t proposer,
+                                const std::array<uint8_t, 32>& hash, int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kNotarShare;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.proposer = proposer;
+  ev.set_hash(hash.data(), hash.size());
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::notar_agg(uint64_t round, uint32_t proposer,
+                              const std::array<uint8_t, 32>& hash,
+                              std::vector<uint32_t> signers, const char* provenance,
+                              int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kNotarAgg;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.proposer = proposer;
+  ev.set_hash(hash.data(), hash.size());
+  ev.signers = std::move(signers);
+  ev.detail = provenance;
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::final_share(uint64_t round, uint32_t proposer,
+                                const std::array<uint8_t, 32>& hash, int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kFinalShare;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.proposer = proposer;
+  ev.set_hash(hash.data(), hash.size());
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::final_agg(uint64_t round, uint32_t proposer,
+                              const std::array<uint8_t, 32>& hash,
+                              std::vector<uint32_t> signers, const char* provenance,
+                              int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kFinalAgg;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.proposer = proposer;
+  ev.set_hash(hash.data(), hash.size());
+  ev.signers = std::move(signers);
+  ev.detail = provenance;
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::finalized(uint64_t round, const std::array<uint8_t, 32>& hash,
+                              int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kFinalized;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.set_hash(hash.data(), hash.size());
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::commit(uint64_t round, const std::array<uint8_t, 32>& hash,
+                           int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kCommit;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.set_hash(hash.data(), hash.size());
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::beacon_share(uint64_t round, int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kBeaconShare;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::beacon(uint64_t round, const std::vector<uint8_t>& value,
+                           int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kBeacon;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.set_hash(value.data(), value.size());
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::rbc_phase(uint64_t round, uint32_t proposer,
+                              const std::array<uint8_t, 32>& hash, const char* phase,
+                              int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kRbcPhase;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.proposer = proposer;
+  ev.set_hash(hash.data(), hash.size());
+  ev.detail = phase;
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::gossip_deliver(uint64_t round, const std::array<uint8_t, 32>& artifact_id,
+                                   uint64_t bytes, int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kGossipDeliver;
+  ev.ts = now;
+  ev.party = party_;
+  ev.round = round;
+  ev.set_hash(artifact_id.data(), artifact_id.size());
+  ev.value = static_cast<int64_t>(bytes);
+  journal_->append(std::move(ev));
+}
+
+}  // namespace icc::obs

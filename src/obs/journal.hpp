@@ -1,0 +1,193 @@
+// Consensus flight recorder: an append-only, structured event journal.
+//
+// Where the metrics Registry answers "how many / how fast" in aggregate, the
+// journal answers the accountability question behind the paper's safety
+// lemmas: *which* quorum notarized block B in round r, and was it valid?
+// Every honest party records typed protocol events — proposals entering the
+// pool, notarization/finalization shares cast, quorums aggregated (with
+// signer sets), beacon values, RBC phase transitions, gossip deliveries —
+// stamped with virtual time, into one per-cluster journal.
+//
+// Export is deterministic JSONL (one event per line, fixed key order, no
+// floats): the same seed produces a byte-identical file, which makes the
+// journal diffable across runs and lets `tools/icc_audit` mechanically
+// re-check the safety invariants offline (see obs/audit.hpp for the
+// invariant-to-lemma mapping).
+//
+// Recording discipline matches the probes (obs.hpp): parties hold a
+// JournalScribe that is null-attached when the journal is off, so a probe
+// site costs one pointer check; enabling the journal never changes protocol
+// behaviour (scribes only read protocol state).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace icc::obs {
+
+/// One recorded protocol event. Fields that do not apply to an event type
+/// keep their sentinel and are omitted from the JSONL line. `type` and
+/// `detail` point at static strings (the journal_type constants below and
+/// provenance/phase literals); parsed events alias the same constants so
+/// pointer identity works for comparisons. The layout is deliberately flat —
+/// recording an event must not allocate (the F-OBS <5% overhead budget
+/// covers the journal): the hash is raw bytes, hex-encoded only at export.
+struct JournalEvent {
+  static constexpr uint32_t kNoParty = UINT32_MAX;
+  static constexpr int64_t kNoValue = INT64_MIN;
+
+  const char* type = "";
+  const char* detail = nullptr;    ///< provenance / RBC phase; nullptr = n/a
+  int64_t ts = 0;                  ///< virtual µs
+  int64_t value = kNoValue;        ///< generic numeric payload (bytes, ...)
+  uint64_t round = 0;              ///< 0 = not round-scoped
+  uint32_t party = kNoParty;       ///< recording party
+  uint32_t proposer = kNoParty;    ///< proposer of the referenced block
+  uint8_t hash_len = 0;            ///< bytes used in `hash`; 0 = n/a
+  std::array<uint8_t, 32> hash{};  ///< block/artifact hash or beacon value
+  std::vector<uint32_t> signers;   ///< quorum signer set; empty = n/a
+
+  void set_hash(const uint8_t* data, size_t len);
+  /// Lowercase hex of the hash bytes; "" when absent. Export/audit only —
+  /// allocates, never called on the record path.
+  std::string hash_hex() const;
+  bool has_detail() const { return detail != nullptr && detail[0] != '\0'; }
+};
+
+/// Event type tags (the JSONL "type" values). Parsed journals intern
+/// unknown types as-is, so the auditor degrades gracefully on future types.
+namespace journal_type {
+inline constexpr char kRoundEnter[] = "round_enter";     ///< beacon ready, clauses armed
+inline constexpr char kProposal[] = "proposal";          ///< proposal entered the pool
+inline constexpr char kPropose[] = "propose";            ///< this party proposed
+inline constexpr char kNotarShare[] = "notar_share";     ///< notarization share cast
+inline constexpr char kNotarAgg[] = "notar_agg";         ///< notarization quorum held
+inline constexpr char kFinalShare[] = "final_share";     ///< finalization share cast
+inline constexpr char kFinalAgg[] = "final_agg";         ///< finalization quorum held
+inline constexpr char kFinalized[] = "finalized";        ///< block finalized (watermark)
+inline constexpr char kCommit[] = "commit";              ///< block entered output queue
+inline constexpr char kBeaconShare[] = "beacon_share";   ///< beacon share broadcast
+inline constexpr char kBeacon[] = "beacon";              ///< beacon value combined (hash)
+inline constexpr char kRbcPhase[] = "rbc_phase";         ///< ICC2 RBC transition (detail)
+inline constexpr char kGossipDeliver[] = "gossip_deliver";  ///< pulled artifact arrived
+}  // namespace journal_type
+
+/// Run-identifying header, written as the first JSONL line. The auditor
+/// needs n and t to know the quorum size an aggregate must reach.
+struct JournalMeta {
+  uint32_t n = 0;
+  uint32_t t = 0;
+  std::string protocol;  ///< "icc0" | "icc1" | "icc2" | free-form
+  uint64_t seed = 0;
+  uint32_t quorum() const { return n - t; }
+};
+
+/// Append-only event store with a capacity bound (events past the bound are
+/// counted, not stored — the meta line reports the drop count so exports
+/// are never silently partial, mirroring the trace ring).
+class Journal {
+ public:
+  /// capacity 0 disables recording entirely (append() is a no-op).
+  explicit Journal(size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ != 0; }
+  void set_meta(const JournalMeta& meta) { meta_ = meta; }
+  const JournalMeta& meta() const { return meta_; }
+
+  void append(JournalEvent ev);
+
+  const std::vector<JournalEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  uint64_t dropped() const { return dropped_; }
+
+  /// Deterministic JSONL: meta line, then one line per event in append
+  /// order, with seq numbers. Same seed ⇒ byte-identical string.
+  std::string to_jsonl() const;
+  /// Write to_jsonl() to `path`; false on I/O error.
+  bool write_jsonl(const std::string& path) const;
+
+  /// One event as a JSON object (fixed key order, absent fields omitted).
+  static std::string event_json(const JournalEvent& ev, uint64_t seq);
+  /// Meta header line.
+  static std::string meta_json(const JournalMeta& meta, uint64_t event_count,
+                               uint64_t dropped);
+
+  // --- parsing (tools/icc_audit, tests) ---
+  /// Parse one JSONL line into an event; nullopt for the meta line, blank
+  /// lines, or lines without a "type" key.
+  static std::optional<JournalEvent> parse_event_line(const std::string& line);
+  /// Parse a meta line; nullopt if `line` is not a meta record.
+  static std::optional<JournalMeta> parse_meta_line(const std::string& line);
+  /// Parse a whole JSONL document (as produced by to_jsonl, or tampered
+  /// variants of it). Returns events plus the meta if present.
+  struct Parsed {
+    JournalMeta meta;
+    bool has_meta = false;
+    std::vector<JournalEvent> events;
+  };
+  static Parsed parse_jsonl(const std::string& text);
+
+ private:
+  size_t capacity_;
+  JournalMeta meta_;
+  std::vector<JournalEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+/// Lowercase hex of a 32-byte digest (types::Hash without the dependency).
+std::string hash_hex(const std::array<uint8_t, 32>& h);
+/// Lowercase hex of arbitrary bytes (beacon values).
+std::string bytes_hex(const uint8_t* data, size_t len);
+
+class Obs;  // obs.hpp owns the Journal alongside the Registry and Tracer
+
+/// Per-subsystem emitter following the null-probe pattern: attach() wires it
+/// to the cluster journal when (and only when) journaling is on; every
+/// record method returns on its first branch otherwise. The scribe owns the
+/// event-shaping so instrumented call sites stay one-liners.
+class JournalScribe {
+ public:
+  JournalScribe() = default;
+
+  void attach(Obs* obs, uint32_t party);
+  bool on() const { return journal_ != nullptr; }
+
+  void round_enter(uint64_t round, int64_t now);
+  /// A proposal for `round` by `proposer` entered the pool (first sighting).
+  void proposal(uint64_t round, uint32_t proposer, const std::array<uint8_t, 32>& hash,
+                int64_t now);
+  /// This party proposed.
+  void propose(uint64_t round, const std::array<uint8_t, 32>& hash, int64_t now);
+  void notar_share(uint64_t round, uint32_t proposer, const std::array<uint8_t, 32>& hash,
+                   int64_t now);
+  /// A notarization aggregate entered the pool. `signers` is the quorum set
+  /// when this party combined it itself ("combined"); empty when the
+  /// aggregate arrived combined over the wire ("wire" — signer sets are not
+  /// recoverable from oracle-crypto aggregates).
+  void notar_agg(uint64_t round, uint32_t proposer, const std::array<uint8_t, 32>& hash,
+                 std::vector<uint32_t> signers, const char* provenance, int64_t now);
+  void final_share(uint64_t round, uint32_t proposer, const std::array<uint8_t, 32>& hash,
+                   int64_t now);
+  void final_agg(uint64_t round, uint32_t proposer, const std::array<uint8_t, 32>& hash,
+                 std::vector<uint32_t> signers, const char* provenance, int64_t now);
+  void finalized(uint64_t round, const std::array<uint8_t, 32>& hash, int64_t now);
+  void commit(uint64_t round, const std::array<uint8_t, 32>& hash, int64_t now);
+  void beacon_share(uint64_t round, int64_t now);
+  void beacon(uint64_t round, const std::vector<uint8_t>& value, int64_t now);
+  /// ICC2 reliable-broadcast phase transition; `phase` is one of
+  /// "disperse", "echo", "reconstruct", "deliver", "reject".
+  void rbc_phase(uint64_t round, uint32_t proposer, const std::array<uint8_t, 32>& hash,
+                 const char* phase, int64_t now);
+  /// A pulled gossip artifact arrived (advert → stored completed).
+  void gossip_deliver(uint64_t round, const std::array<uint8_t, 32>& artifact_id,
+                      uint64_t bytes, int64_t now);
+
+ private:
+  Journal* journal_ = nullptr;
+  uint32_t party_ = 0;
+};
+
+}  // namespace icc::obs

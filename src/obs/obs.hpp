@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -30,12 +31,19 @@ struct ObsConfig {
   /// (~2 steady_clock reads per payload — opt-in so default telemetry stays
   /// within the <5% overhead budget; see EXPERIMENTS.md F-OBS).
   bool stage_wall_timing = false;
+  /// Structured event journal (flight recorder, obs/journal.hpp). Opt-in on
+  /// top of `enabled` — journaling records per-event history, not
+  /// aggregates, so it has its own switch and capacity bound.
+  bool journal = false;
+  size_t journal_capacity = 1 << 20;  ///< max recorded events (excess counted)
 };
 
 class Obs {
  public:
   explicit Obs(const ObsConfig& config)
-      : config_(config), tracer_(config.enabled ? config.trace_capacity : 0) {}
+      : config_(config),
+        tracer_(config.enabled ? config.trace_capacity : 0),
+        journal_((config.enabled && config.journal) ? config.journal_capacity : 0) {}
 
   bool enabled() const { return config_.enabled; }
   const ObsConfig& config() const { return config_; }
@@ -43,11 +51,16 @@ class Obs {
   const Registry& registry() const { return registry_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  /// Cluster-wide flight recorder; null when journaling is off, so scribes
+  /// (JournalScribe::attach) null-attach exactly like probes do.
+  Journal* journal() { return journal_.enabled() ? &journal_ : nullptr; }
+  const Journal* journal() const { return journal_.enabled() ? &journal_ : nullptr; }
 
  private:
   ObsConfig config_;
   Registry registry_;
   Tracer tracer_;
+  Journal journal_;
 };
 
 // ---------------------------------------------------------------------------

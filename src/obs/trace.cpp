@@ -51,7 +51,10 @@ std::string Tracer::to_json() const {
     }
     os << "}";
   }
-  os << "],\"displayTimeUnit\":\"ms\"}";
+  // Self-describing ring accounting: exported files say whether (and how
+  // much) the ring overwrote without needing the live Tracer.
+  os << "],\"metadata\":{\"recorded\":" << recorded_ << ",\"dropped\":" << dropped()
+     << ",\"capacity\":" << ring_.size() << "},\"displayTimeUnit\":\"ms\"}";
   return os.str();
 }
 

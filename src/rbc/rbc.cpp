@@ -49,6 +49,8 @@ void RbcLayer::broadcast_block(sim::Context& ctx, const types::ProposalMsg& prop
   d.authenticator = proposal.authenticator;
   d.parent_notarization = proposal.parent_notarization;
 
+  journal_.rbc_phase(d.round, d.proposer, d.block_hash, "disperse", ctx.now());
+
   for (uint32_t i = 0; i < n_; ++i) {
     types::RbcFragmentMsg m = make_fragment(d, i, fragments[i], tree);
     if (i == self_) {
@@ -100,6 +102,7 @@ void RbcLayer::on_fragment(sim::Context& ctx, const types::RbcFragmentMsg& msg) 
   // Echo our own fragment to everyone the first time we see it.
   if (msg.fragment_index == self_ && !d.own_echoed) {
     d.own_echoed = true;
+    journal_.rbc_phase(d.round, d.proposer, d.block_hash, "echo", ctx.now());
     ctx.broadcast(types::serialize_message(types::Message{msg}));
   }
 
@@ -126,6 +129,7 @@ void RbcLayer::try_reconstruct(sim::Context& ctx, Dispersal& d) {
   codec::MerkleTree tree(leaves);
   if (!(tree.root() == d.merkle_root)) {
     d.done = true;  // provably malformed; ignore forever
+    journal_.rbc_phase(d.round, d.proposer, d.block_hash, "reject", ctx.now());
     return;
   }
 
@@ -133,12 +137,14 @@ void RbcLayer::try_reconstruct(sim::Context& ctx, Dispersal& d) {
   auto parsed = types::parse_message(*data);
   if (!parsed || !std::holds_alternative<types::ProposalMsg>(*parsed)) {
     d.done = true;
+    journal_.rbc_phase(d.round, d.proposer, d.block_hash, "reject", ctx.now());
     return;
   }
   const auto& proposal = std::get<types::ProposalMsg>(*parsed);
   if (proposal.block.round != d.round || proposal.block.proposer != d.proposer ||
       !(proposal.block.hash() == d.block_hash)) {
     d.done = true;
+    journal_.rbc_phase(d.round, d.proposer, d.block_hash, "reject", ctx.now());
     return;
   }
 
@@ -146,12 +152,14 @@ void RbcLayer::try_reconstruct(sim::Context& ctx, Dispersal& d) {
   // re-encoding and echo it so lagging parties can reconstruct too.
   if (!d.own_echoed) {
     d.own_echoed = true;
+    journal_.rbc_phase(d.round, d.proposer, d.block_hash, "echo", ctx.now());
     types::RbcFragmentMsg mine = make_fragment(d, self_, reencoded[self_], tree);
     ctx.broadcast(types::serialize_message(types::Message{mine}));
   }
 
   d.done = true;
   d.fragments.clear();  // free fragment memory; the proposal is delivered
+  journal_.rbc_phase(d.round, d.proposer, d.block_hash, "reconstruct", ctx.now());
   deliver_(ctx, *data);
 }
 

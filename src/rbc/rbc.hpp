@@ -37,6 +37,7 @@
 
 #include "codec/merkle.hpp"
 #include "codec/reed_solomon.hpp"
+#include "obs/obs.hpp"
 #include "pipeline/verifier.hpp"
 #include "sim/network.hpp"
 #include "types/messages.hpp"
@@ -62,6 +63,10 @@ class RbcLayer {
   /// Drop per-round state below `round`.
   void prune_below(Round round);
 
+  /// Record RBC phase transitions (disperse/echo/reconstruct/reject/deliver)
+  /// into the cluster flight recorder; no-op when journaling is off.
+  void attach_obs(obs::Obs* obs) { journal_.attach(obs, self_); }
+
   size_t k() const { return k_; }
 
  private:
@@ -85,6 +90,7 @@ class RbcLayer {
 
   pipeline::Verifier* verifier_;
   sim::PartyIndex self_;
+  obs::JournalScribe journal_;
   size_t n_, k_;
   std::function<void(sim::Context&, const Bytes&)> deliver_;
   // Keyed by (block_hash, merkle_root) — a corrupt proposer may start

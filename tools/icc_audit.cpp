@@ -1,0 +1,89 @@
+// icc_audit: offline safety auditor for consensus flight-recorder journals.
+//
+// Reads a JSONL journal produced by the obs::Journal (harness::Cluster with
+// ClusterOptions::obs.journal, or examples/icc_observe --journal), replays
+// it through obs::audit_journal, and prints a machine-readable run report.
+//
+//   icc_audit <journal.jsonl> [--report <out.json>] [--csv <out.csv>] [--quiet]
+//
+// Exit status: 0 when every invariant holds, 1 on any violation (the report
+// names the invariant), 2 on usage/I/O errors. See obs/audit.hpp for the
+// invariant-to-lemma mapping.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/audit.hpp"
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: icc_audit <journal.jsonl> [--report <out.json>] "
+               "[--csv <out.csv>] [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal_path;
+  std::string report_path;
+  std::string csv_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (journal_path.empty()) {
+      journal_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (journal_path.empty()) return usage();
+
+  std::ifstream in(journal_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "icc_audit: cannot open %s\n", journal_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  icc::obs::AuditReport report = icc::obs::audit_jsonl(buf.str());
+
+  if (!quiet) std::printf("%s\n", report.to_json().c_str());
+  if (!report_path.empty() && !write_file(report_path, report.to_json() + "\n")) {
+    std::fprintf(stderr, "icc_audit: cannot write %s\n", report_path.c_str());
+    return 2;
+  }
+  if (!csv_path.empty() && !write_file(csv_path, report.rounds_csv())) {
+    std::fprintf(stderr, "icc_audit: cannot write %s\n", csv_path.c_str());
+    return 2;
+  }
+
+  if (!report.ok()) {
+    for (const auto& v : report.violations)
+      std::fprintf(stderr, "icc_audit: VIOLATION %s round %llu: %s\n",
+                   v.invariant.c_str(), static_cast<unsigned long long>(v.round),
+                   v.detail.c_str());
+    return 1;
+  }
+  return 0;
+}
