@@ -12,12 +12,15 @@
 // latency, next to the paper's formulas.
 //
 // `--obs-overhead` runs the F-OBS smoke check instead: the same ICC1
-// workload timed wall-clock with telemetry off and on (7 interleaved
-// off/on pairs, median per-pair ratio); exits 1 if enabling telemetry
+// workload timed in process CPU time with telemetry off and on
+// (back-to-back off/on pairs, median of the within-pair ratios, 9–17
+// pairs until the median stabilizes); exits 1 if enabling telemetry
 // costs >= 5%.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -81,7 +84,13 @@ Measured run_baseline(harness::BaselineKind kind, sim::Duration delta,
   return m;
 }
 
-// F-OBS: wall-clock cost of enabling telemetry on the F-LAT workload.
+// F-OBS: CPU cost of enabling telemetry on the F-LAT workload. Timed with
+// CLOCK_PROCESS_CPUTIME_ID rather than wall-clock: the simulation is
+// single-threaded and telemetry overhead is CPU work, so process CPU time
+// measures exactly the quantity under test while excluding preemption by
+// other tenants of a shared core — on a 1-CPU CI container, wall-clock
+// minima still wander by more than the 5% budget when a neighbour bursts,
+// CPU-time minima do not.
 double timed_run_s(bool obs_enabled) {
   harness::ClusterOptions o;
   o.n = 7;
@@ -101,39 +110,63 @@ double timed_run_s(bool obs_enabled) {
   };
   // 60 s virtual (~3x the F-LAT window): short runs put the per-run noise
   // floor near the effect size, and the gate starts flaking.
-  const auto start = std::chrono::steady_clock::now();
+  timespec start{}, end{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &start);
   harness::Cluster c(o);
   c.run_for(sim::seconds(60));
-  const auto end = std::chrono::steady_clock::now();
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &end);
   if (c.party(0)->committed().empty()) {
     std::fprintf(stderr, "obs-overhead run made no progress\n");
     std::exit(2);
   }
-  return std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(end.tv_sec - start.tv_sec) +
+         static_cast<double>(end.tv_nsec - start.tv_nsec) * 1e-9;
 }
 
 int obs_overhead_main() {
   // Warm-up both variants (allocator, page cache, branch predictors).
   timed_run_s(false);
   timed_run_s(true);
-  // Interleaved off/on runs (drift hits both legs alike), compared by
-  // per-leg *minimum*. Scheduling noise on a shared machine is one-sided —
-  // contention only ever adds time — so the minimum over 7 runs is the best
-  // estimate of each leg's uncontended runtime. Ratio-of-means and median
-  // pair-ratio both inherit the noise (observed ±5-10 % per run on CI-class
-  // machines, the size of the budget itself); min-vs-min does not.
-  std::vector<double> offs, ons;
-  for (int i = 0; i < 7; ++i) {
-    offs.push_back(timed_run_s(false));
-    ons.push_back(timed_run_s(true));
+  // Back-to-back off/on pairs, judged by the *median* of the within-pair
+  // ratios. Residual noise in CPU time (cache pollution from
+  // context-switch bursts on a shared core) arrives in sub-second bursts
+  // that hit whichever leg happens to be running — each pair's ratio is
+  // the true ratio perturbed symmetrically, so the median converges on
+  // the true overhead while averaging the noise down by ~1/sqrt(pairs).
+  // Order statistics do not: a per-leg minimum needs two independently
+  // lucky quiet runs and a quietest-pair needs one lucky 8 s window, and
+  // both were observed to misread by ±10% under sustained neighbour load
+  // when luck was uneven between the legs. The loop is adaptive: at least
+  // 9 pairs, then keep sampling until the running median has moved less
+  // than 0.3 pp over 3 straight pairs, hard-capped at 17.
+  std::vector<double> ratios;
+  auto median = [&ratios] {
+    std::vector<double> s = ratios;
+    std::sort(s.begin(), s.end());
+    const size_t n = s.size();
+    return n % 2 ? s[n / 2] : 0.5 * (s[n / 2 - 1] + s[n / 2]);
+  };
+  int stable = 0;
+  double med = 0, last_off = 0;
+  while (ratios.size() < 9 || (stable < 3 && ratios.size() < 17)) {
+    const double off = last_off = timed_run_s(false);
+    const double on = timed_run_s(true);
+    ratios.push_back(on / off);
+    std::fprintf(stderr, "  pair %2zu: off %.3f on %.3f CPU s (%+.2f %%)\n",
+                 ratios.size(), off, on, (on / off - 1.0) * 100.0);
+    const double prev = med;
+    med = median();
+    if (ratios.size() > 9 && std::abs(med - prev) < 0.003)
+      stable++;
+    else
+      stable = 0;
   }
-  const double off_min = *std::min_element(offs.begin(), offs.end());
-  const double on_min = *std::min_element(ons.begin(), ons.end());
-  const double overhead_pct = (on_min / off_min - 1.0) * 100.0;
+  const double overhead_pct = (med - 1.0) * 100.0;
   std::printf("F-OBS: telemetry overhead on the F-LAT ICC1 workload\n");
-  std::printf("  telemetry off: %.3f s (min of 7)\n", off_min);
-  std::printf("  telemetry on:  %.3f s (min of 7)\n", on_min);
-  std::printf("  overhead:      %+.2f %%  (min-vs-min; budget < 5 %%)\n", overhead_pct);
+  std::printf("  median of %zu off/on pair ratios, ~%.1f CPU s per leg per run\n",
+              ratios.size(), last_off);
+  std::printf("  overhead:      %+.2f %%  (median pair ratio; budget < 5 %%)\n",
+              overhead_pct);
   return overhead_pct < 5.0 ? 0 : 1;
 }
 

@@ -1,12 +1,25 @@
 #!/usr/bin/env python3
 """Compare a freshly generated BENCH_*.json against a committed baseline.
 
-Both files follow schema icc-bench/v1:
+Two input formats are understood, detected per file:
+
+icc-bench/v1 (virtual-time harness benches — machine-independent):
 
     {"schema": "icc-bench/v1", "bench": "...", "config": {...},
      "results": [{"name": "...", "value": 1.234, "unit": "ms"}, ...]}
 
-Results are matched by name. Relative deviation bands (defaults):
+Values are compared directly by name.
+
+google-benchmark JSON (wall-clock kernel benches, e.g. BENCH_kernels.json
+from bench_crypto): the file has a top-level "benchmarks" array. Only the
+"*_mean" aggregates are used (run with --benchmark_repetitions). Because
+wall-clock µs depend on the host, absolute times are NOT compared; instead
+each mean is normalised by the geometric mean of all means and the
+comparison runs on those dimensionless ratios — the *shape* of the profile.
+A kernel that regresses relative to its peers still trips the gate, a
+uniformly slower CI machine does not.
+
+Relative deviation bands (defaults):
   warn  > ±10 %  -> reported, exit 0
   fail  > ±25 %  -> reported, exit 1
 
@@ -21,15 +34,44 @@ Usage:
 
 import argparse
 import json
+import math
 import sys
+
+_TIME_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load(path):
     with open(path) as f:
         doc = json.load(f)
+    if "benchmarks" in doc:  # google-benchmark JSON
+        return doc
     if doc.get("schema") != "icc-bench/v1":
         sys.exit(f"{path}: unsupported schema {doc.get('schema')!r}")
     return doc
+
+
+def gbench_means(doc, path):
+    """{run_name: cpu_time in ns} for the *_mean aggregates."""
+    means = {}
+    for b in doc["benchmarks"]:
+        if b.get("aggregate_name") != "mean":
+            continue
+        unit = _TIME_NS.get(b.get("time_unit", "ns"))
+        if unit is None:
+            sys.exit(f"{path}: {b['name']}: unknown time_unit {b.get('time_unit')!r}")
+        means[b["run_name"]] = b["cpu_time"] * unit
+    if not means:
+        sys.exit(
+            f"{path}: no *_mean aggregates — run with --benchmark_repetitions=3"
+        )
+    return means
+
+
+def normalized(means):
+    """Each mean divided by the geometric mean of all means (shape profile)."""
+    log_gm = sum(math.log(v) for v in means.values()) / len(means)
+    gm = math.exp(log_gm)
+    return {name: v / gm for name, v in means.items()}
 
 
 def main():
@@ -45,17 +87,33 @@ def main():
 
     failures, warnings = [], []
 
-    if base.get("bench") != fresh.get("bench"):
-        failures.append(
-            f"bench mismatch: baseline {base.get('bench')!r} vs fresh {fresh.get('bench')!r}"
-        )
-    if base.get("config") != fresh.get("config"):
-        failures.append(
-            f"config mismatch: baseline {base.get('config')} vs fresh {fresh.get('config')}"
-        )
+    gbench = "benchmarks" in base
+    if gbench != ("benchmarks" in fresh):
+        sys.exit("cannot compare icc-bench/v1 against google-benchmark JSON")
 
-    base_results = {r["name"]: r for r in base.get("results", [])}
-    fresh_results = {r["name"]: r for r in fresh.get("results", [])}
+    if gbench:
+        # Wall-clock kernels: compare the shape of the profile, not µs.
+        base_results = {
+            n: {"name": n, "value": v}
+            for n, v in normalized(gbench_means(base, args.baseline)).items()
+        }
+        fresh_results = {
+            n: {"name": n, "value": v}
+            for n, v in normalized(gbench_means(fresh, args.fresh)).items()
+        }
+        bench_label = "kernels (shape)"
+    else:
+        if base.get("bench") != fresh.get("bench"):
+            failures.append(
+                f"bench mismatch: baseline {base.get('bench')!r} vs fresh {fresh.get('bench')!r}"
+            )
+        if base.get("config") != fresh.get("config"):
+            failures.append(
+                f"config mismatch: baseline {base.get('config')} vs fresh {fresh.get('config')}"
+            )
+        base_results = {r["name"]: r for r in base.get("results", [])}
+        fresh_results = {r["name"]: r for r in fresh.get("results", [])}
+        bench_label = base.get("bench")
 
     for name in sorted(base_results.keys() - fresh_results.keys()):
         failures.append(f"{name}: present in baseline, missing from fresh run")
@@ -70,7 +128,7 @@ def main():
             failures.append(f"{name}: baseline 0, fresh {f}")
             continue
         dev = (f - b) / abs(b) * 100.0
-        line = f"{name}: baseline {b} -> fresh {f} ({dev:+.1f} %)"
+        line = f"{name}: baseline {b:g} -> fresh {f:g} ({dev:+.1f} %)"
         if abs(dev) > args.fail_pct:
             failures.append(line)
         elif abs(dev) > args.warn_pct:
@@ -82,7 +140,7 @@ def main():
         print(f"FAIL {f}")
     n = len(base_results)
     print(
-        f"bench_compare: {base.get('bench')}: {n} baseline results, "
+        f"bench_compare: {bench_label}: {n} baseline results, "
         f"{len(warnings)} warnings (>{args.warn_pct:g} %), "
         f"{len(failures)} failures (>{args.fail_pct:g} %)"
     )

@@ -14,9 +14,21 @@
 //     --journal <path>               flight-recorder JSONL output; also runs the
 //                                    offline safety audit inline (icc_audit
 //                                    semantics) and folds it into the digest
+//     --no-causal                    record a v1 journal without send/recv
+//                                    edges (smaller; critical-path analysis
+//                                    then impossible)
+//     --critpath                     run the causal critical-path analysis
+//                                    inline (icc_critpath semantics) and fold
+//                                    the hop/latency decomposition into the
+//                                    digest; implies --journal (default path
+//                                    journal.jsonl if none given)
 //     --trace-capacity <int>         span ring slots (default 65536)
+//     --journal-capacity <int>       journal event bound (default 1<<22 here;
+//                                    the causal layer records every transfer)
 //     --stage-wall-timing            wall-clock decode/verify histograms
-//     --seed <int>
+//     --seed <int>                   run seed, echoed in the digest so a
+//                                    failing run's journal/trace can be
+//                                    reproduced exactly from the CLI
 //
 // The trace opens in chrome://tracing or https://ui.perfetto.dev: one
 // process per party, with consensus rounds as spans and propose/finalize
@@ -30,6 +42,7 @@
 
 #include "harness/cluster.hpp"
 #include "obs/audit.hpp"
+#include "obs/causal.hpp"
 
 int main(int argc, char** argv) {
   using namespace icc;
@@ -45,9 +58,14 @@ int main(int argc, char** argv) {
   int seconds = 20;
   int delta_ms = 10;
   int crash = 0, equivocate = 0;
+  // The causal layer records every wire transfer, so give the journal room
+  // for long runs by default (excess events are counted, never silently
+  // dropped — the meta line carries the drop count).
+  o.obs.journal_capacity = size_t{1} << 22;
   const char* trace_path = "trace.json";
   const char* metrics_path = "metrics.json";
   const char* journal_path = nullptr;
+  bool critpath = false;
 
   for (int i = 1; i < argc; ++i) {
     auto is = [&](const char* flag) { return std::strcmp(argv[i], flag) == 0; };
@@ -80,8 +98,15 @@ int main(int argc, char** argv) {
       journal_path = next();
       o.obs.journal = true;
     }
+    else if (is("--no-causal")) o.obs.journal_causal = false;
+    else if (is("--critpath")) {
+      critpath = true;
+      o.obs.journal = true;
+    }
     else if (is("--trace-capacity"))
       o.obs.trace_capacity = static_cast<size_t>(atoi(next()));
+    else if (is("--journal-capacity"))
+      o.obs.journal_capacity = static_cast<size_t>(atoll(next()));
     else if (is("--stage-wall-timing")) o.obs.stage_wall_timing = true;
     else if (is("--seed")) o.seed = static_cast<uint64_t>(atoll(next()));
     else {
@@ -117,12 +142,15 @@ int main(int argc, char** argv) {
     };
   }
 
+  if (critpath && journal_path == nullptr) journal_path = "journal.jsonl";
+
   harness::Cluster cluster(o);
   const char* proto_name = o.protocol == harness::Protocol::kIcc0   ? "ICC0"
                            : o.protocol == harness::Protocol::kIcc1 ? "ICC1"
                                                                     : "ICC2";
-  std::printf("icc_observe: %s, n=%zu t=%zu, %d s virtual, telemetry on\n", proto_name,
-              o.n, o.t, seconds);
+  std::printf("icc_observe: %s, n=%zu t=%zu, %d s virtual, seed %llu, telemetry on\n",
+              proto_name, o.n, o.t, seconds,
+              static_cast<unsigned long long>(o.seed));
   cluster.run_for(sim::seconds(seconds));
 
   // --- console digest of the key metrics ---
@@ -152,6 +180,17 @@ int main(int argc, char** argv) {
   std::printf("trace events:        %lu recorded, %lu dropped\n",
               static_cast<unsigned long>(cluster.obs()->tracer().recorded()),
               static_cast<unsigned long>(cluster.obs()->tracer().dropped()));
+  if (cluster.obs()->tracer().dropped() > 0) {
+    std::fprintf(stderr,
+                 "\n*** WARNING: the span tracer dropped %lu events — the trace "
+                 "is TRUNCATED and will look complete in the viewer.\n"
+                 "*** Re-run with --trace-capacity > %lu (current %lu) or a "
+                 "shorter --seconds to capture everything.\n\n",
+                 static_cast<unsigned long>(cluster.obs()->tracer().dropped()),
+                 static_cast<unsigned long>(cluster.obs()->tracer().recorded() +
+                                            cluster.obs()->tracer().dropped()),
+                 static_cast<unsigned long>(o.obs.trace_capacity));
+  }
 
   // --- artifacts ---
   std::ofstream mf(metrics_path);
@@ -187,9 +226,55 @@ int main(int argc, char** argv) {
     for (const auto& v : audit.violations)
       std::fprintf(stderr, "audit VIOLATION %s round %lu: %s\n", v.invariant.c_str(),
                    static_cast<unsigned long>(v.round), v.detail.c_str());
+    if (j->dropped() > 0)
+      std::fprintf(stderr,
+                   "*** WARNING: the journal dropped %lu events — audit and "
+                   "critical-path results cover a TRUNCATED run. Re-run with "
+                   "--journal-capacity > %lu.\n",
+                   static_cast<unsigned long>(j->dropped()),
+                   static_cast<unsigned long>(j->size() + j->dropped()));
+  }
+
+  // --- inline causal critical-path summary (icc_critpath semantics) ---
+  bool critpath_error = false;
+  if (critpath) {
+    const obs::Journal* j = cluster.journal();
+    obs::Journal::Parsed parsed;
+    parsed.meta = j->meta();
+    parsed.meta.dropped = j->dropped();
+    parsed.has_meta = true;
+    parsed.events = j->events();
+    obs::CausalAnalyzer analyzer(std::move(parsed));
+    const obs::CritPathReport& cp = analyzer.report();
+    if (!cp.error.empty()) {
+      std::fprintf(stderr, "critpath REJECTED: %s\n", cp.error.c_str());
+      critpath_error = true;
+    } else {
+      std::printf("critical path:       %lu/%lu rounds complete, hops {",
+                  static_cast<unsigned long>(cp.rounds_complete),
+                  static_cast<unsigned long>(cp.rounds_analyzed));
+      bool first = true;
+      for (const auto& [hops, count] : cp.hop_histogram) {
+        std::printf("%s%d: %lu", first ? "" : ", ", hops,
+                    static_cast<unsigned long>(count));
+        first = false;
+      }
+      std::printf("}\n");
+      std::printf("commit latency:      p50 %.1f ms = network %.0f%% + queue %.0f%% "
+                  "+ crypto %.0f%%\n",
+                  static_cast<double>(cp.total.p50) / 1000.0, cp.network_share * 100.0,
+                  cp.queue_share * 100.0, cp.crypto_share * 100.0);
+      if (!cp.stragglers.empty()) {
+        const obs::EdgeStat& s = cp.stragglers.front();
+        std::printf("slowest link:        %u -> %u (%lu hops on critical paths, "
+                    "max %.1f ms)\n",
+                    s.from, s.to, static_cast<unsigned long>(s.count),
+                    static_cast<double>(s.max_us) / 1000.0);
+      }
+    }
   }
 
   auto safety = cluster.check_safety();
   std::printf("safety:              %s\n", safety ? safety->c_str() : "OK");
-  return (safety || audit_violations > 0) ? 1 : 0;
+  return (safety || audit_violations > 0 || critpath_error) ? 1 : 0;
 }

@@ -37,6 +37,9 @@ void GossipLayer::on_advert(sim::Context& ctx, sim::PartyIndex from,
   probe_.on_advert(static_cast<int64_t>(pending_.size()));
   if (p.request_scheduled) return;
   p.request_scheduled = true;
+  // Journaled at the moment the pull timer is armed: the causal analyzer
+  // attributes the advert → request gap to gossip jitter, not the network.
+  journal_.gossip_advert(msg.round, msg.artifact_id, from, ctx.now());
 
   // Jittered pull: by the time the request fires, more advertisers may be
   // known, spreading load off the original proposer.
@@ -66,6 +69,7 @@ void GossipLayer::try_request(sim::Context ctx, Hash id) {
   sim::PartyIndex target = p.advertisers[p.next_advertiser % p.advertisers.size()];
   p.next_advertiser++;
 
+  journal_.gossip_request(p.round, id, target, p.attempts, ctx.now());
   ctx.send(target, types::serialize_message(types::Message{types::RequestMsg{id}}));
 
   // Retry against another advertiser if the artifact does not arrive.

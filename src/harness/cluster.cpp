@@ -32,8 +32,11 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
       const char* proto = options.protocol == Protocol::kIcc0   ? "icc0"
                           : options.protocol == Protocol::kIcc1 ? "icc1"
                                                                 : "icc2";
-      j->set_meta({static_cast<uint32_t>(options.n), static_cast<uint32_t>(options.t),
-                   proto, options.seed});
+      obs::JournalMeta meta{static_cast<uint32_t>(options.n),
+                            static_cast<uint32_t>(options.t), proto, options.seed};
+      meta.schema = options.obs.journal_causal ? obs::JournalMeta::kSchemaV2
+                                               : obs::JournalMeta::kSchemaV1;
+      j->set_meta(meta);
     }
   }
 
@@ -278,7 +281,13 @@ bool Cluster::dump_trace(const std::string& path) const {
   return obs_ && obs_->tracer().write_json(path);
 }
 
-obs::Journal* Cluster::journal() const { return obs_ ? obs_->journal() : nullptr; }
+obs::Journal* Cluster::journal() const {
+  if (!obs_) return nullptr;
+  // The causal scribe buffers compact records during the run; fold them into
+  // the journal before anyone reads it (to_jsonl, audits, --critpath).
+  sim_->network().flush_causal();
+  return obs_->journal();
+}
 
 std::string Cluster::journal_jsonl() const {
   const obs::Journal* j = journal();

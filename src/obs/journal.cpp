@@ -1,5 +1,6 @@
 #include "obs/journal.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -21,10 +22,11 @@ constexpr char kHexDigits[] = "0123456789abcdef";
 const char* intern_string(const std::string& s) {
   using namespace journal_type;
   static constexpr const char* kKnown[] = {
-      kRoundEnter, kProposal,   kPropose,       kNotarShare, kNotarAgg,
-      kFinalShare, kFinalAgg,   kFinalized,     kCommit,     kBeaconShare,
-      kBeacon,     kRbcPhase,   kGossipDeliver, "combined",  "wire",
-      "disperse",  "echo",      "reconstruct",  "deliver",   "reject"};
+      kRoundEnter, kProposal,   kPropose,       kNotarShare,   kNotarAgg,
+      kFinalShare, kFinalAgg,   kFinalized,     kCommit,       kBeaconShare,
+      kBeacon,     kRbcPhase,   kGossipDeliver, kSend,         kRecv,
+      kGossipAdvert, kGossipRequest,            "combined",    "wire",
+      "disperse",  "echo",      "reconstruct",  "deliver",     "reject"};
   for (const char* k : kKnown)
     if (s == k) return k;
   static std::vector<std::unique_ptr<std::string>>* pool =
@@ -123,17 +125,34 @@ std::string bytes_hex(const uint8_t* data, size_t len) {
 
 void Journal::append(JournalEvent ev) {
   if (capacity_ == 0) return;
-  if (events_.size() >= capacity_) {
+  if (events_.size() + external_ >= capacity_) {
     dropped_++;
     return;
   }
   events_.push_back(std::move(ev));
 }
 
+void Journal::merge_external(std::vector<std::pair<uint64_t, JournalEvent>>&& recs) {
+  if (recs.empty()) return;
+  external_ -= std::min<uint64_t>(external_, recs.size());
+  std::vector<JournalEvent> merged;
+  merged.reserve(events_.size() + recs.size());
+  size_t r = 0;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    while (r < recs.size() && recs[r].first <= i)
+      merged.push_back(std::move(recs[r++].second));
+    merged.push_back(std::move(events_[i]));
+  }
+  while (r < recs.size()) merged.push_back(std::move(recs[r++].second));
+  events_ = std::move(merged);
+}
+
 std::string Journal::meta_json(const JournalMeta& meta, uint64_t event_count,
                                uint64_t dropped) {
   std::ostringstream os;
-  os << "{\"type\":\"meta\",\"schema\":\"icc-journal/v1\",\"n\":" << meta.n
+  os << "{\"type\":\"meta\",\"schema\":\""
+     << json_escape(meta.schema.empty() ? JournalMeta::kSchemaV1 : meta.schema)
+     << "\",\"n\":" << meta.n
      << ",\"t\":" << meta.t << ",\"quorum\":" << meta.quorum() << ",\"protocol\":\""
      << json_escape(meta.protocol) << "\",\"seed\":" << meta.seed
      << ",\"events\":" << event_count << ",\"dropped\":" << dropped << "}";
@@ -145,8 +164,10 @@ std::string Journal::event_json(const JournalEvent& ev, uint64_t seq) {
   os << "{\"seq\":" << seq << ",\"type\":\"" << json_escape(ev.type ? ev.type : "")
      << "\",\"ts\":" << ev.ts;
   if (ev.party != JournalEvent::kNoParty) os << ",\"party\":" << ev.party;
+  if (ev.peer != JournalEvent::kNoParty) os << ",\"peer\":" << ev.peer;
   if (ev.round != 0) os << ",\"round\":" << ev.round;
   if (ev.proposer != JournalEvent::kNoParty) os << ",\"proposer\":" << ev.proposer;
+  if (ev.edge != 0) os << ",\"edge\":" << ev.edge;
   if (ev.hash_len != 0) {
     os << ",\"hash\":\"";
     for (uint8_t i = 0; i < ev.hash_len; ++i)
@@ -191,8 +212,10 @@ std::optional<JournalEvent> Journal::parse_event_line(const std::string& line) {
   parse_i64(line, "ts", &ev.ts);
   uint64_t u = 0;
   if (parse_u64(line, "party", &u)) ev.party = static_cast<uint32_t>(u);
+  if (parse_u64(line, "peer", &u)) ev.peer = static_cast<uint32_t>(u);
   parse_u64(line, "round", &ev.round);
   if (parse_u64(line, "proposer", &u)) ev.proposer = static_cast<uint32_t>(u);
+  parse_u64(line, "edge", &ev.edge);
   std::string hex;
   if (parse_string(line, "hash", &hex)) {
     for (size_t i = 0; i + 1 < hex.size() && ev.hash_len < ev.hash.size(); i += 2) {
@@ -218,6 +241,9 @@ std::optional<JournalMeta> Journal::parse_meta_line(const std::string& line) {
   if (parse_u64(line, "t", &u)) m.t = static_cast<uint32_t>(u);
   parse_string(line, "protocol", &m.protocol);
   parse_u64(line, "seed", &m.seed);
+  std::string schema;
+  if (parse_string(line, "schema", &schema) && !schema.empty()) m.schema = schema;
+  parse_u64(line, "dropped", &m.dropped);
   return m;
 }
 
@@ -418,6 +444,33 @@ void JournalScribe::gossip_deliver(uint64_t round, const std::array<uint8_t, 32>
   ev.round = round;
   ev.set_hash(artifact_id.data(), artifact_id.size());
   ev.value = static_cast<int64_t>(bytes);
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::gossip_advert(uint64_t round, const std::array<uint8_t, 32>& artifact_id,
+                                  uint32_t advertiser, int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kGossipAdvert;
+  ev.ts = now;
+  ev.party = party_;
+  ev.peer = advertiser;
+  ev.round = round;
+  ev.set_hash(artifact_id.data(), artifact_id.size());
+  journal_->append(std::move(ev));
+}
+
+void JournalScribe::gossip_request(uint64_t round, const std::array<uint8_t, 32>& artifact_id,
+                                   uint32_t target, int64_t attempt, int64_t now) {
+  if (!journal_) return;
+  JournalEvent ev;
+  ev.type = journal_type::kGossipRequest;
+  ev.ts = now;
+  ev.party = party_;
+  ev.peer = target;
+  ev.round = round;
+  ev.set_hash(artifact_id.data(), artifact_id.size());
+  ev.value = attempt;
   journal_->append(std::move(ev));
 }
 

@@ -20,10 +20,12 @@
 // behaviour (scribes only read protocol state).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace icc::obs {
@@ -44,7 +46,9 @@ struct JournalEvent {
   int64_t ts = 0;                  ///< virtual µs
   int64_t value = kNoValue;        ///< generic numeric payload (bytes, ...)
   uint64_t round = 0;              ///< 0 = not round-scoped
+  uint64_t edge = 0;               ///< causal edge seq (send/recv); 0 = n/a
   uint32_t party = kNoParty;       ///< recording party
+  uint32_t peer = kNoParty;        ///< other endpoint of a send/recv edge
   uint32_t proposer = kNoParty;    ///< proposer of the referenced block
   uint8_t hash_len = 0;            ///< bytes used in `hash`; 0 = n/a
   std::array<uint8_t, 32> hash{};  ///< block/artifact hash or beacon value
@@ -73,6 +77,13 @@ inline constexpr char kBeaconShare[] = "beacon_share";   ///< beacon share broad
 inline constexpr char kBeacon[] = "beacon";              ///< beacon value combined (hash)
 inline constexpr char kRbcPhase[] = "rbc_phase";         ///< ICC2 RBC transition (detail)
 inline constexpr char kGossipDeliver[] = "gossip_deliver";  ///< pulled artifact arrived
+// Causal layer (schema icc-journal/v2, obs/causal.hpp). A send/recv pair
+// shares (party↔peer, hash, edge) and carries the virtual send/arrival time,
+// so each network hop's exact delay is recoverable from the journal alone.
+inline constexpr char kSend[] = "send";                  ///< wire message left `party`
+inline constexpr char kRecv[] = "recv";                  ///< wire message reached `party`
+inline constexpr char kGossipAdvert[] = "gossip_advert";    ///< advert seen, pull queued
+inline constexpr char kGossipRequest[] = "gossip_request";  ///< pull request dispatched
 }  // namespace journal_type
 
 /// Run-identifying header, written as the first JSONL line. The auditor
@@ -82,7 +93,18 @@ struct JournalMeta {
   uint32_t t = 0;
   std::string protocol;  ///< "icc0" | "icc1" | "icc2" | free-form
   uint64_t seed = 0;
+  /// "icc-journal/v1" (protocol events only) or "icc-journal/v2" (adds the
+  /// causal send/recv layer). v1 journals still parse and audit; only the
+  /// critical-path analyzer requires v2.
+  std::string schema = kSchemaV1;
+  /// Export-side drop count, filled when *parsing* a meta line (the writer
+  /// passes the live count to meta_json instead). A nonzero value tells
+  /// offline analyzers the journal is truncated.
+  uint64_t dropped = 0;
   uint32_t quorum() const { return n - t; }
+
+  static constexpr const char* kSchemaV1 = "icc-journal/v1";
+  static constexpr const char* kSchemaV2 = "icc-journal/v2";
 };
 
 /// Append-only event store with a capacity bound (events past the bound are
@@ -91,9 +113,32 @@ struct JournalMeta {
 class Journal {
  public:
   /// capacity 0 disables recording entirely (append() is a no-op).
-  explicit Journal(size_t capacity) : capacity_(capacity) {}
+  explicit Journal(size_t capacity) : capacity_(capacity) {
+    // Reserve up front (clamped; pages commit only when touched) so the
+    // recording path never pays realloc-doubling copies mid-run.
+    events_.reserve(std::min<size_t>(capacity_, size_t{1} << 22));
+  }
 
   bool enabled() const { return capacity_ != 0; }
+  size_t capacity() const { return capacity_; }
+  /// Reserve a capacity slot for an event buffered outside the journal (the
+  /// causal scribe keeps compact POD records and materializes them only at
+  /// export, so the per-wire-message hot path never builds a JournalEvent).
+  /// Counts against capacity immediately — drop accounting is identical to
+  /// appending in place. False (drop counted) when full.
+  bool reserve_external() {
+    if (events_.size() + external_ >= capacity_) {
+      if (capacity_ != 0) dropped_++;
+      return false;
+    }
+    external_++;
+    return true;
+  }
+  /// Splice reserved external events into append order. `recs[i].first` is
+  /// size() at the time the slot was reserved: the event sorts before the
+  /// stored event at that index, and ties keep their buffer order — the
+  /// merged stream is byte-identical to having appended in place.
+  void merge_external(std::vector<std::pair<uint64_t, JournalEvent>>&& recs);
   void set_meta(const JournalMeta& meta) { meta_ = meta; }
   const JournalMeta& meta() const { return meta_; }
 
@@ -135,6 +180,7 @@ class Journal {
   JournalMeta meta_;
   std::vector<JournalEvent> events_;
   uint64_t dropped_ = 0;
+  uint64_t external_ = 0;  ///< slots reserved but not yet merged
 };
 
 /// Lowercase hex of a 32-byte digest (types::Hash without the dependency).
@@ -184,6 +230,14 @@ class JournalScribe {
   /// A pulled gossip artifact arrived (advert → stored completed).
   void gossip_deliver(uint64_t round, const std::array<uint8_t, 32>& artifact_id,
                       uint64_t bytes, int64_t now);
+  /// First advert for a not-yet-held artifact: the jittered pull timer was
+  /// armed. Lets the causal analyzer attribute advert → request gaps to the
+  /// gossip jitter queue rather than to the network.
+  void gossip_advert(uint64_t round, const std::array<uint8_t, 32>& artifact_id,
+                     uint32_t advertiser, int64_t now);
+  /// A pull request was dispatched to `target` (value = attempt number).
+  void gossip_request(uint64_t round, const std::array<uint8_t, 32>& artifact_id,
+                      uint32_t target, int64_t attempt, int64_t now);
 
  private:
   Journal* journal_ = nullptr;

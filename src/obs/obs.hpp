@@ -36,6 +36,11 @@ struct ObsConfig {
   /// aggregates, so it has its own switch and capacity bound.
   bool journal = false;
   size_t journal_capacity = 1 << 20;  ///< max recorded events (excess counted)
+  /// Causal layer on top of the journal: every wire transfer records a
+  /// send/recv event pair with a deterministic edge id (schema
+  /// icc-journal/v2; obs/causal.hpp). On by default when the journal is on;
+  /// switch off to produce byte-light v1 journals.
+  bool journal_causal = true;
 };
 
 class Obs {

@@ -152,8 +152,18 @@ void Network::deliver(PartyIndex from, PartyIndex to,
   Duration d = model_->delay(from, to, now, wire, net_rng_);
   Time arrive = std::max(now + d, synchrony_.release_time(now));
   probe_.on_send(wire, arrive - now);
-  engine_->schedule_at(arrive, [this, from, to, payload] {
+  // Causal edge: the id is computed once at send time and replayed at
+  // delivery, so the journal's send/recv pair agrees byte-for-byte. The
+  // recv is recorded *before* the process runs — consuming protocol events
+  // follow their gating recv in journal order, which is what the offline
+  // critical-path walk (obs/causal.hpp) relies on. Self-deliveries never
+  // reach deliver(), so no zero-length edges are recorded.
+  const bool causal = causal_.on();
+  obs::CausalEdge edge;
+  if (causal) edge = causal_.on_send(from, to, payload, now);
+  engine_->schedule_at(arrive, [this, from, to, payload, causal, edge] {
     probe_.on_deliver();
+    if (causal) causal_.on_recv(from, to, edge, engine_->now());
     processes_[to]->receive(contexts_[to], from, *payload);
   });
 }

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/causal.hpp"
 #include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "support/bytes.hpp"
@@ -223,8 +224,16 @@ class Network {
   void set_frame_overhead(size_t bytes) { frame_overhead_ = bytes; }
 
   /// Attach telemetry (message/byte counters, in-flight gauge, delay
-  /// histogram). Null detaches.
-  void attach_obs(obs::Obs* obs) { probe_.attach(obs); }
+  /// histogram) and — when the journal's causal layer is on — the send/recv
+  /// edge recorder. Null detaches.
+  void attach_obs(obs::Obs* obs) {
+    probe_.attach(obs);
+    causal_.attach(obs, processes_.size());
+  }
+
+  /// Materialize the causal scribe's buffered send/recv records into the
+  /// journal. The harness calls this before any journal read; idempotent.
+  void flush_causal() { causal_.flush(); }
 
  private:
   void deliver(PartyIndex from, PartyIndex to, const std::shared_ptr<const Bytes>& payload);
@@ -239,6 +248,7 @@ class Network {
   Xoshiro256 net_rng_;
   size_t frame_overhead_ = 64;
   obs::NetProbe probe_;
+  obs::CausalScribe causal_;
 };
 
 }  // namespace icc::sim
