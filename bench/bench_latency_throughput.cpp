@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <cstring>
 #include <fstream>
@@ -38,6 +39,11 @@ struct Measured {
   double latency_ms;  // avg propose -> all honest committed
 };
 
+// --threads N (0 = ICC_THREADS/default): worker pool for every simulated
+// cluster in this process. All reported values derive from virtual time, so
+// the thread count may change wall-clock but never a number in the output.
+size_t g_threads = 0;
+
 Measured run_icc(harness::Protocol proto, sim::Duration delta, sim::Duration delta_bnd) {
   harness::ClusterOptions o;
   o.n = 7;
@@ -48,6 +54,7 @@ Measured run_icc(harness::Protocol proto, sim::Duration delta, sim::Duration del
   o.payload_size = 256;
   o.prune_lag = 8;
   o.record_payloads = false;
+  o.threads = g_threads;
   o.delay_model = [delta](size_t, uint64_t) {
     return std::make_unique<sim::FixedDelay>(delta);
   };
@@ -196,13 +203,107 @@ bool write_bench_json(const char* path, const char* bench, const std::string& co
   return static_cast<bool>(out);
 }
 
+// F-PAR: multi-core scaling of the deterministic parallel runtime
+// (DESIGN.md §6). One n = 32 real-crypto ICC0 workload, repeated at 1/2/4/8
+// worker threads. Wall-clock per run is printed for the scaling curve but
+// never gated (it depends on the host's core count — a 1-core CI container
+// legitimately shows ~1x). What IS gated, via BENCH_parallel.json: every
+// virtual-time observable must be identical at every thread count —
+// parallelism that changed any of them would be a determinism bug, the
+// whole point of the runtime.
+int parallel_main(const char* json_path) {
+  const int sim_seconds = 2;
+  std::printf("F-PAR: deterministic parallel runtime scaling "
+              "(ICC0, n = 32, t = 10, real Ed25519/DVRF, %d s sim)\n", sim_seconds);
+  std::printf("%-8s | %-12s | %-10s | %-14s | %-14s | %-10s\n", "threads", "wall-clock",
+              "speedup", "blocks (min)", "provider vfy", "messages");
+  std::printf("---------+--------------+------------+----------------+----------------+"
+              "-----------\n");
+  std::vector<BenchResult> results;
+  double base_wall = 0;
+  bool identical = true;
+  uint64_t ref_blocks = 0, ref_vfy = 0, ref_msgs = 0;
+  double ref_latency = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    harness::ClusterOptions o;
+    o.n = 32;
+    o.t = 10;
+    o.seed = 77;
+    o.crypto = harness::CryptoKind::kReal;
+    o.delta_bnd = sim::msec(300);
+    o.payload_size = 256;
+    o.record_payloads = false;
+    o.prune_lag = 8;
+    o.threads = threads;
+    o.delay_model = [](size_t, uint64_t) {
+      return std::make_unique<sim::FixedDelay>(sim::msec(10));
+    };
+    timespec t0{}, t1{};
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+    harness::Cluster c(o);
+    c.run_for(sim::seconds(sim_seconds));
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+    const double wall = static_cast<double>(t1.tv_sec - t0.tv_sec) +
+                        static_cast<double>(t1.tv_nsec - t0.tv_nsec) * 1e-9;
+    if (threads == 1) base_wall = wall;
+    const uint64_t blocks = c.min_honest_committed();
+    const uint64_t vfy = c.verifier_stats().provider_verifications;
+    const uint64_t msgs = c.sim().network().metrics().total_messages;
+    const double latency = c.avg_latency_ms();
+    std::printf("%5zu    | %9.2f s  | %7.2fx   | %14llu | %14llu | %10llu\n", threads,
+                wall, wall > 0 ? base_wall / wall : 0, (unsigned long long)blocks,
+                (unsigned long long)vfy, (unsigned long long)msgs);
+    if (threads == 1) {
+      ref_blocks = blocks;
+      ref_vfy = vfy;
+      ref_msgs = msgs;
+      ref_latency = latency;
+    } else if (blocks != ref_blocks || vfy != ref_vfy || msgs != ref_msgs ||
+               latency != ref_latency) {
+      identical = false;
+    }
+    std::string prefix = "threads" + std::to_string(threads);
+    results.push_back({prefix + "/blocks", static_cast<double>(blocks), "count"});
+    results.push_back({prefix + "/provider_verifications", static_cast<double>(vfy),
+                       "count"});
+    results.push_back({prefix + "/total_messages", static_cast<double>(msgs), "count"});
+    results.push_back({prefix + "/latency_ms", latency, "ms"});
+  }
+  std::printf("\nwall-clock scales with available cores (informational only); all\n"
+              "virtual-time columns must agree across rows — they are the CI gate.\n");
+  if (!identical) {
+    std::fprintf(stderr, "F-PAR: DETERMINISM VIOLATION: virtual-time observables "
+                         "differ across thread counts\n");
+    return 1;
+  }
+  if (!write_bench_json(json_path, "parallel_scaling",
+                        "\"n\":32,\"t\":10,\"seed\":77,\"crypto\":\"real\","
+                        "\"window_s\":2,\"threads\":[1,2,4,8]",
+                        results)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--obs-overhead") == 0) return obs_overhead_main();
-  const char* json_path = "BENCH_latency.json";
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  bool parallel = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--parallel") == 0) {
+      parallel = true;
+    }
+  }
+  if (parallel) return parallel_main(json_path != nullptr ? json_path : "BENCH_parallel.json");
+  if (json_path == nullptr) json_path = "BENCH_latency.json";
   const sim::Duration delta_bnd = sim::msec(600);
   std::printf("F-LAT: reciprocal throughput / latency vs delta "
               "(n = 7, honest, Delta_bnd = 600 ms)\n");

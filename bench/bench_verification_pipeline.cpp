@@ -13,11 +13,18 @@
 // Ed25519/DVRF provider at n = 16.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "harness/cluster.hpp"
 
 namespace {
 using namespace icc;
+
+// --threads N (0 = ICC_THREADS/default). Batch share verifications are
+// sliced across the pool; every count below comes from virtual time, so
+// only the wall-clock rows may move with N.
+size_t g_threads = 0;
 
 struct RunResult {
   size_t committed = 0;
@@ -36,6 +43,7 @@ RunResult run(bool stages_on, sim::Duration sim_time) {
   o.payload_size = 512;
   o.record_payloads = false;
   o.prune_lag = 8;
+  o.threads = g_threads;
   if (!stages_on) {
     o.pipeline.dedup = false;
     o.pipeline.cache = false;
@@ -62,8 +70,15 @@ RunResult run(bool stages_on, sim::Duration sim_time) {
 
 int main(int argc, char** argv) {
   // Real crypto is slow; keep the simulated window short but long enough
-  // for a stable per-block cost. Override via argv[1] (seconds).
-  int sim_seconds = argc > 1 ? std::atoi(argv[1]) : 2;
+  // for a stable per-block cost. Override via the first positional
+  // argument (seconds); `--threads N` sizes the worker pool.
+  int sim_seconds = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      g_threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    else
+      sim_seconds = std::atoi(argv[i]);
+  }
   std::printf("Verification pipeline (ICC0, n = 16, t = 5, real Ed25519/DVRF, %d s sim)\n"
               "=========================================================================\n\n",
               sim_seconds);

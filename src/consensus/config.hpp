@@ -8,6 +8,7 @@
 #include "obs/obs.hpp"
 #include "pipeline/verifier.hpp"
 #include "sim/time.hpp"
+#include "support/executor.hpp"
 #include "types/block.hpp"
 
 namespace icc::consensus {
@@ -79,6 +80,9 @@ struct PartyConfig {
   /// Telemetry sink (metrics registry + span tracer). Null disables every
   /// probe — the party then pays one pointer check per probe site.
   obs::Obs* obs = nullptr;
+  /// Worker pool shared by the run (DESIGN.md §6). When set (and >1 thread)
+  /// the party's Verifier slices batch verifications across it. Not owned.
+  support::Executor* executor = nullptr;
   /// Tags rounds by the actual corruption status of the rank-0 leader
   /// (only the harness knows the corrupt slots). Optional; without it the
   /// leader-honesty metrics fall back to the party-observable proxy

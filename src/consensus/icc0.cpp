@@ -34,6 +34,7 @@ Icc0Party::Icc0Party(PartyIndex self, const PartyConfig& config)
   journal_.attach(config.obs, self);
   pipeline_.attach_obs(config.obs);
   verifier_.attach_obs(config.obs);
+  verifier_.attach_executor(config.executor);
 }
 
 void Icc0Party::start(sim::Context& ctx) {

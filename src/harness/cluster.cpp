@@ -7,6 +7,7 @@
 
 #include "consensus/icc1.hpp"
 #include "consensus/icc2.hpp"
+#include "support/defer.hpp"
 
 namespace icc::harness {
 
@@ -24,6 +25,16 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
                    ? options.delay_model(options.n, options.seed)
                    : std::make_unique<sim::FixedDelay>(sim::msec(10));
   sim_ = std::make_unique<sim::Simulation>(options.n, std::move(model), options.seed);
+
+  // Worker pool for party-parallel stepping and sliced batch verification.
+  // A 1-thread run keeps the classic sequential engine path (no pool at all)
+  // — results are bit-identical either way (DESIGN.md §6).
+  size_t threads =
+      options.threads != 0 ? options.threads : support::Executor::default_threads();
+  if (threads > 1) {
+    executor_ = std::make_unique<support::Executor>(threads);
+    sim_->engine().set_executor(executor_.get());
+  }
 
   if (options.obs.enabled) {
     obs_ = std::make_unique<obs::Obs>(options.obs);
@@ -52,11 +63,22 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   pc.lag_threshold = options.lag_threshold;
   pc.adaptive = options.adaptive;
   pc.pipeline = options.pipeline;
+  pc.executor = executor_.get();
+  // Both callbacks mutate harness-shared state (pending_latency_, latencies_)
+  // and so are deferred to the canonical replay point when fired from inside
+  // a parallel engine batch (support/defer.hpp).
   pc.on_commit = [this](sim::PartyIndex self, const CommittedBlock& b) {
+    if (support::DeferQueue::maybe_defer([this, self, b] { record_commit(self, b); }))
+      return;
     record_commit(self, b);
   };
   pc.on_propose = [this](sim::PartyIndex self, Round round, const types::Hash& hash,
-                         sim::Time now) { record_propose(self, round, hash, now); };
+                         sim::Time now) {
+    if (support::DeferQueue::maybe_defer(
+            [this, self, round, hash, now] { record_propose(self, round, hash, now); }))
+      return;
+    record_propose(self, round, hash, now);
+  };
   // Only the harness knows which slots are corrupt; probes use this oracle
   // to tag rounds by actual leader honesty (honest_ is final before start).
   pc.party_honesty = [this](consensus::PartyIndex p) {

@@ -17,6 +17,7 @@
 #include "gossip/gossip.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulation.hpp"
+#include "support/executor.hpp"
 
 namespace icc::harness {
 
@@ -43,6 +44,10 @@ struct ClusterOptions {
   bool record_payloads = true;
   Round max_round = 0;
   Round prune_lag = 16;
+  /// Worker threads for the run (engine party-parallel stepping + verifier
+  /// batch slicing). 0 reads ICC_THREADS (default 1); 1 = fully sequential,
+  /// no pool. Any value yields bit-identical results (DESIGN.md §6).
+  size_t threads = 0;
   Round cup_interval = 0;   ///< catch-up packages; 0 disables
   Round lag_threshold = 8;  ///< rounds behind before a party requests a CUP
   consensus::PartyConfig::AdaptiveDelays adaptive;
@@ -163,6 +168,9 @@ class Cluster {
   ClusterOptions options_;
   std::unique_ptr<crypto::CryptoProvider> crypto_;
   std::unique_ptr<obs::Obs> obs_;  ///< null unless options.obs.enabled
+  /// Declared before sim_: parties and the engine hold raw pointers into the
+  /// pool, so it must be destroyed after them.
+  std::unique_ptr<support::Executor> executor_;  ///< null when threads <= 1
   std::unique_ptr<sim::Simulation> sim_;
   std::vector<consensus::Icc0Party*> parties_;
   std::vector<bool> honest_;

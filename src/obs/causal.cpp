@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"  // json_escape
 #include "obs/obs.hpp"
+#include "support/defer.hpp"
 
 namespace icc::obs {
 
@@ -69,8 +70,8 @@ void CausalScribe::attach(Obs* obs, size_t n) {
   link_seq_.assign(n * n, 0);
   flush_seq_.assign(n * n, 0);
   flush_delivered_.assign(n, 0);
-  fp_payload_.reset();
-  fp_cache_ = 0;
+  fp_payload_.assign(n, nullptr);
+  fp_cache_.assign(n, 0);
   buffer_.clear();
   if (journal_) {
     // The buffer can hold at most `capacity` records (reserve_external gates
@@ -121,26 +122,38 @@ CausalEdge CausalScribe::on_send(uint32_t from, uint32_t to,
                                  int64_t now) {
   CausalEdge edge;
   if (!journal_) return edge;
-  if (payload != fp_payload_) {
-    fp_cache_ = fingerprint64(payload->data(), payload->size());
-    fp_payload_ = payload;
+  // Edge identity is computed synchronously (the caller needs it now): the
+  // fingerprint cache and the link-seq row are indexed by `from`, so under
+  // parallel execution each is touched only by its owner's events.
+  if (payload != fp_payload_[from]) {
+    fp_cache_[from] = fingerprint64(payload->data(), payload->size());
+    fp_payload_[from] = payload;
   }
-  edge.fp = fp_cache_;
+  edge.fp = fp_cache_[from];
   edge.seq = ++link_seq_[from * n_ + to];
-  if (!journal_->reserve_external()) return edge;
-  buffer_.push_back(Rec{now, edge.fp, static_cast<uint32_t>(journal_->size()),
-                        static_cast<uint32_t>(payload->size()),
-                        static_cast<uint16_t>(from), static_cast<uint16_t>(to), 0});
+  // The capacity reservation and the buffer push mutate shared state; defer
+  // them so the reservation's order key (journal size at reserve time) is
+  // taken at the canonical sequential point.
+  const uint32_t size = static_cast<uint32_t>(payload->size());
+  auto record = [this, now, fp = edge.fp, size, from, to] {
+    if (!journal_->reserve_external()) return;
+    buffer_.push_back(Rec{now, fp, static_cast<uint32_t>(journal_->size()), size,
+                          static_cast<uint16_t>(from), static_cast<uint16_t>(to), 0});
+  };
+  if (!support::DeferQueue::maybe_defer(record)) record();
   return edge;
 }
 
 void CausalScribe::on_recv(uint32_t from, uint32_t to, const CausalEdge& edge,
                            int64_t now) {
   if (!journal_) return;
-  if (!journal_->reserve_external()) return;
-  buffer_.push_back(Rec{now, edge.fp, static_cast<uint32_t>(journal_->size()),
-                        static_cast<uint32_t>(edge.seq), static_cast<uint16_t>(to),
-                        static_cast<uint16_t>(from), 1});
+  auto record = [this, now, fp = edge.fp, seq = edge.seq, from, to] {
+    if (!journal_->reserve_external()) return;
+    buffer_.push_back(Rec{now, fp, static_cast<uint32_t>(journal_->size()),
+                          static_cast<uint32_t>(seq), static_cast<uint16_t>(to),
+                          static_cast<uint16_t>(from), 1});
+  };
+  if (!support::DeferQueue::maybe_defer(record)) record();
 }
 
 void CausalScribe::flush() {

@@ -138,11 +138,13 @@ class CausalScribe {
   /// distinct payload — measured well over the F-OBS budget).
   std::vector<uint64_t> link_seq_;
   std::vector<Rec> buffer_;
-  /// One-entry fingerprint cache: while this handle is held, no other
-  /// Bytes can occupy the same address, so pointer equality ⇒ identical
-  /// (immutable) payload. Broadcasts hit it n−1 times.
-  std::shared_ptr<const Bytes> fp_payload_;
-  uint64_t fp_cache_ = 0;
+  /// One-entry fingerprint cache *per sender*: while the handle is held, no
+  /// other Bytes can occupy the same address, so pointer equality ⇒
+  /// identical (immutable) payload. Broadcasts hit it n−1 times. Per-sender
+  /// because parallel mode (DESIGN.md §6) runs distinct senders
+  /// concurrently — each cache is then touched only by its owner's events.
+  std::vector<std::shared_ptr<const Bytes>> fp_payload_;
+  std::vector<uint64_t> fp_cache_;
   /// Replay counters for flush(): per-link send seq and per-receiver
   /// delivery index, persistent across flushes so repeated partial flushes
   /// continue where the previous one stopped.

@@ -8,6 +8,7 @@
 
 #include "obs/metrics.hpp"  // json_escape
 #include "obs/obs.hpp"
+#include "support/defer.hpp"
 
 namespace icc::obs {
 
@@ -125,6 +126,19 @@ std::string bytes_hex(const uint8_t* data, size_t len) {
 
 void Journal::append(JournalEvent ev) {
   if (capacity_ == 0) return;
+  // Inside a parallel region (support/defer.hpp) the append rides the defer
+  // queue: the event store mutates only on the coordinating thread, in
+  // canonical event order, so the JSONL stays byte-identical at any thread
+  // count. The sequential path pays one thread-local load.
+  // (The lambda must not steal `ev` before we know a queue is installed.)
+  if (support::DeferQueue* q = support::DeferQueue::current()) {
+    q->push([this, ev = std::move(ev)]() mutable { append_in_order(std::move(ev)); });
+    return;
+  }
+  append_in_order(std::move(ev));
+}
+
+void Journal::append_in_order(JournalEvent ev) {
   if (events_.size() + external_ >= capacity_) {
     dropped_++;
     return;

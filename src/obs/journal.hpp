@@ -176,6 +176,10 @@ class Journal {
   static Parsed parse_jsonl(const std::string& text);
 
  private:
+  /// The store mutation behind append(), applied at the canonical point
+  /// (inline when sequential, via the defer queue replay when parallel).
+  void append_in_order(JournalEvent ev);
+
   size_t capacity_;
   JournalMeta meta_;
   std::vector<JournalEvent> events_;

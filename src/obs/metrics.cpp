@@ -6,56 +6,88 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/defer.hpp"
+
 namespace icc::obs {
+
+void Gauge::set(int64_t v) {
+  // Last-write-wins: inside a parallel region the "last" write must be the
+  // last in canonical event order, so the store rides the defer queue.
+  if (support::DeferQueue::maybe_defer(
+          [this, v] { value_.store(v, std::memory_order_relaxed); }))
+    return;
+  value_.store(v, std::memory_order_relaxed);
+}
+
+namespace {
+/// Commutative atomic min/max (CAS loop; relaxed — see header contract).
+void atomic_min(std::atomic<int64_t>& slot, int64_t v) {
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+void atomic_max(std::atomic<int64_t>& slot, int64_t v) {
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
 
 Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
   if (bounds_.empty()) throw std::invalid_argument("Histogram: no bounds");
   if (!std::is_sorted(bounds_.begin(), bounds_.end()))
     throw std::invalid_argument("Histogram: bounds not ascending");
-  buckets_.assign(bounds_.size(), 0);
+  buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size());
 }
 
 void Histogram::record(int64_t v) {
   auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   if (it == bounds_.end()) {
-    overflow_++;
+    overflow_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    buckets_[static_cast<size_t>(it - bounds_.begin())]++;
+    buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
   }
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
-  sum_ += v;
-  count_++;
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
 }
 
 void Histogram::merge(const Histogram& o) {
   if (o.bounds_ != bounds_) throw std::invalid_argument("Histogram::merge: bound mismatch");
-  if (o.count_ == 0) return;
-  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
-  overflow_ += o.overflow_;
-  min_ = count_ ? std::min(min_, o.min_) : o.min_;
-  max_ = count_ ? std::max(max_, o.max_) : o.max_;
-  sum_ += o.sum_;
-  count_ += o.count_;
+  if (o.count() == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i].fetch_add(o.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  overflow_.fetch_add(o.overflow(), std::memory_order_relaxed);
+  atomic_min(min_, o.min());
+  atomic_max(max_, o.max());
+  sum_.fetch_add(o.sum(), std::memory_order_relaxed);
+  count_.fetch_add(o.count(), std::memory_order_relaxed);
 }
 
 int64_t Histogram::percentile(double q) const {
-  if (count_ == 0) return 0;
+  const uint64_t n = count();
+  if (n == 0) return 0;
   // Nearest-rank: the value of the ceil(q*n)-th smallest sample, resolved
   // to its bucket's upper bound.
-  auto rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
-  rank = std::max<uint64_t>(1, std::min(rank, count_));
+  auto rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::max<uint64_t>(1, std::min(rank, n));
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
+    seen += buckets_[i].load(std::memory_order_relaxed);
     // Clamp to the exact max: the bucket's upper bound can overshoot it.
-    if (seen >= rank) return std::min(bounds_[i], max_);
+    if (seen >= rank) return std::min(bounds_[i], max());
   }
-  return max_;  // rank falls in the overflow bucket
+  return max();  // rank falls in the overflow bucket
 }
 
 std::vector<int64_t> Histogram::exponential(int64_t start, double factor, size_t count) {

@@ -168,18 +168,19 @@ void GossipProbe::on_pending_depth(int64_t depth) {
 // NetProbe
 // ---------------------------------------------------------------------------
 
-void NetProbe::attach(Obs* obs) {
+void NetProbe::attach(Obs* obs, size_t n) {
   obs_ = obs;
   if (!obs_) return;
+  sample_.assign(n, 0);
   Registry& r = obs_->registry();
   in_flight_ = &r.gauge("net.in_flight");
   delay_us_ = &r.histogram("net.delay_us", duration_bounds());
 }
 
-void NetProbe::on_send(uint64_t /*wire_bytes*/, int64_t delay_us) {
+void NetProbe::on_send(uint32_t from, uint64_t /*wire_bytes*/, int64_t delay_us) {
   if (!obs_) return;
   in_flight_->add(1);
-  if ((sample_++ & 3) == 0) delay_us_->record(delay_us);
+  if ((sample_[from]++ & 3) == 0) delay_us_->record(delay_us);
 }
 
 void NetProbe::on_deliver() {

@@ -182,21 +182,25 @@ class GossipProbe {
 /// counts them unconditionally, and the harness folds them into the registry
 /// at snapshot time. The live probe only maintains what the always-on
 /// accounting cannot: the in-flight depth and a delay histogram (sampled
-/// 1-in-4, deterministically — link delays are strongly repetitive).
+/// 1-in-4, deterministically — link delays are strongly repetitive). The
+/// sampling counters are per *sender*: each counter then advances in its
+/// owner's program order, so the sampled multiset — and the histogram
+/// snapshot — is identical at any thread count (a shared counter would make
+/// "every 4th send" depend on how senders interleave).
 class NetProbe {
  public:
   NetProbe() = default;
-  void attach(Obs* obs);
+  void attach(Obs* obs, size_t n);
   bool on() const { return obs_ != nullptr; }
 
-  void on_send(uint64_t wire_bytes, int64_t delay_us);
+  void on_send(uint32_t from, uint64_t wire_bytes, int64_t delay_us);
   void on_deliver();
 
  private:
   Obs* obs_ = nullptr;
   Gauge* in_flight_ = nullptr;
   Histogram* delay_us_ = nullptr;
-  uint64_t sample_ = 0;
+  std::vector<uint64_t> sample_;  ///< per-sender 1-in-4 sampling counters
 };
 
 /// Shared duration bucket layout: 100 µs … ~14 s, exponential.

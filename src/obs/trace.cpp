@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"  // json_escape
+#include "support/defer.hpp"
 
 namespace icc::obs {
 
@@ -12,6 +13,14 @@ Tracer::Tracer(size_t capacity) { ring_.resize(capacity); }
 
 void Tracer::record(const TraceEvent& ev) {
   if (ring_.empty()) return;
+  // Ring writes are deferred inside parallel regions: the slot index comes
+  // from a shared cursor and the export is order-sensitive, so the write
+  // must land in canonical event order (support/defer.hpp).
+  if (support::DeferQueue::maybe_defer([this, ev] {
+        ring_[recorded_ % ring_.size()] = ev;
+        recorded_++;
+      }))
+    return;
   ring_[recorded_ % ring_.size()] = ev;
   recorded_++;
 }

@@ -2,6 +2,12 @@
 
 namespace icc::pipeline {
 
+namespace {
+// Relaxed suffices for all counter cells: they are commutative increments
+// read only at quiescent points (obs/metrics.hpp memory-order contract).
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
 types::Hash Verifier::cache_key(Domain domain, crypto::PartyIndex signer, BytesView message,
                                 BytesView signature) {
   crypto::Sha256 h;
@@ -21,33 +27,37 @@ types::Hash Verifier::cache_key(Domain domain, crypto::PartyIndex signer, BytesV
 
 std::optional<bool> Verifier::lookup(const types::Hash& key) {
   if (!options_.cache) return std::nullopt;
-  if (auto it = current_.find(key); it != current_.end()) return it->second;
-  if (auto it = previous_.find(key); it != previous_.end()) return it->second;
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (auto it = s.current.find(key); it != s.current.end()) return it->second;
+  if (auto it = s.previous.find(key); it != s.previous.end()) return it->second;
   return std::nullopt;
 }
 
 void Verifier::remember(const types::Hash& key, bool verdict) {
   if (!options_.cache || options_.cache_capacity == 0) return;
-  if (current_.size() >= std::max<size_t>(1, options_.cache_capacity / 2)) {
-    previous_ = std::move(current_);
-    current_.clear();
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.current.size() >= rotate_threshold()) {
+    s.previous = std::move(s.current);
+    s.current.clear();
   }
-  current_[key] = verdict;
+  s.current[key] = verdict;
 }
 
 template <typename Check>
 bool Verifier::memoized(Domain domain, crypto::PartyIndex signer, BytesView message,
                         BytesView signature, Check&& check) {
   if (!options_.cache) {
-    stats_.provider_verifications++;
+    stats_.provider_verifications.fetch_add(1, kRelaxed);
     return check();
   }
   types::Hash key = cache_key(domain, signer, message, signature);
   if (auto verdict = lookup(key)) {
-    stats_.cache_hits++;
+    stats_.cache_hits.fetch_add(1, kRelaxed);
     return *verdict;
   }
-  stats_.provider_verifications++;
+  stats_.provider_verifications.fetch_add(1, kRelaxed);
   bool verdict = check();
   remember(key, verdict);
   return verdict;
@@ -83,7 +93,7 @@ Bytes Verifier::sign_auth(crypto::PartyIndex signer, BytesView message) {
   Bytes sig = provider_->sign(signer, message);
   if (options_.cache) {
     remember(cache_key(Domain::kAuth, signer, message, sig), true);
-    stats_.primed++;
+    stats_.primed.fetch_add(1, kRelaxed);
   }
   return sig;
 }
@@ -93,7 +103,7 @@ Bytes Verifier::threshold_sign_share(crypto::Scheme scheme, crypto::PartyIndex s
   Bytes share = provider_->threshold_sign_share(scheme, signer, message);
   if (options_.cache) {
     remember(cache_key(share_domain(scheme), signer, message, share), true);
-    stats_.primed++;
+    stats_.primed.fetch_add(1, kRelaxed);
   }
   return share;
 }
@@ -102,7 +112,7 @@ Bytes Verifier::beacon_sign_share(crypto::PartyIndex signer, BytesView message) 
   Bytes share = provider_->beacon_sign_share(signer, message);
   if (options_.cache) {
     remember(cache_key(Domain::kBeaconShare, signer, message, share), true);
-    stats_.primed++;
+    stats_.primed.fetch_add(1, kRelaxed);
   }
   return share;
 }
@@ -117,7 +127,7 @@ std::vector<uint8_t> Verifier::verify_shares_batch(
     const auto& [signer, share] = shares[i];
     types::Hash key = cache_key(share_domain(scheme), signer, message, share);
     if (auto verdict = lookup(key)) {
-      stats_.cache_hits++;
+      stats_.cache_hits.fetch_add(1, kRelaxed);
       verdicts[i] = *verdict ? 1 : 0;
     } else {
       misses.push_back(i);
@@ -130,10 +140,41 @@ std::vector<uint8_t> Verifier::verify_shares_batch(
     std::vector<std::pair<crypto::PartyIndex, Bytes>> pending;
     pending.reserve(misses.size());
     for (size_t i : misses) pending.push_back(shares[i]);
-    stats_.batch_calls++;
+    // Stats are accounted *logically* — one batch call, miss-count provider
+    // verifications, one histogram sample — whether or not the work is
+    // sliced below. Metrics therefore cannot depend on the thread count.
+    stats_.batch_calls.fetch_add(1, kRelaxed);
     if (batch_size_hist_) batch_size_hist_->record(static_cast<int64_t>(pending.size()));
-    stats_.provider_verifications += pending.size();
-    std::vector<uint8_t> batch = provider_->threshold_verify_share_batch(scheme, message, pending);
+    stats_.provider_verifications.fetch_add(pending.size(), kRelaxed);
+
+    std::vector<uint8_t> batch;
+    size_t slices = 1;
+    if (executor_ != nullptr && executor_->threads() > 1)
+      slices = std::min(executor_->threads(), pending.size() / kMinSliceShares);
+    if (slices > 1) {
+      // Slice the pending set into near-equal contiguous chunks; each pool
+      // job runs the provider's batch equation over its chunk and writes
+      // verdicts into a disjoint range. Crypto providers are stateless
+      // after construction, so concurrent calls are safe.
+      batch.resize(pending.size());
+      const size_t base = pending.size() / slices;
+      const size_t extra = pending.size() % slices;
+      std::vector<size_t> begin(slices + 1, 0);
+      for (size_t c = 0; c < slices; ++c)
+        begin[c + 1] = begin[c] + base + (c < extra ? 1 : 0);
+      std::span<const std::pair<crypto::PartyIndex, Bytes>> all(pending);
+      executor_->parallel_for(slices, [&](size_t c) {
+        auto chunk = all.subspan(begin[c], begin[c + 1] - begin[c]);
+        std::vector<uint8_t> out =
+            provider_->threshold_verify_share_batch(scheme, message, chunk);
+        std::copy(out.begin(), out.end(), batch.begin() + static_cast<ptrdiff_t>(begin[c]));
+      });
+    } else {
+      batch = provider_->threshold_verify_share_batch(scheme, message, pending);
+    }
+
+    // Merge and memoize on the calling thread, in submission order — cache
+    // rotation stays deterministic across thread counts.
     bool all_ok = true;
     for (size_t j = 0; j < misses.size(); ++j) {
       verdicts[misses[j]] = batch[j];
@@ -142,12 +183,12 @@ std::vector<uint8_t> Verifier::verify_shares_batch(
     }
     // The combined equation fails iff some share is invalid, in which case
     // the provider fell back to per-item checks to identify it.
-    if (!all_ok) stats_.batch_fallbacks++;
+    if (!all_ok) stats_.batch_fallbacks.fetch_add(1, kRelaxed);
     return verdicts;
   }
   for (size_t j = 0; j < misses.size(); ++j) {
     const auto& [signer, share] = shares[misses[j]];
-    stats_.provider_verifications++;
+    stats_.provider_verifications.fetch_add(1, kRelaxed);
     bool ok = provider_->threshold_verify_share(scheme, signer, message, share);
     remember(miss_keys[j], ok);
     verdicts[misses[j]] = ok ? 1 : 0;
@@ -161,7 +202,7 @@ Bytes Verifier::threshold_combine(
   if (!options_.cache) {
     // Without memoization the provider's own verify-and-combine is exactly
     // the pre-pipeline behaviour.
-    stats_.provider_verifications += shares.size();
+    stats_.provider_verifications.fetch_add(shares.size(), kRelaxed);
     return provider_->threshold_combine(scheme, message, shares);
   }
   std::vector<uint8_t> verdicts = verify_shares_batch(scheme, message, shares);
@@ -170,12 +211,12 @@ Bytes Verifier::threshold_combine(
   for (size_t i = 0; i < shares.size(); ++i) {
     if (verdicts[i]) valid.push_back(shares[i]);
   }
-  stats_.combine_share_checks_skipped += valid.size();
+  stats_.combine_share_checks_skipped.fetch_add(valid.size(), kRelaxed);
   Bytes agg = provider_->threshold_combine_preverified(scheme, message, valid);
   if (!agg.empty()) {
     // Prime the aggregate's verdict: our own broadcast of it echoes back.
     remember(cache_key(agg_domain(scheme), 0xffffffffu, message, agg), true);
-    stats_.primed++;
+    stats_.primed.fetch_add(1, kRelaxed);
   }
   return agg;
 }
@@ -183,7 +224,7 @@ Bytes Verifier::threshold_combine(
 Bytes Verifier::beacon_combine(
     BytesView message, std::span<const std::pair<crypto::PartyIndex, Bytes>> shares) {
   if (!options_.cache) {
-    stats_.provider_verifications += shares.size();
+    stats_.provider_verifications.fetch_add(shares.size(), kRelaxed);
     return provider_->beacon_combine(message, shares);
   }
   std::vector<std::pair<crypto::PartyIndex, Bytes>> valid;
@@ -191,8 +232,28 @@ Bytes Verifier::beacon_combine(
   for (const auto& s : shares) {
     if (verify_beacon_share(s.first, message, s.second)) valid.push_back(s);
   }
-  stats_.combine_share_checks_skipped += valid.size();
+  stats_.combine_share_checks_skipped.fetch_add(valid.size(), kRelaxed);
   return provider_->beacon_combine_preverified(message, valid);
+}
+
+Verifier::Stats Verifier::stats() const {
+  Stats s;
+  s.provider_verifications = stats_.provider_verifications.load(kRelaxed);
+  s.cache_hits = stats_.cache_hits.load(kRelaxed);
+  s.primed = stats_.primed.load(kRelaxed);
+  s.batch_calls = stats_.batch_calls.load(kRelaxed);
+  s.batch_fallbacks = stats_.batch_fallbacks.load(kRelaxed);
+  s.combine_share_checks_skipped = stats_.combine_share_checks_skipped.load(kRelaxed);
+  return s;
+}
+
+size_t Verifier::cached_verdicts() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.current.size() + s.previous.size();
+  }
+  return total;
 }
 
 void Verifier::attach_obs(obs::Obs* obs) {

@@ -17,21 +17,42 @@
 //     the combine-time re-check of its own shares free.
 //   * a batch API: k pending shares over one message are checked in a single
 //     provider call (Ed25519 batch equation under kReal); if the batch
-//     fails, a per-item pass identifies the bad shares.
+//     fails, a per-item pass identifies the bad shares. With an attached
+//     support::Executor the pending shares are additionally sliced into
+//     near-equal chunks verified concurrently on the pool, with verdicts
+//     merged back in submission order — and with *logical* stats accounting
+//     (one batch call, one histogram sample, miss-count verifications)
+//     independent of the slicing, so metrics stay identical at any thread
+//     count.
 //   * combine wrappers that pass only cache-validated shares to the
 //     provider's *_preverified combine, eliminating the second full
 //     verification of every share that the plain combine performs.
 //
 // The cache is per-party (each simulated party owns one Verifier), bounded
-// by two-generation rotation: inserts go to the current generation, and when
-// it fills, it becomes the previous generation and lookups still see it.
+// by two-generation rotation, and *sharded*: the key's first byte selects
+// one of kCacheShards shards, each with its own mutex and generation pair,
+// so concurrent pool workers never serialize on a single cache lock
+// (DESIGN.md §6). Cache mutations on the batch path happen on the calling
+// thread after the parallel join, in submission order — shard rotation (and
+// therefore eviction, hit counts, and every downstream metric) is
+// deterministic regardless of thread count. Stats are relaxed atomics
+// (commutative increments; same contract as obs/metrics.hpp).
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <span>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "crypto/provider.hpp"
 #include "crypto/sha256.hpp"
 #include "obs/obs.hpp"
+#include "support/executor.hpp"
 #include "types/block.hpp"
 
 namespace icc::pipeline {
@@ -91,8 +112,9 @@ class Verifier {
   Bytes beacon_sign_share(crypto::PartyIndex signer, BytesView message);
 
   /// Verify k shares over one message. Returns one verdict per share. All
-  /// cache misses go to the provider as a single batch; a failed batch falls
-  /// back to per-item verification to identify the bad shares.
+  /// cache misses go to the provider as a single batch (sliced across the
+  /// attached executor's pool when profitable); a failed batch falls back to
+  /// per-item verification to identify the bad shares.
   std::vector<uint8_t> verify_shares_batch(
       crypto::Scheme scheme, BytesView message,
       std::span<const std::pair<crypto::PartyIndex, Bytes>> shares);
@@ -103,11 +125,17 @@ class Verifier {
   Bytes beacon_combine(BytesView message,
                        std::span<const std::pair<crypto::PartyIndex, Bytes>> shares);
 
-  const Stats& stats() const { return stats_; }
-  size_t cached_verdicts() const { return current_.size() + previous_.size(); }
+  /// Snapshot of the counters (by value: the live cells are atomics).
+  Stats stats() const;
+  size_t cached_verdicts() const;
 
   /// Attach telemetry: a batch-size histogram recorded per batch call.
   void attach_obs(obs::Obs* obs);
+
+  /// Attach a worker pool; batch verifications with enough cache misses are
+  /// then sliced into pool jobs. Null (or a 1-thread pool) keeps the
+  /// single-call path. The verifier does not own the executor.
+  void attach_executor(support::Executor* executor) { executor_ = executor; }
 
  private:
   // Verdict-cache key domains (distinct per signature scheme/usage).
@@ -138,16 +166,48 @@ class Verifier {
   bool memoized(Domain domain, crypto::PartyIndex signer, BytesView message,
                 BytesView signature, Check&& check);
 
+  /// Minimum misses per pool slice: below this the slicing overhead (and
+  /// the lost batch-equation amortization) outweighs the parallelism.
+  static constexpr size_t kMinSliceShares = 8;
+
   crypto::CryptoProvider* provider_;
   PipelineOptions options_;
-  Stats stats_;
+  support::Executor* executor_ = nullptr;
   obs::Histogram* batch_size_hist_ = nullptr;
 
-  // Two-generation bounded cache: inserts fill current_; when it reaches
-  // half the capacity, it rotates into previous_ (whose entries remain
-  // visible until the next rotation evicts them).
-  std::unordered_map<types::Hash, bool, types::HashHasher> current_;
-  std::unordered_map<types::Hash, bool, types::HashHasher> previous_;
+  struct StatsCells {
+    std::atomic<uint64_t> provider_verifications{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> primed{0};
+    std::atomic<uint64_t> batch_calls{0};
+    std::atomic<uint64_t> batch_fallbacks{0};
+    std::atomic<uint64_t> combine_share_checks_skipped{0};
+  };
+  StatsCells stats_;
+
+  /// One cache shard: a mutex plus a two-generation bounded map. Inserts
+  /// fill current_; when it reaches half the shard's capacity share, it
+  /// rotates into previous_ (whose entries remain visible until the next
+  /// rotation evicts them). The shard index is the key's first hash byte,
+  /// so SHA-256 spreads load uniformly.
+  static constexpr size_t kCacheShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<types::Hash, bool, types::HashHasher> current;
+    std::unordered_map<types::Hash, bool, types::HashHasher> previous;
+  };
+  std::array<Shard, kCacheShards> shards_;
+
+  /// Tiny capacities collapse to one shard so the global bound
+  /// (cached_verdicts() <= cache_capacity) holds with the same slack the
+  /// unsharded two-generation scheme had.
+  size_t shard_count() const {
+    return options_.cache_capacity >= 2 * kCacheShards ? kCacheShards : 1;
+  }
+  size_t rotate_threshold() const {
+    return std::max<size_t>(1, options_.cache_capacity / (2 * shard_count()));
+  }
+  Shard& shard_for(const types::Hash& key) { return shards_[key[0] % shard_count()]; }
 };
 
 }  // namespace icc::pipeline

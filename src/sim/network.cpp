@@ -91,7 +91,9 @@ void Context::broadcast(Bytes payload) { net_->broadcast(self_, std::move(payloa
 void Context::send(PartyIndex to, Bytes payload) { net_->send(self_, to, std::move(payload)); }
 
 EventId Context::set_timer(Duration delay, std::function<void()> fn) {
-  return net_->engine().schedule_after(delay, std::move(fn));
+  // Timers touch only the arming party's state: tag them with its index so
+  // parallel mode may step them concurrently with other parties' events.
+  return net_->engine().schedule_after(delay, std::move(fn), self_);
 }
 
 void Context::cancel_timer(EventId id) { net_->engine().cancel(id); }
@@ -105,8 +107,8 @@ Xoshiro256& Context::rng() { return net_->rng(self_); }
 void NetworkMetrics::reset() {
   std::fill(messages_sent.begin(), messages_sent.end(), 0);
   std::fill(bytes_sent.begin(), bytes_sent.end(), 0);
-  total_messages = 0;
-  total_bytes = 0;
+  total_messages.store(0, std::memory_order_relaxed);
+  total_bytes.store(0, std::memory_order_relaxed);
 }
 
 uint64_t NetworkMetrics::max_bytes_sent() const {
@@ -116,14 +118,17 @@ uint64_t NetworkMetrics::max_bytes_sent() const {
 }
 
 Network::Network(Engine& engine, size_t n, std::unique_ptr<DelayModel> model, uint64_t seed)
-    : engine_(&engine), model_(std::move(model)), net_rng_(seed ^ 0x5eedf00dULL) {
+    : engine_(&engine), model_(std::move(model)) {
   processes_.resize(n);
   Xoshiro256 root(seed);
+  Xoshiro256 net_root(seed ^ 0x5eedf00dULL);
   contexts_.reserve(n);
   rngs_.reserve(n);
+  net_rngs_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     contexts_.emplace_back(*this, static_cast<PartyIndex>(i));
     rngs_.push_back(root.fork(i));
+    net_rngs_.push_back(net_root.fork(i));
   }
   metrics_.messages_sent.assign(n, 0);
   metrics_.bytes_sent.assign(n, 0);
@@ -146,12 +151,12 @@ void Network::deliver(PartyIndex from, PartyIndex to,
   const size_t wire = payload->size() + frame_overhead_;
   metrics_.messages_sent[from]++;
   metrics_.bytes_sent[from] += wire;
-  metrics_.total_messages++;
-  metrics_.total_bytes += wire;
+  metrics_.total_messages.fetch_add(1, std::memory_order_relaxed);
+  metrics_.total_bytes.fetch_add(wire, std::memory_order_relaxed);
 
-  Duration d = model_->delay(from, to, now, wire, net_rng_);
+  Duration d = model_->delay(from, to, now, wire, net_rngs_[from]);
   Time arrive = std::max(now + d, synchrony_.release_time(now));
-  probe_.on_send(wire, arrive - now);
+  probe_.on_send(from, wire, arrive - now);
   // Causal edge: the id is computed once at send time and replayed at
   // delivery, so the journal's send/recv pair agrees byte-for-byte. The
   // recv is recorded *before* the process runs — consuming protocol events
@@ -161,19 +166,25 @@ void Network::deliver(PartyIndex from, PartyIndex to,
   const bool causal = causal_.on();
   obs::CausalEdge edge;
   if (causal) edge = causal_.on_send(from, to, payload, now);
-  engine_->schedule_at(arrive, [this, from, to, payload, causal, edge] {
-    probe_.on_deliver();
-    if (causal) causal_.on_recv(from, to, edge, engine_->now());
-    processes_[to]->receive(contexts_[to], from, *payload);
-  });
+  // The delivery runs the *recipient's* code: tag it with `to` so parallel
+  // mode can step deliveries to distinct parties concurrently.
+  engine_->schedule_at(
+      arrive,
+      [this, from, to, payload, causal, edge] {
+        probe_.on_deliver();
+        if (causal) causal_.on_recv(from, to, edge, engine_->now());
+        processes_[to]->receive(contexts_[to], from, *payload);
+      },
+      to);
 }
 
 void Network::broadcast(PartyIndex from, Bytes payload) {
   auto shared = std::make_shared<const Bytes>(std::move(payload));
   // Self-delivery: immediate, free (own pool).
-  engine_->schedule_after(0, [this, from, shared] {
-    processes_[from]->receive(contexts_[from], from, *shared);
-  });
+  engine_->schedule_after(
+      0,
+      [this, from, shared] { processes_[from]->receive(contexts_[from], from, *shared); },
+      from);
   for (PartyIndex to = 0; to < processes_.size(); ++to) {
     if (to == from) continue;
     deliver(from, to, shared);
@@ -183,9 +194,10 @@ void Network::broadcast(PartyIndex from, Bytes payload) {
 void Network::send(PartyIndex from, PartyIndex to, Bytes payload) {
   auto shared = std::make_shared<const Bytes>(std::move(payload));
   if (to == from) {
-    engine_->schedule_after(0, [this, from, shared] {
-      processes_[from]->receive(contexts_[from], from, *shared);
-    });
+    engine_->schedule_after(
+        0,
+        [this, from, shared] { processes_[from]->receive(contexts_[from], from, *shared); },
+        from);
     return;
   }
   deliver(from, to, shared);

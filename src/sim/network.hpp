@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -192,8 +193,22 @@ class Process {
 struct NetworkMetrics {
   std::vector<uint64_t> messages_sent;  ///< per party (wire messages, excl. self)
   std::vector<uint64_t> bytes_sent;     ///< per party
-  uint64_t total_messages = 0;
-  uint64_t total_bytes = 0;
+  // Cross-party totals are relaxed atomics: parallel mode (DESIGN.md §6)
+  // steps distinct senders concurrently, and increments commute — the final
+  // values are identical at any thread count. The per-party vectors stay
+  // plain words because each sender only writes its own slot.
+  std::atomic<uint64_t> total_messages{0};
+  std::atomic<uint64_t> total_bytes{0};
+
+  NetworkMetrics() = default;
+  /// Copy = relaxed snapshot (atomics are not copyable); callers that copy
+  /// do so at quiescent points, where relaxed loads see the final values.
+  NetworkMetrics(const NetworkMetrics& o)
+      : messages_sent(o.messages_sent),
+        bytes_sent(o.bytes_sent),
+        total_messages(o.total_messages.load(std::memory_order_relaxed)),
+        total_bytes(o.total_bytes.load(std::memory_order_relaxed)) {}
+  NetworkMetrics& operator=(const NetworkMetrics&) = delete;
 
   void reset();
   uint64_t max_bytes_sent() const;  ///< the "bottleneck" measure of [35]
@@ -227,7 +242,7 @@ class Network {
   /// histogram) and — when the journal's causal layer is on — the send/recv
   /// edge recorder. Null detaches.
   void attach_obs(obs::Obs* obs) {
-    probe_.attach(obs);
+    probe_.attach(obs, processes_.size());
     causal_.attach(obs, processes_.size());
   }
 
@@ -245,7 +260,12 @@ class Network {
   std::vector<Context> contexts_;
   std::vector<Xoshiro256> rngs_;
   NetworkMetrics metrics_;
-  Xoshiro256 net_rng_;
+  // One delay-model rng per *sender*: a sender's delay draws then form a
+  // deterministic stream in its own program order, independent of how other
+  // parties' sends interleave — required for bit-identical runs when
+  // parallel mode steps senders concurrently. (A single shared rng would
+  // make the draw sequence depend on wall-clock interleaving.)
+  std::vector<Xoshiro256> net_rngs_;
   size_t frame_overhead_ = 64;
   obs::NetProbe probe_;
   obs::CausalScribe causal_;

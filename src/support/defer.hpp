@@ -1,0 +1,88 @@
+// Deferred side-effect queue for deterministic parallel execution.
+//
+// The parallel simulator (sim/engine.hpp, DESIGN.md §6) runs events with
+// disjoint party ownership concurrently, but everything those events do to
+// *shared* state — journal appends, trace records, gauge writes, harness
+// callbacks, event scheduling — must land in the exact order the classic
+// sequential loop would have produced, or runs stop being bit-identical
+// across thread counts. The contract:
+//
+//   * While a worker executes one event, the engine installs a thread-local
+//     DeferQueue for it. Shared-state mutations route through maybe_defer():
+//     inside a parallel region they are captured as closures; outside (the
+//     classic single-threaded loop) they run immediately, so the sequential
+//     hot path pays one thread-local load and a branch.
+//   * After the parallel join, the engine replays each event's queue on the
+//     coordinating thread in canonical event order. Closures from one event
+//     replay in program order, so the interleaving is exactly the sequential
+//     execution's — including order-sensitive effects like the causal
+//     scribe's journal-slot reservations.
+//
+// The queue itself is single-owner (one event execution, one worker); it
+// needs no locking. Only the thread-local *installation* is concurrent, and
+// each worker touches only its own slot.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace icc::support {
+
+class DeferQueue {
+ public:
+  DeferQueue() = default;
+  DeferQueue(const DeferQueue&) = delete;
+  DeferQueue& operator=(const DeferQueue&) = delete;
+
+  void push(std::function<void()> fn) { fns_.push_back(std::move(fn)); }
+  bool empty() const { return fns_.empty(); }
+  size_t size() const { return fns_.size(); }
+
+  /// Run every deferred closure in push order, then clear. Called on the
+  /// coordinating thread after the parallel join; closures may themselves
+  /// call maybe_defer(), which runs inline because no queue is installed on
+  /// the replaying thread (replay() detaches first).
+  void replay() {
+    for (auto& fn : fns_) fn();
+    fns_.clear();
+  }
+
+  /// The queue installed for the event execution running on this thread;
+  /// null outside parallel regions.
+  static DeferQueue* current() { return tl_current(); }
+  static void set_current(DeferQueue* q) { tl_current() = q; }
+
+  /// Defer `fn` if a queue is installed (returns true); otherwise the caller
+  /// must apply the effect inline (returns false). Usage:
+  ///   if (!DeferQueue::maybe_defer([=] { mutate_shared(); })) mutate_shared();
+  template <typename Fn>
+  static bool maybe_defer(Fn&& fn) {
+    DeferQueue* q = tl_current();
+    if (q == nullptr) return false;
+    q->push(std::forward<Fn>(fn));
+    return true;
+  }
+
+  /// RAII installation for one event execution.
+  class Scope {
+   public:
+    explicit Scope(DeferQueue* q) : prev_(tl_current()) { tl_current() = q; }
+    ~Scope() { tl_current() = prev_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    DeferQueue* prev_;
+  };
+
+ private:
+  static DeferQueue*& tl_current() {
+    thread_local DeferQueue* current = nullptr;
+    return current;
+  }
+
+  std::vector<std::function<void()>> fns_;
+};
+
+}  // namespace icc::support

@@ -1,0 +1,85 @@
+#include "support/executor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace icc::support {
+
+size_t Executor::default_threads() {
+  const char* env = std::getenv("ICC_THREADS");
+  if (env == nullptr || env[0] == '\0') return 1;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == env || v < 1) return 1;
+  return std::min<long>(v, 256);
+}
+
+Executor::Executor(size_t threads) : threads_(threads == 0 ? default_threads() : threads) {
+  for (size_t i = 1; i < threads_; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Executor::run_slices(Batch& b) {
+  for (;;) {
+    size_t idx = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= b.count) return;
+    (*b.body)(idx);
+    if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.count) {
+      // Last body done: wake the batch's caller. The lock pairs with the
+      // caller's wait so the notify cannot slip between its predicate check
+      // and its sleep.
+      std::lock_guard<std::mutex> lk(b.done_mu);
+      b.done_cv.notify_all();
+    }
+  }
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> b;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !batches_.empty(); });
+      if (stop_) return;  // destructor runs only after every batch completed
+      // Drop exhausted batches (their remaining bodies are in flight on
+      // other threads; the shared_ptr keeps the object alive for them).
+      while (!batches_.empty() &&
+             batches_.front()->next.load(std::memory_order_relaxed) >=
+                 batches_.front()->count) {
+        batches_.pop_front();
+      }
+      if (batches_.empty()) continue;
+      b = batches_.front();
+    }
+    run_slices(*b);
+  }
+}
+
+void Executor::parallel_for(size_t count, const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  auto b = std::make_shared<Batch>();
+  b->count = count;
+  b->body = &body;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batches_.push_back(b);
+  }
+  cv_.notify_all();
+  run_slices(*b);  // caller participates
+  std::unique_lock<std::mutex> lk(b->done_mu);
+  b->done_cv.wait(lk, [&] { return b->done.load(std::memory_order_acquire) == count; });
+}
+
+}  // namespace icc::support

@@ -1,0 +1,81 @@
+// Fixed-size worker pool with caller-participating fork/join.
+//
+// The simulator's unit of parallelism is a *batch*: N independent closures
+// that must all finish before the caller proceeds (engine delivery barriers,
+// verifier signature slices — DESIGN.md §6). parallel_for() publishes the
+// batch, the caller and every idle worker pull indices from a shared atomic
+// cursor, and the call returns when all N bodies have run. Work stealing is
+// implicit: there is one global batch deque, so a worker that drains its
+// current batch immediately picks up whatever batch is pending — including
+// batches spawned from *inside* a running body (a party event that slices a
+// signature batch onto the pool). Nested parallel_for() is therefore legal
+// and deadlock-free: the nested caller participates in its own batch, and
+// any idle worker helps.
+//
+// Determinism: the executor itself guarantees nothing about ordering — each
+// body runs exactly once, on some thread. Deterministic replay is the
+// engine's job (support/defer.hpp); bodies that mutate shared state must
+// defer. Scheduling here only decides *wall-clock* interleaving, never
+// simulation outcome.
+//
+// Thread count resolution: an explicit count wins; 0 means "use the
+// ICC_THREADS environment variable, default 1". With one thread the pool
+// spawns no workers and parallel_for() degrades to an inline loop, so a
+// threads=1 run never touches an atomic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace icc::support {
+
+class Executor {
+ public:
+  /// `threads` = total concurrency including the caller; 0 resolves via
+  /// ICC_THREADS (default 1). A pool of size T spawns T-1 workers.
+  explicit Executor(size_t threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  size_t threads() const { return threads_; }
+
+  /// Run body(0..count-1), each exactly once, concurrently on the caller
+  /// plus idle workers. Returns when every body has completed. Bodies may
+  /// themselves call parallel_for on the same executor.
+  void parallel_for(size_t count, const std::function<void(size_t)>& body);
+
+  /// ICC_THREADS environment variable (clamped to [1, 256]); 1 if unset.
+  static size_t default_threads();
+
+ private:
+  struct Batch {
+    size_t count = 0;
+    const std::function<void(size_t)>* body = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  void worker_loop();
+  /// Pull indices from `b` until its cursor is exhausted.
+  static void run_slices(Batch& b);
+
+  size_t threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> batches_;
+  bool stop_ = false;
+};
+
+}  // namespace icc::support

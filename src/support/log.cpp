@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace icc {
 
@@ -45,6 +46,11 @@ LogLine::LogLine(LogLevel level, const char* tag) {
 
 LogLine::~LogLine() {
   stream_ << '\n';
+  // One mutex-guarded write per line: pool workers (support/executor.hpp)
+  // log concurrently, and operator<< on a shared stream is not atomic —
+  // without the lock two lines can interleave mid-byte.
+  static std::mutex sink_mu;
+  std::lock_guard<std::mutex> lk(sink_mu);
   std::cerr << stream_.str();
 }
 

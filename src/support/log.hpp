@@ -2,7 +2,8 @@
 //
 // The simulator runs millions of events; logging must be off by default and
 // cheap to skip. Format strings use ostream-style streaming into a local
-// buffer that is flushed as one line (so concurrent tests don't interleave).
+// buffer that is flushed as one line under a sink mutex, so lines from
+// concurrent pool workers (support/executor.hpp) never interleave mid-byte.
 #pragma once
 
 #include <atomic>

@@ -234,5 +234,23 @@ TEST(Causal, V2ByteDeterministicAcrossSameSeedRuns) {
   }
 }
 
+// Thread-count axis: the v2 edge layer (fingerprints, per-link seqs, order
+// keys captured at journal-append time) must survive party-parallel
+// stepping byte-for-byte — edges are recorded through the defer queue in
+// canonical event order at any thread count (DESIGN.md §6).
+TEST(Causal, V2ByteDeterministicAcrossThreadCounts) {
+  for (auto proto : {harness::Protocol::kIcc0, harness::Protocol::kIcc2}) {
+    auto o = causal_options(7, proto);
+    o.threads = 1;
+    std::string baseline = run_jsonl(o, 3);
+    ASSERT_FALSE(baseline.empty());
+    for (size_t threads : {2u, 8u}) {
+      o.threads = threads;
+      EXPECT_EQ(run_jsonl(o, 3), baseline)
+          << "protocol " << static_cast<int>(proto) << ", " << threads << " threads";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace icc

@@ -139,10 +139,30 @@ TEST(Journal, JournalOnOffDeterminism) {
     std::vector<std::pair<types::Round, types::Hash>> out;
     for (const auto& b : cluster.party(0)->committed()) out.emplace_back(b.round, b.hash);
     const auto& nm = cluster.sim().network().metrics();
-    return std::make_tuple(out, nm.total_messages, nm.total_bytes,
+    return std::make_tuple(out, nm.total_messages.load(), nm.total_bytes.load(),
                            cluster.max_honest_round());
   };
   EXPECT_EQ(run(false), run(true));
+}
+
+// Thread-count axis (DESIGN.md §6): journal bytes, the metrics document and
+// the traffic totals of a party-parallel run must be identical to the
+// sequential run — appends ride the defer queue in canonical event order,
+// counters are commutative atomics.
+TEST(Journal, ByteIdenticalAcrossThreadCounts) {
+  auto run = [](size_t threads) {
+    auto o = journal_options(7, harness::Protocol::kIcc0);
+    o.threads = threads;
+    o.corrupt.emplace_back(2, harness::Crashed{});
+    harness::Cluster cluster(o);
+    cluster.run_for(sim::seconds(10));
+    return std::make_pair(cluster.journal_jsonl(), cluster.metrics_json());
+  };
+  auto baseline = run(1);
+  ASSERT_FALSE(baseline.first.empty());
+  for (size_t threads : {2u, 8u}) {
+    EXPECT_EQ(run(threads), baseline) << threads << " threads";
+  }
 }
 
 // ---------------------------------------------------------------------------

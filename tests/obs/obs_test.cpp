@@ -291,7 +291,7 @@ TEST(ClusterObs, OnOffDeterminism) {
     std::vector<std::pair<types::Round, types::Hash>> out;
     for (const auto& b : cluster.party(0)->committed()) out.emplace_back(b.round, b.hash);
     const auto& nm = cluster.sim().network().metrics();
-    return std::make_tuple(out, nm.total_messages, nm.total_bytes,
+    return std::make_tuple(out, nm.total_messages.load(), nm.total_bytes.load(),
                            cluster.max_honest_round());
   };
   for (auto proto : {harness::Protocol::kIcc0, harness::Protocol::kIcc1}) {

@@ -184,7 +184,8 @@ TEST(PipelineBatchTest, BatchWithOneCorruptedShareAcceptsTheRest) {
 enum class Adversary { kNone, kEquivocate, kMixed };
 
 std::vector<std::vector<std::pair<harness::Round, types::Hash>>> committed_sequences(
-    harness::Protocol protocol, Adversary adversary, const PipelineOptions& pipeline) {
+    harness::Protocol protocol, Adversary adversary, const PipelineOptions& pipeline,
+    size_t threads = 1) {
   harness::ClusterOptions o;
   o.n = 7;
   o.t = 2;
@@ -196,6 +197,7 @@ std::vector<std::vector<std::pair<harness::Round, types::Hash>>> committed_seque
   o.delta_bnd = sim::msec(120);
   o.payload_size = 300;
   o.pipeline = pipeline;
+  o.threads = threads;
   o.delay_model = [](size_t, uint64_t) {
     return std::make_unique<sim::UniformDelay>(sim::msec(3), sim::msec(18));
   };
@@ -232,6 +234,24 @@ TEST_P(DeterminismTest, CommitSequenceIdenticalPipelineOnVsOff) {
   off.dedup = off.cache = off.batch = false;
   EXPECT_EQ(committed_sequences(protocol, adversary, on),
             committed_sequences(protocol, adversary, off));
+}
+
+// Thread-count axis of the same matrix: the multi-core runtime (DESIGN.md
+// §6) must be behaviour-neutral too — the committed sequences of a 2- and
+// 8-thread run are bit-identical to the 1-thread run, with the pipeline both
+// on and off, under every adversary.
+TEST_P(DeterminismTest, CommitSequenceIdenticalAcrossThreadCounts) {
+  auto [protocol, adversary] = GetParam();
+  PipelineOptions on;  // defaults: dedup + cache + batch
+  auto baseline = committed_sequences(protocol, adversary, on, 1);
+  for (size_t threads : {2u, 8u}) {
+    EXPECT_EQ(committed_sequences(protocol, adversary, on, threads), baseline)
+        << threads << " threads";
+  }
+  PipelineOptions off;
+  off.dedup = off.cache = off.batch = false;
+  EXPECT_EQ(committed_sequences(protocol, adversary, off, 8),
+            committed_sequences(protocol, adversary, off, 1));
 }
 
 INSTANTIATE_TEST_SUITE_P(

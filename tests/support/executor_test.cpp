@@ -1,0 +1,138 @@
+// Executor + DeferQueue: the two primitives under the deterministic
+// multi-core runtime (DESIGN.md §6). The executor must run every index of a
+// parallel_for exactly once (including nested and reentrant use); the defer
+// queue must replay side effects in push order on the replaying thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/defer.hpp"
+#include "support/executor.hpp"
+
+namespace icc::support {
+namespace {
+
+TEST(Executor, RunsEveryIndexExactlyOnce) {
+  Executor ex(4);
+  EXPECT_EQ(ex.threads(), 4u);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ex.parallel_for(kCount, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Executor, SingleThreadRunsInline) {
+  Executor ex(1);
+  EXPECT_EQ(ex.threads(), 1u);
+  std::vector<size_t> order;
+  ex.parallel_for(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Executor, ZeroAndOneCountAreTrivial) {
+  Executor ex(4);
+  size_t calls = 0;
+  ex.parallel_for(0, [&](size_t) { calls++; });
+  EXPECT_EQ(calls, 0u);
+  ex.parallel_for(1, [&](size_t i) {
+    calls++;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(Executor, SequentialBatchesReuseThePool) {
+  Executor ex(3);
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    ex.parallel_for(64, [&](size_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 50u * (63 * 64 / 2));
+}
+
+TEST(Executor, NestedParallelForCompletes) {
+  // A body that itself calls parallel_for must not deadlock: waiting threads
+  // steal slices from the inner batch instead of blocking.
+  Executor ex(4);
+  std::atomic<int> inner{0};
+  ex.parallel_for(8, [&](size_t) {
+    ex.parallel_for(8, [&](size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 64);
+}
+
+TEST(Executor, DefaultThreadsReadsEnv) {
+  // Cannot mutate the environment of already-running pools, but the parser
+  // itself is pure: exercise the clamp behaviour via a scoped setenv.
+  ::setenv("ICC_THREADS", "3", 1);
+  EXPECT_EQ(Executor::default_threads(), 3u);
+  ::setenv("ICC_THREADS", "0", 1);
+  EXPECT_EQ(Executor::default_threads(), 1u);
+  ::setenv("ICC_THREADS", "garbage", 1);
+  EXPECT_EQ(Executor::default_threads(), 1u);
+  ::unsetenv("ICC_THREADS");
+  EXPECT_EQ(Executor::default_threads(), 1u);
+}
+
+TEST(DeferQueue, MaybeDeferWithoutQueueRunsNothing) {
+  // No queue installed: maybe_defer declines and the caller applies inline.
+  int applied = 0;
+  bool deferred = DeferQueue::maybe_defer([&] { applied++; });
+  EXPECT_FALSE(deferred);
+  EXPECT_EQ(applied, 0);  // maybe_defer never runs the closure itself
+}
+
+TEST(DeferQueue, ReplaysInPushOrder) {
+  DeferQueue q;
+  std::vector<int> order;
+  {
+    DeferQueue::Scope scope(&q);
+    EXPECT_TRUE(DeferQueue::maybe_defer([&] { order.push_back(1); }));
+    EXPECT_TRUE(DeferQueue::maybe_defer([&] { order.push_back(2); }));
+    EXPECT_TRUE(DeferQueue::maybe_defer([&] { order.push_back(3); }));
+    EXPECT_TRUE(order.empty());  // nothing ran yet
+    EXPECT_EQ(q.size(), 3u);
+  }
+  // Scope uninstalled; replay happens wherever the coordinator chooses.
+  q.replay();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DeferQueue, ScopeRestoresPreviousQueue) {
+  DeferQueue outer, inner;
+  DeferQueue::Scope a(&outer);
+  {
+    DeferQueue::Scope b(&inner);
+    DeferQueue::maybe_defer([] {});
+    EXPECT_EQ(inner.size(), 1u);
+  }
+  DeferQueue::maybe_defer([] {});
+  EXPECT_EQ(outer.size(), 1u);
+  EXPECT_EQ(inner.size(), 1u);
+}
+
+TEST(Executor, DeferredEffectsFromWorkersReplayDeterministically) {
+  // The engine's usage pattern: each parallel slot gets its own queue;
+  // workers push effects concurrently; the coordinator replays queue-by-
+  // queue in canonical order. The merged effect order must equal the
+  // sequential order regardless of scheduling.
+  Executor ex(4);
+  constexpr size_t kSlots = 64;
+  std::vector<DeferQueue> queues(kSlots);
+  std::vector<size_t> effects;
+  ex.parallel_for(kSlots, [&](size_t i) {
+    DeferQueue::Scope scope(&queues[i]);
+    DeferQueue::maybe_defer([&effects, i] { effects.push_back(2 * i); });
+    DeferQueue::maybe_defer([&effects, i] { effects.push_back(2 * i + 1); });
+  });
+  for (auto& q : queues) q.replay();
+  std::vector<size_t> want(2 * kSlots);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(effects, want);
+}
+
+}  // namespace
+}  // namespace icc::support
