@@ -43,6 +43,11 @@ struct Measured {
 // cluster in this process. All reported values derive from virtual time, so
 // the thread count may change wall-clock but never a number in the output.
 size_t g_threads = 0;
+// --intern on|off (default on): cluster-shared artifact interning
+// (DESIGN.md §7). Like the thread count, it may only move wall-clock —
+// every virtual-time number is identical either way, which is exactly why
+// the JSON baselines stay valid with either setting.
+bool g_intern = true;
 
 Measured run_icc(harness::Protocol proto, sim::Duration delta, sim::Duration delta_bnd) {
   harness::ClusterOptions o;
@@ -55,6 +60,7 @@ Measured run_icc(harness::Protocol proto, sim::Duration delta, sim::Duration del
   o.prune_lag = 8;
   o.record_payloads = false;
   o.threads = g_threads;
+  o.intern = g_intern;
   o.delay_model = [delta](size_t, uint64_t) {
     return std::make_unique<sim::FixedDelay>(delta);
   };
@@ -112,6 +118,11 @@ double timed_run_s(bool obs_enabled) {
   // event journal — so the <5% budget covers the flight recorder too.
   o.obs.enabled = obs_enabled;
   o.obs.journal = obs_enabled;
+  // Fidelity mode, regardless of --intern: the budget is telemetry cost
+  // relative to a real replica's CPU, and the shared intern store would
+  // shrink the denominator (it is a different knob than the one under
+  // test — DESIGN.md §7).
+  o.intern = false;
   o.delay_model = [](size_t, uint64_t) {
     return std::make_unique<sim::FixedDelay>(sim::msec(10));
   };
@@ -235,6 +246,7 @@ int parallel_main(const char* json_path) {
     o.record_payloads = false;
     o.prune_lag = 8;
     o.threads = threads;
+    o.intern = g_intern;
     o.delay_model = [](size_t, uint64_t) {
       return std::make_unique<sim::FixedDelay>(sim::msec(10));
     };
@@ -298,6 +310,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--intern") == 0 && i + 1 < argc) {
+      g_intern = std::strcmp(argv[++i], "off") != 0;
     } else if (std::strcmp(argv[i], "--parallel") == 0) {
       parallel = true;
     }

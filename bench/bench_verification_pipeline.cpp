@@ -25,11 +25,17 @@ using namespace icc;
 // sliced across the pool; every count below comes from virtual time, so
 // only the wall-clock rows may move with N.
 size_t g_threads = 0;
+// --intern on|off (default on): cluster-shared artifact interning
+// (DESIGN.md §7). Off models per-replica CPU honestly; on shows the
+// cluster-wide cost. The per-party (logical) counters are identical
+// either way — only the intern rows and wall clock move.
+bool g_intern = true;
 
 struct RunResult {
   size_t committed = 0;
   pipeline::Verifier::Stats verifier;
   pipeline::PipelineStats ingress;
+  pipeline::InternStore::Stats intern;
   double wall_s = 0;
 };
 
@@ -44,6 +50,7 @@ RunResult run(bool stages_on, sim::Duration sim_time) {
   o.record_payloads = false;
   o.prune_lag = 8;
   o.threads = g_threads;
+  o.intern = g_intern;
   if (!stages_on) {
     o.pipeline.dedup = false;
     o.pipeline.cache = false;
@@ -62,6 +69,7 @@ RunResult run(bool stages_on, sim::Duration sim_time) {
   r.committed = c.min_honest_committed();
   r.verifier = c.verifier_stats();
   r.ingress = c.pipeline_stats();
+  r.intern = c.intern_stats();
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   return r;
 }
@@ -76,12 +84,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
       g_threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    else if (std::strcmp(argv[i], "--intern") == 0 && i + 1 < argc)
+      g_intern = std::strcmp(argv[++i], "off") != 0;
     else
       sim_seconds = std::atoi(argv[i]);
   }
-  std::printf("Verification pipeline (ICC0, n = 16, t = 5, real Ed25519/DVRF, %d s sim)\n"
+  std::printf("Verification pipeline (ICC0, n = 16, t = 5, real Ed25519/DVRF, %d s sim, intern %s)\n"
               "=========================================================================\n\n",
-              sim_seconds);
+              sim_seconds, g_intern ? "on" : "off");
 
   RunResult off = run(false, sim::seconds(sim_seconds));
   RunResult on = run(true, sim::seconds(sim_seconds));
@@ -115,6 +125,12 @@ int main(int argc, char** argv) {
   std::printf("%-34s | %12llu | %12llu\n", "duplicates dropped pre-crypto",
               (unsigned long long)off.ingress.duplicates,
               (unsigned long long)on.ingress.duplicates);
+  std::printf("%-34s | %12llu | %12llu\n", "intern: real verifications",
+              (unsigned long long)off.intern.real_verifications,
+              (unsigned long long)on.intern.real_verifications);
+  std::printf("%-34s | %12llu | %12llu\n", "intern: parses",
+              (unsigned long long)off.intern.parses,
+              (unsigned long long)on.intern.parses);
   std::printf("%-34s | %9.1f s  | %9.1f s\n", "wall clock", off.wall_s, on.wall_s);
 
   double speedup = per_block(on) > 0 ? per_block(off) / per_block(on) : 0;

@@ -10,7 +10,8 @@
 #   SANITIZER=tsan            Debug build with ThreadSanitizer over the
 #                             concurrency-bearing suites (support executor /
 #                             defer queue, parallel sim engine, pipeline
-#                             verifier slicing, obs journal + metrics), run
+#                             verifier slicing, shared intern store, obs
+#                             journal + metrics), run
 #                             with ICC_THREADS=8 so every guarded test
 #                             actually exercises the worker pool. TSan and
 #                             ASan cannot be combined in one binary, hence
@@ -51,7 +52,7 @@ if [ "$SANITIZER" = "tsan" ]; then
   # not from parallel test jobs. (ctest -R matches test names, not binaries,
   # and exits 0 on an empty match — direct invocation fails loudly instead.)
   export ICC_THREADS=8
-  for suite in support_test sim_test pipeline_test obs_test journal_test causal_test; do
+  for suite in support_test sim_test pipeline_test intern_test obs_test journal_test causal_test; do
     echo "== $suite (TSan, ICC_THREADS=8) =="
     "$BUILD_DIR/tests/$suite"
   done

@@ -11,6 +11,10 @@
 #include "support/executor.hpp"
 #include "types/block.hpp"
 
+namespace icc::pipeline {
+class InternStore;
+}
+
 namespace icc::consensus {
 
 using types::Block;
@@ -83,6 +87,10 @@ struct PartyConfig {
   /// Worker pool shared by the run (DESIGN.md §6). When set (and >1 thread)
   /// the party's Verifier slices batch verifications across it. Not owned.
   support::Executor* executor = nullptr;
+  /// Cluster-shared artifact intern store (DESIGN.md §7): shared decode
+  /// cache + cross-party verification memo. Null = per-party fidelity mode
+  /// (every receiver parses and verifies independently). Not owned.
+  pipeline::InternStore* intern = nullptr;
   /// Tags rounds by the actual corruption status of the rank-0 leader
   /// (only the harness knows the corrupt slots). Optional; without it the
   /// leader-honesty metrics fall back to the party-observable proxy

@@ -35,6 +35,12 @@ Icc0Party::Icc0Party(PartyIndex self, const PartyConfig& config)
   pipeline_.attach_obs(config.obs);
   verifier_.attach_obs(config.obs);
   verifier_.attach_executor(config.executor);
+  // The shared verdict memo keys off the per-party cache keys; without the
+  // cache stage it would never be consulted on the share paths, so the
+  // store is only wired through the Verifier when the cache is on. The
+  // decode side has no such dependency.
+  pipeline_.attach_intern(config.intern);
+  if (config.pipeline.cache) verifier_.attach_intern(config.intern);
 }
 
 void Icc0Party::start(sim::Context& ctx) {
@@ -44,15 +50,23 @@ void Icc0Party::start(sim::Context& ctx) {
 }
 
 void Icc0Party::receive(sim::Context& ctx, sim::PartyIndex from, BytesView payload) {
+  // View-based deliveries (tests driving a party directly) copy into a
+  // fresh shared buffer; the network always uses receive_shared.
+  on_wire(ctx, from, std::make_shared<const Bytes>(payload.begin(), payload.end()));
+}
+
+void Icc0Party::receive_shared(sim::Context& ctx, sim::PartyIndex from,
+                               const std::shared_ptr<const Bytes>& payload) {
   on_wire(ctx, from, payload);
 }
 
-void Icc0Party::on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes) {
-  // Stages 1-2: parse once, drop malformed and exact-duplicate payloads
-  // before any cryptography runs.
-  auto msg = pipeline_.decode(from, bytes);
+void Icc0Party::on_wire(sim::Context& ctx, sim::PartyIndex from,
+                        const std::shared_ptr<const Bytes>& bytes) {
+  // Stages 1-2: parse once (cluster-wide, when interning), drop malformed
+  // and exact-duplicate payloads before any cryptography runs.
+  types::SharedMessage msg = pipeline_.decode_shared(from, bytes);
   if (!msg) return;
-  ingest(ctx, from, *msg);
+  ingest(ctx, from, *msg, msg);
   evaluate(ctx);
 }
 
@@ -60,11 +74,12 @@ void Icc0Party::disseminate(sim::Context& ctx, const Message& msg, bool /*is_blo
   ctx.broadcast(types::serialize_message(msg));
 }
 
-bool Icc0Party::ingest(sim::Context& ctx, sim::PartyIndex from, const Message& msg) {
+bool Icc0Party::ingest(sim::Context& ctx, sim::PartyIndex from, const Message& msg,
+                       const types::SharedMessage& origin) {
   return std::visit(
       Overloaded{
           [&](const ProposalMsg& m) {
-            bool changed = ingest_proposal(m);
+            bool changed = ingest_proposal(m, origin);
             if ((probe_.on() || journal_.on()) && changed) {
               const Hash h = m.block.hash();
               if (pool_.block(h) != nullptr) {
@@ -113,7 +128,7 @@ bool Icc0Party::ingest(sim::Context& ctx, sim::PartyIndex from, const Message& m
 
 // --- stage 3 + 4: verify (memoized) then apply to the crypto-free pool ---
 
-bool Icc0Party::ingest_proposal(const ProposalMsg& msg) {
+bool Icc0Party::ingest_proposal(const ProposalMsg& msg, const types::SharedMessage& origin) {
   bool changed = false;
   // The bundled parent notarization is processed even when the block itself
   // is already known (an echo may carry the notarization we were missing).
@@ -128,7 +143,14 @@ bool Icc0Party::ingest_proposal(const ProposalMsg& msg) {
   if (b.round < 1 || b.proposer >= crypto_->n()) return changed;
   if (pool_.block(b.hash())) return changed;  // known: skip the crypto entirely
   if (!pipeline_.verify_proposal(msg)) return changed;
-  return pool_.add_proposal(msg) || changed;
+  // When the proposal is (part of) a shared parsed artifact, alias its
+  // block into the pool instead of copying — one Block for all n pools.
+  std::shared_ptr<const Block> shared_block;
+  if (origin != nullptr) {
+    if (const auto* pm = std::get_if<ProposalMsg>(origin.get()); pm == &msg)
+      shared_block = std::shared_ptr<const Block>(origin, &pm->block);
+  }
+  return pool_.add_proposal(msg, std::move(shared_block)) || changed;
 }
 
 bool Icc0Party::ingest_notarization(const NotarizationMsg& msg) {

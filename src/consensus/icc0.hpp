@@ -34,6 +34,8 @@ class Icc0Party : public sim::Process {
 
   void start(sim::Context& ctx) override;
   void receive(sim::Context& ctx, sim::PartyIndex from, BytesView payload) override;
+  void receive_shared(sim::Context& ctx, sim::PartyIndex from,
+                      const std::shared_ptr<const Bytes>& payload) override;
 
   // --- observability (tests, benches, examples) ---
   const std::vector<CommittedBlock>& committed() const { return committed_; }
@@ -59,9 +61,12 @@ class Icc0Party : public sim::Process {
   /// messages containing a full block (the expensive ones).
   virtual void disseminate(sim::Context& ctx, const types::Message& msg,
                            bool is_block_bearing);
-  /// Translate raw bytes into zero or more consensus messages, feeding them
-  /// to ingest(). The base implementation parses and ingests directly.
-  virtual void on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes);
+  /// Translate a wire buffer into zero or more consensus messages, feeding
+  /// them to ingest(). The buffer is the network's shared allocation — the
+  /// ingress pipeline interns it cluster-wide when a store is attached. The
+  /// base implementation decodes and ingests directly.
+  virtual void on_wire(sim::Context& ctx, sim::PartyIndex from,
+                       const std::shared_ptr<const Bytes>& bytes);
 
   /// Byzantine-behaviour hook: called instead of honest proposal logic when
   /// overridden (see byzantine.hpp). Returns true if a proposal was made.
@@ -73,8 +78,12 @@ class Icc0Party : public sim::Process {
 
   /// Insert a parsed message into the pool / beacon state. Returns true if
   /// state changed. `from` identifies the wire sender (used to answer
-  /// catch-up requests point-to-point; untrusted otherwise).
-  bool ingest(sim::Context& ctx, sim::PartyIndex from, const types::Message& msg);
+  /// catch-up requests point-to-point; untrusted otherwise). `origin`, when
+  /// set, is the shared parsed artifact `msg` lives inside — it lets the
+  /// proposal path alias the interned Block into the pool instead of
+  /// copying it.
+  bool ingest(sim::Context& ctx, sim::PartyIndex from, const types::Message& msg,
+              const types::SharedMessage& origin = nullptr);
 
   /// Drive the protocol until no clause fires.
   void evaluate(sim::Context& ctx);
@@ -95,7 +104,8 @@ class Icc0Party : public sim::Process {
   obs::JournalScribe journal_;         // flight recorder (no-op when detached)
 
   // Verified ingest helpers (stage 3 + 4 for one artifact type each).
-  bool ingest_proposal(const types::ProposalMsg& msg);
+  bool ingest_proposal(const types::ProposalMsg& msg,
+                       const types::SharedMessage& origin = nullptr);
   bool ingest_notarization(const types::NotarizationMsg& msg);
   bool ingest_notarization_share(const types::NotarizationShareMsg& msg);
   bool ingest_finalization(const types::FinalizationMsg& msg);

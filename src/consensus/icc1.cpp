@@ -11,48 +11,52 @@ void Icc1Party::disseminate(sim::Context& ctx, const types::Message& msg,
     ctx.broadcast(std::move(raw));
     return;
   }
-  // Block-bearing artifact: hold it and hand ourselves a copy (own pool).
-  // Small blocks are pushed whole (pulling costs two extra hops); large ones
-  // are advertised and pulled on demand.
+  // Block-bearing artifact: hold the shared wire buffer and hand ourselves
+  // the same handle (own pool). Small blocks are pushed whole (pulling costs
+  // two extra hops); large ones are advertised and pulled on demand. One
+  // allocation serves the gossip store, the self-delivery and every send.
   Round round = current_round();
-  if (gossip_.store(raw, round, ctx.now())) {
-    if (raw.size() <= gossip_.config().push_threshold) {
-      ctx.broadcast(std::move(raw));  // includes self-delivery
+  auto shared = std::make_shared<const Bytes>(std::move(raw));
+  if (gossip_.store(shared, round, ctx.now())) {
+    if (shared->size() <= gossip_.config().push_threshold) {
+      ctx.broadcast(shared);  // includes self-delivery
       return;
     }
-    ctx.send(ctx.self(), raw);  // immediate self-delivery
-    ctx.broadcast(types::serialize_message(types::Message{gossip_.advert_for(raw, round)}));
+    ctx.send(ctx.self(), shared);  // immediate self-delivery
+    ctx.broadcast(types::serialize_message(types::Message{gossip_.advert_for(*shared, round)}));
   }
 }
 
-void Icc1Party::on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes) {
+void Icc1Party::on_wire(sim::Context& ctx, sim::PartyIndex from,
+                        const std::shared_ptr<const Bytes>& bytes) {
   // Shared ingress stages: decode + dedup. Adverts and pull requests are
   // sender-scoped and bypass dedup inside decode, so the gossip handling
   // below sees every copy.
-  auto msg = pipeline_.decode(from, bytes);
+  types::SharedMessage msg = pipeline_.decode_shared(from, bytes);
   if (!msg) return;
 
-  if (auto* advert = std::get_if<types::AdvertMsg>(&*msg)) {
+  if (const auto* advert = std::get_if<types::AdvertMsg>(msg.get())) {
     gossip_.on_advert(ctx, from, *advert);
     return;
   }
-  if (auto* request = std::get_if<types::RequestMsg>(&*msg)) {
+  if (const auto* request = std::get_if<types::RequestMsg>(msg.get())) {
     gossip_.on_request(ctx, from, *request);
     return;
   }
 
   // A block body (pushed by ICC0-style echo of a peer, or pulled): become a
-  // source for it and tell the others, then feed consensus as usual.
+  // source for it and tell the others, then feed consensus as usual. The
+  // gossip layer stores the delivered wire buffer itself — across parties
+  // that is one shared allocation per artifact, not n copies.
   if (std::holds_alternative<types::ProposalMsg>(*msg)) {
-    Bytes raw(bytes.begin(), bytes.end());
     const auto& block = std::get<types::ProposalMsg>(*msg).block;
-    if (gossip_.store(raw, block.round, ctx.now())) {
+    if (gossip_.store(bytes, block.round, ctx.now())) {
       ctx.broadcast(
-          types::serialize_message(types::Message{gossip_.advert_for(raw, block.round)}));
+          types::serialize_message(types::Message{gossip_.advert_for(*bytes, block.round)}));
     }
   }
 
-  ingest(ctx, from, *msg);
+  ingest(ctx, from, *msg, msg);
   evaluate(ctx);
 }
 

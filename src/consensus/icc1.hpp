@@ -25,7 +25,8 @@ class Icc1Party : public Icc0Party {
  protected:
   void disseminate(sim::Context& ctx, const types::Message& msg,
                    bool is_block_bearing) override;
-  void on_wire(sim::Context& ctx, sim::PartyIndex from, BytesView bytes) override;
+  void on_wire(sim::Context& ctx, sim::PartyIndex from,
+               const std::shared_ptr<const Bytes>& bytes) override;
   void on_prune(Round round) override { gossip_.prune_below(round); }
 
   gossip::GossipLayer gossip_;

@@ -2,14 +2,15 @@
 
 namespace icc::gossip {
 
-bool GossipLayer::store(const Bytes& raw, Round round, sim::Time now) {
-  Hash id = types::artifact_id(raw);
-  auto [it, inserted] = artifacts_.emplace(id, Stored{raw, round});
+bool GossipLayer::store(std::shared_ptr<const Bytes> raw, Round round, sim::Time now) {
+  Hash id = types::artifact_id(*raw);
+  const size_t size = raw->size();
+  auto [it, inserted] = artifacts_.emplace(id, Stored{std::move(raw), round});
   if (!inserted) return false;
   if (auto pit = pending_.find(id); pit != pending_.end()) {
     if (probe_.on() && now >= 0 && pit->second.first_advert_at >= 0)
-      probe_.on_fetched(raw.size(), pit->second.first_advert_at, now);
-    if (now >= 0) journal_.gossip_deliver(round, id, raw.size(), now);
+      probe_.on_fetched(size, pit->second.first_advert_at, now);
+    if (now >= 0) journal_.gossip_deliver(round, id, size, now);
     pending_.erase(pit);  // no longer waiting for it
     probe_.on_pending_depth(static_cast<int64_t>(pending_.size()));
   }
@@ -82,7 +83,8 @@ void GossipLayer::on_request(sim::Context& ctx, sim::PartyIndex from,
   auto it = artifacts_.find(msg.artifact_id);
   if (it == artifacts_.end()) return;  // don't have it (or pruned)
   it->second.serves++;
-  probe_.on_request_served(it->second.bytes.size());
+  probe_.on_request_served(it->second.bytes->size());
+  // Shared-buffer send: the serve re-uses the stored wire allocation.
   ctx.send(from, it->second.bytes);
 }
 

@@ -60,8 +60,13 @@ class GossipLayer {
 
   /// Record an artifact we hold (originated or received). Returns true if it
   /// was new — the caller should then advertise it. `now` (virtual µs)
-  /// stamps the fetch-latency probe; -1 skips it.
-  bool store(const Bytes& raw, Round round, sim::Time now = -1);
+  /// stamps the fetch-latency probe; -1 skips it. The layer keeps the shared
+  /// handle (typically the network's wire buffer), so n holders of one
+  /// artifact share one allocation and serving it never copies.
+  bool store(std::shared_ptr<const Bytes> raw, Round round, sim::Time now = -1);
+  bool store(const Bytes& raw, Round round, sim::Time now = -1) {
+    return store(std::make_shared<const Bytes>(raw), round, now);
+  }
 
   bool has(const Hash& id) const { return artifacts_.count(id) > 0; }
 
@@ -94,7 +99,7 @@ class GossipLayer {
 
   /// An artifact we hold, with the round it belongs to (for pruning).
   struct Stored {
-    Bytes bytes;
+    std::shared_ptr<const Bytes> bytes;
     Round round = 0;
     uint32_t serves = 0;  // telemetry: times we uploaded it (fan-out)
   };

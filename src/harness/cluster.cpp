@@ -36,6 +36,8 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
     sim_->engine().set_executor(executor_.get());
   }
 
+  if (options.intern) intern_ = std::make_unique<pipeline::InternStore>();
+
   if (options.obs.enabled) {
     obs_ = std::make_unique<obs::Obs>(options.obs);
     sim_->network().attach_obs(obs_.get());
@@ -100,8 +102,11 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
       continue;
     }
     // Probes attach to honest parties only, so aggregate metrics describe
-    // honest behaviour (matching pipeline_stats()/verifier_stats()).
+    // honest behaviour (matching pipeline_stats()/verifier_stats()). The
+    // intern store follows the same rule: a Byzantine party must not be able
+    // to poison (or read) the honest parties' shared decode/verdict caches.
     pc.obs = it == corrupt.end() ? obs_.get() : nullptr;
+    pc.intern = it == corrupt.end() ? intern_.get() : nullptr;
     if (it == corrupt.end()) {
       std::unique_ptr<Icc0Party> p;
       switch (options.protocol) {
@@ -262,6 +267,10 @@ pipeline::Verifier::Stats Cluster::verifier_stats() const {
     if (honest_[i] && parties_[i]) total += parties_[i]->verifier().stats();
   }
   return total;
+}
+
+pipeline::InternStore::Stats Cluster::intern_stats() const {
+  return intern_ ? intern_->stats() : pipeline::InternStore::Stats{};
 }
 
 std::string Cluster::metrics_json() {

@@ -16,6 +16,7 @@
 #include "consensus/icc0.hpp"
 #include "gossip/gossip.hpp"
 #include "obs/obs.hpp"
+#include "pipeline/intern.hpp"
 #include "sim/simulation.hpp"
 #include "support/executor.hpp"
 
@@ -61,6 +62,14 @@ struct ClusterOptions {
   /// Ingress pipeline tuning (dedup / verification cache / batch verify).
   /// Defaults enable all stages; tests and benches flip them off to measure.
   pipeline::PipelineOptions pipeline;
+
+  /// Cluster-shared artifact interning (DESIGN.md §7): honest parties share
+  /// one decode per distinct wire payload and one real signature check per
+  /// distinct (signer, message, signature) triple. Off = per-party fidelity
+  /// mode (every party decodes and verifies on its own, as in real
+  /// deployments where processes do not share memory). Either way the
+  /// committed sequences, metrics and journal bytes are identical.
+  bool intern = true;
 
   /// Telemetry (metrics + span tracing). Disabled by default; when enabled,
   /// probes are attached to honest parties and the network, and the cluster
@@ -137,6 +146,13 @@ class Cluster {
   /// Verification counters summed over honest parties (provider calls,
   /// cache hits, batch calls, ...).
   pipeline::Verifier::Stats verifier_stats() const;
+  /// Cluster-shared intern store counters (parses, decode hits, real provider
+  /// verifications, shared-verdict hits). Zeroes when interning is off.
+  /// Deliberately NOT folded into metrics_json(): the real/hit split depends
+  /// on cross-party arrival interleaving under multi-thread runs, and the
+  /// journal/metrics byte-identity contract (DESIGN.md §6) must hold at any
+  /// thread count. Benches read it directly (threads=1 for exact numbers).
+  pipeline::InternStore::Stats intern_stats() const;
 
   // --- telemetry (ClusterOptions::obs.enabled) ---
   /// The run's telemetry sink; null when telemetry is disabled.
@@ -168,6 +184,9 @@ class Cluster {
   ClusterOptions options_;
   std::unique_ptr<crypto::CryptoProvider> crypto_;
   std::unique_ptr<obs::Obs> obs_;  ///< null unless options.obs.enabled
+  /// Cluster-shared intern store (null when options.intern is off). Declared
+  /// before sim_: parties hold raw pointers into it.
+  std::unique_ptr<pipeline::InternStore> intern_;
   /// Declared before sim_: parties and the engine hold raw pointers into the
   /// pool, so it must be destroyed after them.
   std::unique_ptr<support::Executor> executor_;  ///< null when threads <= 1

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"  // json_escape
 #include "obs/obs.hpp"
 #include "support/defer.hpp"
+#include "support/fingerprint.hpp"
 
 namespace icc::obs {
 
@@ -84,36 +85,10 @@ void CausalScribe::attach(Obs* obs, size_t n) {
 
 namespace {
 
-/// Fast 64-bit content fingerprint for edge ids (two independent
-/// multiply-xor lanes, 16 bytes per step, so the multiplies pipeline). This
-/// runs once per wire message and has to fit inside the F-OBS < 5%
-/// telemetry budget — a cryptographic hash does not. Edge uniqueness never
-/// depends on it (seq is the per-link message index); the fingerprint only
-/// ties the edge to its payload content.
-uint64_t fingerprint64(const uint8_t* p, size_t n) {
-  uint64_t a = 0x9e3779b97f4a7c15ull ^ (n * 0xff51afd7ed558ccdull);
-  uint64_t b = 0xc2b2ae3d27d4eb4full;
-  while (n >= 16) {
-    uint64_t w0, w1;
-    std::memcpy(&w0, p, 8);
-    std::memcpy(&w1, p + 8, 8);
-    a = (a ^ w0) * 0x2545f4914f6cdd1dull;
-    b = (b ^ w1) * 0x9e6c63d0873b66ebull;
-    p += 16;
-    n -= 16;
-  }
-  if (n >= 8) {
-    uint64_t w;
-    std::memcpy(&w, p, 8);
-    a = (a ^ w) * 0x2545f4914f6cdd1dull;
-    p += 8;
-    n -= 8;
-  }
-  uint64_t tail = 0;
-  std::memcpy(&tail, p, n);
-  uint64_t h = (a ^ (b >> 32) ^ (b << 32) ^ tail) * 0xff51afd7ed558ccdull;
-  return h ^ (h >> 33);
-}
+/// Edge-id fingerprint, shared with the artifact intern store. Edge
+/// uniqueness never depends on it (seq is the per-link message index); the
+/// fingerprint only ties the edge to its payload content.
+using support::fingerprint64;
 
 }  // namespace
 

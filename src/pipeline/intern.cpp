@@ -1,0 +1,123 @@
+#include "pipeline/intern.hpp"
+
+#include <algorithm>
+
+#include "support/fingerprint.hpp"
+
+namespace icc::pipeline {
+
+namespace {
+
+bool same_bytes(const Bytes& a, const Bytes& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+const InternedArtifact* find_in(
+    const std::unordered_map<uint64_t, std::vector<std::shared_ptr<const InternedArtifact>>>&
+        gen,
+    uint64_t fp, const Bytes& payload, std::shared_ptr<const InternedArtifact>* out) {
+  auto it = gen.find(fp);
+  if (it == gen.end()) return nullptr;
+  for (const auto& entry : it->second) {
+    if (same_bytes(*entry->bytes, payload)) {
+      *out = entry;
+      return out->get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::shared_ptr<const InternedArtifact> InternStore::intern(
+    const std::shared_ptr<const Bytes>& payload) {
+  const uint64_t fp = support::fingerprint64(payload->data(), payload->size());
+  ArtifactShard& s = artifact_shard(fp);
+  std::lock_guard<std::mutex> lk(s.mu);
+  std::shared_ptr<const InternedArtifact> hit;
+  if (find_in(s.current, fp, *payload, &hit) || find_in(s.previous, fp, *payload, &hit)) {
+    stats_.decode_hits.fetch_add(1, kRelaxed);
+    return hit;
+  }
+
+  // New payload: decode once, under the shard lock. Serializing the parse
+  // here is what makes `parses` exact at any thread count (concurrent
+  // receivers of the same broadcast block briefly and then share the one
+  // entry) and publishes the Block hash memo with a happens-before edge.
+  auto entry = std::make_shared<InternedArtifact>();
+  entry->bytes = payload;
+  entry->artifact_id = types::artifact_id(*payload);
+  entry->sender_scoped = types::sender_scoped_wire(*payload);
+  if (auto parsed = types::parse_message(*payload)) {
+    auto msg = std::make_shared<types::Message>(std::move(*parsed));
+    if (const auto* pm = std::get_if<types::ProposalMsg>(msg.get()))
+      pm->block.hash();  // stamp the memo before the entry escapes the lock
+    entry->msg = std::move(msg);
+  }
+  stats_.parses.fetch_add(1, kRelaxed);
+
+  if (options_.artifact_capacity > 0 &&
+      s.current_entries >= std::max<size_t>(1, options_.artifact_capacity / (2 * kShards))) {
+    s.previous = std::move(s.current);
+    s.current.clear();
+    s.current_entries = 0;
+  }
+  s.current[fp].push_back(entry);
+  s.current_entries++;
+  return entry;
+}
+
+std::optional<bool> InternStore::verdict(const types::Hash& key) const {
+  const VerdictShard& s = verdict_shard(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (auto it = s.current.find(key); it != s.current.end()) return it->second;
+  if (auto it = s.previous.find(key); it != s.previous.end()) return it->second;
+  return std::nullopt;
+}
+
+void InternStore::remember_verdict(const types::Hash& key, bool verdict) {
+  if (options_.verdict_capacity == 0) return;
+  VerdictShard& s = verdict_shard(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.current.size() >= std::max<size_t>(1, options_.verdict_capacity / (2 * kShards))) {
+    s.previous = std::move(s.current);
+    s.current.clear();
+  }
+  s.current[key] = verdict;
+}
+
+void InternStore::prime_verdict(const types::Hash& key) {
+  remember_verdict(key, true);
+  stats_.verdicts_primed.fetch_add(1, kRelaxed);
+}
+
+InternStore::Stats InternStore::stats() const {
+  Stats s;
+  s.parses = stats_.parses.load(kRelaxed);
+  s.decode_hits = stats_.decode_hits.load(kRelaxed);
+  s.real_verifications = stats_.real_verifications.load(kRelaxed);
+  s.verdict_memo_hits = stats_.verdict_memo_hits.load(kRelaxed);
+  s.verdicts_primed = stats_.verdicts_primed.load(kRelaxed);
+  return s;
+}
+
+size_t InternStore::interned_artifacts() const {
+  size_t total = 0;
+  for (const ArtifactShard& s : artifacts_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [fp, chain] : s.current) total += chain.size();
+    for (const auto& [fp, chain] : s.previous) total += chain.size();
+  }
+  return total;
+}
+
+size_t InternStore::cached_verdicts() const {
+  size_t total = 0;
+  for (const VerdictShard& s : verdicts_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.current.size() + s.previous.size();
+  }
+  return total;
+}
+
+}  // namespace icc::pipeline

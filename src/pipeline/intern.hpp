@@ -1,0 +1,139 @@
+// Cluster-wide artifact interning (DESIGN.md §7).
+//
+// A broadcast payload is delivered to n receivers as one shared buffer
+// (sim/network), but before this layer every receiver still parsed, hashed
+// and signature-checked those bytes independently — O(n) redundant decodes
+// and O(n) redundant verifies per artifact, O(n²) per round. Decode results
+// and signature verdicts are pure functions of the bytes, so one
+// cluster-shared store can answer all n receivers:
+//
+//   * the *artifact table* interns (wire bytes → parsed types::Message):
+//     parse_message runs once per distinct payload, under the owning shard's
+//     lock, and every receiver gets the same immutable
+//     std::shared_ptr<const Message>. Entries are keyed by the same 64-bit
+//     content fingerprint the causal layer stamps on edges, with full
+//     byte-equality chained behind it — so a fingerprint collision costs a
+//     bucket scan, never a wrong answer, and two *different* payloads from
+//     the same sender (equivocation) can never conflate.
+//   * the *verdict memo* shares (domain ‖ signer ‖ message ‖ signature)
+//     verification verdicts across all honest parties' Verifiers: a
+//     broadcast share costs ~1 real verification cluster-wide instead of n.
+//     Per-party Verifier stats stay *logical* (they count what a lone party
+//     would have verified), so F-PIPE/Table 1 reporting and the journal are
+//     byte-identical with interning on or off.
+//
+// Both tables are sharded (mutex per shard, two-generation rotation) like
+// the PR 6 per-party verdict cache. The artifact table's counters are exact
+// at any thread count because creation happens under the shard lock; the
+// verdict memo's real/memo-hit counters may differ by the few verifies that
+// race between check and remember — they are reported by benches (F-INTERN)
+// but deliberately kept out of metrics_json and the journal.
+//
+// Fidelity: real deployments cannot share caches across machines. The store
+// only changes *wall-clock* cost — virtual-time behaviour, commits, metrics
+// and journals are identical with interning on or off (tested in
+// tests/pipeline/intern_test.cpp) — but wall-clock benches that model
+// per-replica CPU honestly must run with ClusterOptions::intern = false.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "types/messages.hpp"
+
+namespace icc::pipeline {
+
+/// One interned wire payload. Immutable after publication (the shard lock
+/// that created it is the happens-before edge to every later reader).
+struct InternedArtifact {
+  std::shared_ptr<const Bytes> bytes;  ///< the exact wire bytes
+  types::Hash artifact_id{};           ///< SHA-256, identical to per-party dedup ids
+  bool sender_scoped = false;          ///< types::sender_scoped_wire(*bytes)
+  types::SharedMessage msg;            ///< parsed once; null = malformed payload
+};
+
+class InternStore {
+ public:
+  struct Options {
+    size_t artifact_capacity = 1 << 14;  ///< interned payloads (two-generation bound)
+    size_t verdict_capacity = 1 << 16;   ///< shared verdict memo entries
+  };
+
+  struct Stats {
+    uint64_t parses = 0;             ///< distinct payloads decoded (exact, any thread count)
+    uint64_t decode_hits = 0;        ///< intern() calls answered by an existing entry
+    uint64_t real_verifications = 0; ///< crypto checks that actually ran, cluster-wide
+    uint64_t verdict_memo_hits = 0;  ///< checks answered by the shared memo
+    uint64_t verdicts_primed = 0;    ///< verdicts inserted at sign/combine time
+  };
+
+  InternStore() = default;
+  explicit InternStore(const Options& options) : options_(options) {}
+
+  /// Look up (or create) the interned artifact for `payload`. The parse of
+  /// a new payload runs under the owning shard's lock, so `parses` counts
+  /// distinct payloads exactly, independent of thread interleaving, and the
+  /// contained Block's hash memo is stamped before the entry is published.
+  std::shared_ptr<const InternedArtifact> intern(const std::shared_ptr<const Bytes>& payload);
+
+  // --- shared verification memo (keys are Verifier::cache_key digests) ---
+  std::optional<bool> verdict(const types::Hash& key) const;
+  void remember_verdict(const types::Hash& key, bool verdict);
+  /// remember_verdict(key, true) + the primed counter: used by the
+  /// sign-and-prime and combine paths, whose artifacts are valid by
+  /// construction.
+  void prime_verdict(const types::Hash& key);
+
+  // --- F-INTERN accounting (bench-only; see header comment) ---
+  void count_real(uint64_t n) { stats_.real_verifications.fetch_add(n, kRelaxed); }
+  void count_memo_hit(uint64_t n = 1) { stats_.verdict_memo_hits.fetch_add(n, kRelaxed); }
+
+  Stats stats() const;
+  size_t interned_artifacts() const;
+  size_t cached_verdicts() const;
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+  static constexpr size_t kShards = 8;
+
+  /// Fingerprint-keyed bucket chain; full byte equality decides membership.
+  using Chain = std::vector<std::shared_ptr<const InternedArtifact>>;
+  struct ArtifactShard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Chain> current;
+    std::unordered_map<uint64_t, Chain> previous;
+    size_t current_entries = 0;  ///< artifacts (not buckets) in current
+  };
+  struct VerdictShard {
+    mutable std::mutex mu;
+    std::unordered_map<types::Hash, bool, types::HashHasher> current;
+    std::unordered_map<types::Hash, bool, types::HashHasher> previous;
+  };
+
+  ArtifactShard& artifact_shard(uint64_t fp) { return artifacts_[fp % kShards]; }
+  const ArtifactShard& artifact_shard(uint64_t fp) const { return artifacts_[fp % kShards]; }
+  VerdictShard& verdict_shard(const types::Hash& key) { return verdicts_[key[0] % kShards]; }
+  const VerdictShard& verdict_shard(const types::Hash& key) const {
+    return verdicts_[key[0] % kShards];
+  }
+
+  Options options_;
+  std::array<ArtifactShard, kShards> artifacts_;
+  std::array<VerdictShard, kShards> verdicts_;
+
+  struct StatsCells {
+    std::atomic<uint64_t> parses{0};
+    std::atomic<uint64_t> decode_hits{0};
+    std::atomic<uint64_t> real_verifications{0};
+    std::atomic<uint64_t> verdict_memo_hits{0};
+    std::atomic<uint64_t> verdicts_primed{0};
+  };
+  mutable StatsCells stats_;
+};
+
+}  // namespace icc::pipeline

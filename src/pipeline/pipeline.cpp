@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "pipeline/intern.hpp"
+
 namespace icc::pipeline {
 namespace {
 
@@ -49,24 +51,28 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
   return *this;
 }
 
+bool IngressPipeline::dedup_admit(uint32_t from, const types::Hash& id) {
+  if (seen_.count(id)) {
+    stats_.duplicates++;
+    if (from < stats_.duplicates_from.size()) stats_.duplicates_from[from]++;
+    return false;
+  }
+  seen_.insert(id);
+  seen_order_.push_back(id);
+  while (seen_order_.size() > options_.dedup_capacity) {
+    seen_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return true;
+}
+
 std::optional<types::Message> IngressPipeline::decode(uint32_t from, BytesView bytes) {
   StageTimer timer(decode_wall_ns_);
   if (options_.dedup) {
     if (types::sender_scoped_wire(bytes)) {
       stats_.dedup_exempt++;
-    } else {
-      types::Hash id = types::artifact_id(bytes);
-      if (seen_.count(id)) {
-        stats_.duplicates++;
-        if (from < stats_.duplicates_from.size()) stats_.duplicates_from[from]++;
-        return std::nullopt;
-      }
-      seen_.insert(id);
-      seen_order_.push_back(id);
-      while (seen_order_.size() > options_.dedup_capacity) {
-        seen_.erase(seen_order_.front());
-        seen_order_.pop_front();
-      }
+    } else if (!dedup_admit(from, types::artifact_id(bytes))) {
+      return std::nullopt;
     }
   }
   auto msg = types::parse_message(bytes);
@@ -76,6 +82,52 @@ std::optional<types::Message> IngressPipeline::decode(uint32_t from, BytesView b
   }
   stats_.decoded++;
   return msg;
+}
+
+types::SharedMessage IngressPipeline::decode_shared(
+    uint32_t from, const std::shared_ptr<const Bytes>& payload) {
+  StageTimer timer(decode_wall_ns_);
+  if (intern_ != nullptr) {
+    // The entry carries the same artifact id / sender-scoping the per-party
+    // path computes, so the dedup window sees identical ids in identical
+    // order — stats and eviction cannot diverge between the two modes.
+    auto entry = intern_->intern(payload);
+    if (options_.dedup) {
+      if (entry->sender_scoped) {
+        stats_.dedup_exempt++;
+      } else if (!dedup_admit(from, entry->artifact_id)) {
+        return nullptr;
+      }
+    }
+    if (!entry->msg) {
+      stats_.malformed++;
+      return nullptr;
+    }
+    stats_.decoded++;
+    return entry->msg;
+  }
+  BytesView bytes(*payload);
+  if (options_.dedup) {
+    if (types::sender_scoped_wire(bytes)) {
+      stats_.dedup_exempt++;
+    } else if (!dedup_admit(from, types::artifact_id(bytes))) {
+      return nullptr;
+    }
+  }
+  auto msg = types::parse_message(bytes);
+  if (!msg) {
+    stats_.malformed++;
+    return nullptr;
+  }
+  stats_.decoded++;
+  return std::make_shared<const types::Message>(std::move(*msg));
+}
+
+types::SharedMessage IngressPipeline::parse_only(const std::shared_ptr<const Bytes>& payload) {
+  if (intern_ != nullptr) return intern_->intern(payload)->msg;
+  auto msg = types::parse_message(*payload);
+  if (!msg) return nullptr;
+  return std::make_shared<const types::Message>(std::move(*msg));
 }
 
 bool IngressPipeline::verify_proposal(const types::ProposalMsg& m) {

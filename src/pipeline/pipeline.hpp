@@ -49,6 +49,22 @@ class IngressPipeline {
   /// payload was dropped.
   std::optional<types::Message> decode(uint32_t from, BytesView bytes);
 
+  /// Shared-buffer variant of decode(): with an attached InternStore the
+  /// parse (and artifact hash) happens once per distinct payload
+  /// cluster-wide; without one this is decode() plus a per-party allocation
+  /// of the result. Stats (decoded/malformed/duplicates/dedup_exempt), the
+  /// per-party dedup window and its eviction order are identical either way.
+  types::SharedMessage decode_shared(uint32_t from,
+                                     const std::shared_ptr<const Bytes>& payload);
+
+  /// Stage-1-only parse of a locally reconstructed buffer (ICC2's RBC
+  /// output): interned by content when a store is attached, else parsed
+  /// per-party. Touches no pipeline stats — reconstruction is not ingress.
+  types::SharedMessage parse_only(const std::shared_ptr<const Bytes>& payload);
+
+  /// Attach the cluster-shared intern store (also see Verifier::attach_intern).
+  void attach_intern(InternStore* intern) { intern_ = intern; }
+
   // --- stage 3: type-specific verification (memoized via the Verifier) ---
   /// Authenticator check for a proposal/echo. The bundled parent
   /// notarization is NOT covered — parse it and route it through
@@ -69,8 +85,12 @@ class IngressPipeline {
   void attach_obs(obs::Obs* obs);
 
  private:
+  /// Stage 2 for one artifact id: true = admit (and record), false = drop.
+  bool dedup_admit(uint32_t from, const types::Hash& id);
+
   Verifier* verifier_;
   PipelineOptions options_;
+  InternStore* intern_ = nullptr;
   PipelineStats stats_;
   obs::Histogram* decode_wall_ns_ = nullptr;
   obs::Histogram* verify_wall_ns_ = nullptr;

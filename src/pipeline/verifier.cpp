@@ -1,5 +1,7 @@
 #include "pipeline/verifier.hpp"
 
+#include "pipeline/intern.hpp"
+
 namespace icc::pipeline {
 
 namespace {
@@ -57,8 +59,22 @@ bool Verifier::memoized(Domain domain, crypto::PartyIndex signer, BytesView mess
     stats_.cache_hits.fetch_add(1, kRelaxed);
     return *verdict;
   }
+  // Logical accounting first: a lone party would verify here, and the
+  // per-party stats must not depend on whether the shared memo answers.
   stats_.provider_verifications.fetch_add(1, kRelaxed);
-  bool verdict = check();
+  bool verdict;
+  if (intern_ != nullptr) {
+    if (auto shared = intern_->verdict(key)) {
+      intern_->count_memo_hit();
+      verdict = *shared;
+    } else {
+      intern_->count_real(1);
+      verdict = check();
+      intern_->remember_verdict(key, verdict);
+    }
+  } else {
+    verdict = check();
+  }
   remember(key, verdict);
   return verdict;
 }
@@ -92,8 +108,12 @@ bool Verifier::verify_beacon_share(crypto::PartyIndex signer, BytesView message,
 Bytes Verifier::sign_auth(crypto::PartyIndex signer, BytesView message) {
   Bytes sig = provider_->sign(signer, message);
   if (options_.cache) {
-    remember(cache_key(Domain::kAuth, signer, message, sig), true);
+    types::Hash key = cache_key(Domain::kAuth, signer, message, sig);
+    remember(key, true);
     stats_.primed.fetch_add(1, kRelaxed);
+    // Sign-and-prime the shared memo too: our signature is valid by
+    // construction, so no party in the cluster ever re-verifies it.
+    if (intern_ != nullptr) intern_->prime_verdict(key);
   }
   return sig;
 }
@@ -102,8 +122,10 @@ Bytes Verifier::threshold_sign_share(crypto::Scheme scheme, crypto::PartyIndex s
                                      BytesView message) {
   Bytes share = provider_->threshold_sign_share(scheme, signer, message);
   if (options_.cache) {
-    remember(cache_key(share_domain(scheme), signer, message, share), true);
+    types::Hash key = cache_key(share_domain(scheme), signer, message, share);
+    remember(key, true);
     stats_.primed.fetch_add(1, kRelaxed);
+    if (intern_ != nullptr) intern_->prime_verdict(key);
   }
   return share;
 }
@@ -111,8 +133,10 @@ Bytes Verifier::threshold_sign_share(crypto::Scheme scheme, crypto::PartyIndex s
 Bytes Verifier::beacon_sign_share(crypto::PartyIndex signer, BytesView message) {
   Bytes share = provider_->beacon_sign_share(signer, message);
   if (options_.cache) {
-    remember(cache_key(Domain::kBeaconShare, signer, message, share), true);
+    types::Hash key = cache_key(Domain::kBeaconShare, signer, message, share);
+    remember(key, true);
     stats_.primed.fetch_add(1, kRelaxed);
+    if (intern_ != nullptr) intern_->prime_verdict(key);
   }
   return share;
 }
@@ -142,35 +166,37 @@ std::vector<uint8_t> Verifier::verify_shares_batch(
     for (size_t i : misses) pending.push_back(shares[i]);
     // Stats are accounted *logically* — one batch call, miss-count provider
     // verifications, one histogram sample — whether or not the work is
-    // sliced below. Metrics therefore cannot depend on the thread count.
+    // sliced or partially answered by the shared memo below. Metrics
+    // therefore cannot depend on the thread count or on interning.
     stats_.batch_calls.fetch_add(1, kRelaxed);
     if (batch_size_hist_) batch_size_hist_->record(static_cast<int64_t>(pending.size()));
     stats_.provider_verifications.fetch_add(pending.size(), kRelaxed);
 
-    std::vector<uint8_t> batch;
-    size_t slices = 1;
-    if (executor_ != nullptr && executor_->threads() > 1)
-      slices = std::min(executor_->threads(), pending.size() / kMinSliceShares);
-    if (slices > 1) {
-      // Slice the pending set into near-equal contiguous chunks; each pool
-      // job runs the provider's batch equation over its chunk and writes
-      // verdicts into a disjoint range. Crypto providers are stateless
-      // after construction, so concurrent calls are safe.
-      batch.resize(pending.size());
-      const size_t base = pending.size() / slices;
-      const size_t extra = pending.size() % slices;
-      std::vector<size_t> begin(slices + 1, 0);
-      for (size_t c = 0; c < slices; ++c)
-        begin[c + 1] = begin[c] + base + (c < extra ? 1 : 0);
-      std::span<const std::pair<crypto::PartyIndex, Bytes>> all(pending);
-      executor_->parallel_for(slices, [&](size_t c) {
-        auto chunk = all.subspan(begin[c], begin[c + 1] - begin[c]);
-        std::vector<uint8_t> out =
-            provider_->threshold_verify_share_batch(scheme, message, chunk);
-        std::copy(out.begin(), out.end(), batch.begin() + static_cast<ptrdiff_t>(begin[c]));
-      });
+    std::vector<uint8_t> batch(misses.size(), 0);
+    if (intern_ != nullptr) {
+      // Answer what the cluster has already verified; batch only the rest.
+      std::vector<size_t> real_idx;
+      for (size_t j = 0; j < misses.size(); ++j) {
+        if (auto shared = intern_->verdict(miss_keys[j])) {
+          intern_->count_memo_hit();
+          batch[j] = *shared ? 1 : 0;
+        } else {
+          real_idx.push_back(j);
+        }
+      }
+      if (!real_idx.empty()) {
+        std::vector<std::pair<crypto::PartyIndex, Bytes>> real_pending;
+        real_pending.reserve(real_idx.size());
+        for (size_t j : real_idx) real_pending.push_back(pending[j]);
+        intern_->count_real(real_pending.size());
+        std::vector<uint8_t> out = run_share_batch(scheme, message, real_pending);
+        for (size_t k = 0; k < real_idx.size(); ++k) {
+          batch[real_idx[k]] = out[k];
+          intern_->remember_verdict(miss_keys[real_idx[k]], out[k] != 0);
+        }
+      }
     } else {
-      batch = provider_->threshold_verify_share_batch(scheme, message, pending);
+      batch = run_share_batch(scheme, message, pending);
     }
 
     // Merge and memoize on the calling thread, in submission order — cache
@@ -182,18 +208,55 @@ std::vector<uint8_t> Verifier::verify_shares_batch(
       all_ok = all_ok && batch[j];
     }
     // The combined equation fails iff some share is invalid, in which case
-    // the provider fell back to per-item checks to identify it.
+    // the provider fell back to per-item checks to identify it. (Logical:
+    // counted over all misses even when the memo answered some.)
     if (!all_ok) stats_.batch_fallbacks.fetch_add(1, kRelaxed);
     return verdicts;
   }
   for (size_t j = 0; j < misses.size(); ++j) {
     const auto& [signer, share] = shares[misses[j]];
     stats_.provider_verifications.fetch_add(1, kRelaxed);
-    bool ok = provider_->threshold_verify_share(scheme, signer, message, share);
+    bool ok;
+    if (intern_ != nullptr) {
+      if (auto shared = intern_->verdict(miss_keys[j])) {
+        intern_->count_memo_hit();
+        ok = *shared;
+      } else {
+        intern_->count_real(1);
+        ok = provider_->threshold_verify_share(scheme, signer, message, share);
+        intern_->remember_verdict(miss_keys[j], ok);
+      }
+    } else {
+      ok = provider_->threshold_verify_share(scheme, signer, message, share);
+    }
     remember(miss_keys[j], ok);
     verdicts[misses[j]] = ok ? 1 : 0;
   }
   return verdicts;
+}
+
+std::vector<uint8_t> Verifier::run_share_batch(
+    crypto::Scheme scheme, BytesView message,
+    std::span<const std::pair<crypto::PartyIndex, Bytes>> pending) {
+  size_t slices = 1;
+  if (executor_ != nullptr && executor_->threads() > 1)
+    slices = std::min(executor_->threads(), pending.size() / kMinSliceShares);
+  if (slices <= 1) return provider_->threshold_verify_share_batch(scheme, message, pending);
+  // Slice the pending set into near-equal contiguous chunks; each pool
+  // job runs the provider's batch equation over its chunk and writes
+  // verdicts into a disjoint range. Crypto providers are stateless
+  // after construction, so concurrent calls are safe.
+  std::vector<uint8_t> batch(pending.size(), 0);
+  const size_t base = pending.size() / slices;
+  const size_t extra = pending.size() % slices;
+  std::vector<size_t> begin(slices + 1, 0);
+  for (size_t c = 0; c < slices; ++c) begin[c + 1] = begin[c] + base + (c < extra ? 1 : 0);
+  executor_->parallel_for(slices, [&](size_t c) {
+    auto chunk = pending.subspan(begin[c], begin[c + 1] - begin[c]);
+    std::vector<uint8_t> out = provider_->threshold_verify_share_batch(scheme, message, chunk);
+    std::copy(out.begin(), out.end(), batch.begin() + static_cast<ptrdiff_t>(begin[c]));
+  });
+  return batch;
 }
 
 Bytes Verifier::threshold_combine(
@@ -201,8 +264,11 @@ Bytes Verifier::threshold_combine(
     std::span<const std::pair<crypto::PartyIndex, Bytes>> shares) {
   if (!options_.cache) {
     // Without memoization the provider's own verify-and-combine is exactly
-    // the pre-pipeline behaviour.
+    // the pre-pipeline behaviour (the shared memo keys off the per-party
+    // cache keys, so it is not consulted either; the real checks inside the
+    // provider still count toward F-INTERN).
     stats_.provider_verifications.fetch_add(shares.size(), kRelaxed);
+    if (intern_ != nullptr) intern_->count_real(shares.size());
     return provider_->threshold_combine(scheme, message, shares);
   }
   std::vector<uint8_t> verdicts = verify_shares_batch(scheme, message, shares);
@@ -215,8 +281,13 @@ Bytes Verifier::threshold_combine(
   Bytes agg = provider_->threshold_combine_preverified(scheme, message, valid);
   if (!agg.empty()) {
     // Prime the aggregate's verdict: our own broadcast of it echoes back.
-    remember(cache_key(agg_domain(scheme), 0xffffffffu, message, agg), true);
+    // Threshold signatures are unique, so every party combining the same
+    // quorum produces these bytes — priming the shared memo saves the
+    // aggregate check for the whole cluster.
+    types::Hash key = cache_key(agg_domain(scheme), 0xffffffffu, message, agg);
+    remember(key, true);
     stats_.primed.fetch_add(1, kRelaxed);
+    if (intern_ != nullptr) intern_->prime_verdict(key);
   }
   return agg;
 }
@@ -225,6 +296,7 @@ Bytes Verifier::beacon_combine(
     BytesView message, std::span<const std::pair<crypto::PartyIndex, Bytes>> shares) {
   if (!options_.cache) {
     stats_.provider_verifications.fetch_add(shares.size(), kRelaxed);
+    if (intern_ != nullptr) intern_->count_real(shares.size());
     return provider_->beacon_combine(message, shares);
   }
   std::vector<std::pair<crypto::PartyIndex, Bytes>> valid;

@@ -57,6 +57,8 @@
 
 namespace icc::pipeline {
 
+class InternStore;
+
 /// Tuning knobs for the staged ingress pipeline (decode → dedup → verify →
 /// apply). Lives here so crypto-layer consumers need not pull in the
 /// pipeline itself.
@@ -137,6 +139,15 @@ class Verifier {
   /// single-call path. The verifier does not own the executor.
   void attach_executor(support::Executor* executor) { executor_ = executor; }
 
+  /// Attach the cluster-shared intern store (DESIGN.md §7). Its verdict memo
+  /// is consulted *after* a per-party cache miss and filled alongside every
+  /// real verification / sign-time prime, so one party's work answers every
+  /// other party's check. The per-party logical stats above are computed
+  /// before the memo is consulted and are byte-identical with or without it.
+  /// Requires options.cache (the memo shares the per-party cache keys); the
+  /// harness only attaches it when the verdict cache stage is on.
+  void attach_intern(InternStore* intern) { intern_ = intern; }
+
  private:
   // Verdict-cache key domains (distinct per signature scheme/usage).
   enum class Domain : uint8_t {
@@ -170,9 +181,17 @@ class Verifier {
   /// the lost batch-equation amortization) outweighs the parallelism.
   static constexpr size_t kMinSliceShares = 8;
 
+  /// Run the provider's (possibly executor-sliced) batch equation over
+  /// `pending`; one verdict per entry. Wall-clock only — callers account
+  /// logical stats themselves.
+  std::vector<uint8_t> run_share_batch(
+      crypto::Scheme scheme, BytesView message,
+      std::span<const std::pair<crypto::PartyIndex, Bytes>> pending);
+
   crypto::CryptoProvider* provider_;
   PipelineOptions options_;
   support::Executor* executor_ = nullptr;
+  InternStore* intern_ = nullptr;
   obs::Histogram* batch_size_hist_ = nullptr;
 
   struct StatsCells {

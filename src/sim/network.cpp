@@ -88,7 +88,13 @@ bool SynchronySchedule::is_async_at(Time t) const {
 Time Context::now() const { return net_->engine().now(); }
 size_t Context::n() const { return net_->n(); }
 void Context::broadcast(Bytes payload) { net_->broadcast(self_, std::move(payload)); }
+void Context::broadcast(std::shared_ptr<const Bytes> payload) {
+  net_->broadcast(self_, std::move(payload));
+}
 void Context::send(PartyIndex to, Bytes payload) { net_->send(self_, to, std::move(payload)); }
+void Context::send(PartyIndex to, std::shared_ptr<const Bytes> payload) {
+  net_->send(self_, to, std::move(payload));
+}
 
 EventId Context::set_timer(Duration delay, std::function<void()> fn) {
   // Timers touch only the arming party's state: tag them with its index so
@@ -173,17 +179,17 @@ void Network::deliver(PartyIndex from, PartyIndex to,
       [this, from, to, payload, causal, edge] {
         probe_.on_deliver();
         if (causal) causal_.on_recv(from, to, edge, engine_->now());
-        processes_[to]->receive(contexts_[to], from, *payload);
+        processes_[to]->receive_shared(contexts_[to], from, payload);
       },
       to);
 }
 
-void Network::broadcast(PartyIndex from, Bytes payload) {
-  auto shared = std::make_shared<const Bytes>(std::move(payload));
+void Network::broadcast(PartyIndex from, std::shared_ptr<const Bytes> payload) {
+  auto shared = std::move(payload);
   // Self-delivery: immediate, free (own pool).
   engine_->schedule_after(
       0,
-      [this, from, shared] { processes_[from]->receive(contexts_[from], from, *shared); },
+      [this, from, shared] { processes_[from]->receive_shared(contexts_[from], from, shared); },
       from);
   for (PartyIndex to = 0; to < processes_.size(); ++to) {
     if (to == from) continue;
@@ -191,12 +197,12 @@ void Network::broadcast(PartyIndex from, Bytes payload) {
   }
 }
 
-void Network::send(PartyIndex from, PartyIndex to, Bytes payload) {
-  auto shared = std::make_shared<const Bytes>(std::move(payload));
+void Network::send(PartyIndex from, PartyIndex to, std::shared_ptr<const Bytes> payload) {
+  auto shared = std::move(payload);
   if (to == from) {
     engine_->schedule_after(
         0,
-        [this, from, shared] { processes_[from]->receive(contexts_[from], from, *shared); },
+        [this, from, shared] { processes_[from]->receive_shared(contexts_[from], from, shared); },
         from);
     return;
   }

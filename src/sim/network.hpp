@@ -162,9 +162,13 @@ class Context {
   /// Send `payload` to every party. Self-delivery is immediate and free
   /// (a party always has its own messages in its pool).
   void broadcast(Bytes payload);
+  /// Shared-buffer broadcast: re-sends an already-materialized wire buffer
+  /// (gossip push/serve) without copying it per recipient.
+  void broadcast(std::shared_ptr<const Bytes> payload);
 
   /// Point-to-point send (also delivers to self immediately if to == self).
   void send(PartyIndex to, Bytes payload);
+  void send(PartyIndex to, std::shared_ptr<const Bytes> payload);
 
   /// One-shot timer.
   EventId set_timer(Duration delay, std::function<void()> fn);
@@ -184,6 +188,16 @@ class Process {
   virtual ~Process() = default;
   virtual void start(Context& ctx) = 0;
   virtual void receive(Context& ctx, PartyIndex from, BytesView payload) = 0;
+
+  /// Shared-buffer delivery: the network hands every receiver the *same*
+  /// immutable wire buffer (one allocation per broadcast, and the key the
+  /// artifact intern store of DESIGN.md §7 is built on). The default
+  /// forwards to receive(), so simple processes (tests, Byzantine
+  /// behaviours) only implement the view-based hook.
+  virtual void receive_shared(Context& ctx, PartyIndex from,
+                              const std::shared_ptr<const Bytes>& payload) {
+    receive(ctx, from, *payload);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -224,8 +238,14 @@ class Network {
   /// Calls start() on every process (at current virtual time).
   void start_all();
 
-  void broadcast(PartyIndex from, Bytes payload);
-  void send(PartyIndex from, PartyIndex to, Bytes payload);
+  void broadcast(PartyIndex from, Bytes payload) {
+    broadcast(from, std::make_shared<const Bytes>(std::move(payload)));
+  }
+  void broadcast(PartyIndex from, std::shared_ptr<const Bytes> payload);
+  void send(PartyIndex from, PartyIndex to, Bytes payload) {
+    send(from, to, std::make_shared<const Bytes>(std::move(payload)));
+  }
+  void send(PartyIndex from, PartyIndex to, std::shared_ptr<const Bytes> payload);
 
   SynchronySchedule& synchrony() { return synchrony_; }
 

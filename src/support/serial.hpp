@@ -23,6 +23,11 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Pre-size the buffer for `n` additional bytes. Serialize hot paths pass
+  /// an exact (or slightly generous) size hint so encoding a message is a
+  /// single allocation instead of log(n) vector doublings.
+  void reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
   void u8(uint8_t v) { buf_.push_back(v); }
   void u16(uint16_t v) {
     buf_.push_back(static_cast<uint8_t>(v));

@@ -11,6 +11,7 @@ const Hash& root_hash() {
 
 Bytes Block::serialize() const {
   Writer w;
+  w.reserve(1 + 4 + 4 + parent_hash.size() + 4 + payload.size());
   w.u8(0x42);  // 'B' domain tag
   w.u32(round);
   w.u32(proposer);
@@ -30,17 +31,28 @@ std::optional<Block> Block::deserialize(BytesView bytes) {
     std::copy(ph.begin(), ph.end(), b.parent_hash.begin());
     b.payload = r.bytes();
     r.expect_done();
+    // The encoding is canonical and expect_done() rejected trailing bytes,
+    // so the input IS serialize(); stamp the hash memo without re-encoding.
+    b.hash_memo_ = crypto::Sha256::hash(bytes);
+    b.hash_known_ = true;
     return b;
   } catch (const ParseError&) {
     return std::nullopt;
   }
 }
 
-Hash Block::hash() const { return crypto::Sha256::hash(serialize()); }
+Hash Block::hash() const {
+  if (!hash_known_) {
+    hash_memo_ = crypto::Sha256::hash(serialize());
+    hash_known_ = true;
+  }
+  return hash_memo_;
+}
 
 namespace {
 Bytes tagged_message(uint8_t tag, Round round, PartyIndex proposer, const Hash& block_hash) {
   Writer w;
+  w.reserve(1 + 4 + 4 + block_hash.size());
   w.u8(tag);
   w.u32(round);
   w.u32(proposer);
@@ -63,6 +75,7 @@ Bytes finalization_message(Round round, PartyIndex proposer, const Hash& block_h
 
 Bytes beacon_message(Round round, BytesView prev_beacon) {
   Writer w;
+  w.reserve(1 + 4 + 4 + prev_beacon.size());
   w.u8(0x04);
   w.u32(round);
   w.bytes(prev_beacon);

@@ -43,10 +43,37 @@ struct Block {
   Bytes serialize() const;
   static std::optional<Block> deserialize(BytesView bytes);
 
-  /// H(B) over the canonical encoding.
+  /// H(B) over the canonical encoding, memoized on first call (and stamped
+  /// directly from the input bytes by deserialize(), which never pays the
+  /// re-serialize). Moves carry the memo (the fields travel with it); copies
+  /// drop it, so the common copy-then-mutate pattern (equivocation tests,
+  /// block builders) can never observe a stale hash.
   Hash hash() const;
 
-  bool operator==(const Block& o) const = default;
+  Block() = default;
+  Block(Block&&) = default;
+  Block& operator=(Block&&) = default;
+  Block(const Block& o)
+      : round(o.round), proposer(o.proposer), parent_hash(o.parent_hash),
+        payload(o.payload) {}
+  Block& operator=(const Block& o) {
+    round = o.round;
+    proposer = o.proposer;
+    parent_hash = o.parent_hash;
+    payload = o.payload;
+    hash_known_ = false;
+    return *this;
+  }
+
+  /// Equality is over the logical fields only; the hash memo is a cache.
+  bool operator==(const Block& o) const {
+    return round == o.round && proposer == o.proposer &&
+           parent_hash == o.parent_hash && payload == o.payload;
+  }
+
+ private:
+  mutable Hash hash_memo_{};
+  mutable bool hash_known_ = false;
 };
 
 /// Canonical byte strings that S_auth / S_notary / S_final sign. These match

@@ -30,16 +30,24 @@ Hash get_hash(Reader& r) {
   return h;
 }
 
+/// serialize() size hints: exact envelope overheads so the Writer allocates
+/// once. kHdr covers tag + the fixed u32 fields; each length-prefixed field
+/// adds 4 + its size.
 struct SerializeVisitor {
   Writer& w;
 
   void operator()(const ProposalMsg& m) {
+    // Block encoding is 45 + payload bytes (tag + round + proposer + parent
+    // hash + length-prefixed payload).
+    w.reserve(1 + 4 + 45 + m.block.payload.size() + 4 + m.authenticator.size() + 4 +
+              m.parent_notarization.size());
     w.u8(static_cast<uint8_t>(MsgType::kProposal));
     w.bytes(m.block.serialize());
     w.bytes(m.authenticator);
     w.bytes(m.parent_notarization);
   }
   void operator()(const NotarizationShareMsg& m) {
+    w.reserve(1 + 4 + 4 + 32 + 4 + 4 + m.share.size());
     w.u8(static_cast<uint8_t>(MsgType::kNotarizationShare));
     w.u32(m.round);
     w.u32(m.proposer);
@@ -48,6 +56,7 @@ struct SerializeVisitor {
     w.bytes(m.share);
   }
   void operator()(const NotarizationMsg& m) {
+    w.reserve(1 + 4 + 4 + 32 + 4 + m.aggregate.size());
     w.u8(static_cast<uint8_t>(MsgType::kNotarization));
     w.u32(m.round);
     w.u32(m.proposer);
@@ -55,6 +64,7 @@ struct SerializeVisitor {
     w.bytes(m.aggregate);
   }
   void operator()(const FinalizationShareMsg& m) {
+    w.reserve(1 + 4 + 4 + 32 + 4 + 4 + m.share.size());
     w.u8(static_cast<uint8_t>(MsgType::kFinalizationShare));
     w.u32(m.round);
     w.u32(m.proposer);
@@ -63,6 +73,7 @@ struct SerializeVisitor {
     w.bytes(m.share);
   }
   void operator()(const FinalizationMsg& m) {
+    w.reserve(1 + 4 + 4 + 32 + 4 + m.aggregate.size());
     w.u8(static_cast<uint8_t>(MsgType::kFinalization));
     w.u32(m.round);
     w.u32(m.proposer);
@@ -70,12 +81,14 @@ struct SerializeVisitor {
     w.bytes(m.aggregate);
   }
   void operator()(const BeaconShareMsg& m) {
+    w.reserve(1 + 4 + 4 + 4 + m.share.size());
     w.u8(static_cast<uint8_t>(MsgType::kBeaconShare));
     w.u32(m.round);
     w.u32(m.signer);
     w.bytes(m.share);
   }
   void operator()(const AdvertMsg& m) {
+    w.reserve(1 + 1 + 4 + 32 + 4);
     w.u8(static_cast<uint8_t>(MsgType::kAdvert));
     w.u8(m.artifact_type);
     w.u32(m.round);
@@ -83,10 +96,12 @@ struct SerializeVisitor {
     w.u32(m.size_hint);
   }
   void operator()(const RequestMsg& m) {
+    w.reserve(1 + 32);
     w.u8(static_cast<uint8_t>(MsgType::kRequest));
     put_hash(w, m.artifact_id);
   }
   void operator()(const CupShareMsg& m) {
+    w.reserve(1 + 4 + 32 + 4 + m.beacon_value.size() + 4 + 4 + m.share.size());
     w.u8(static_cast<uint8_t>(MsgType::kCupShare));
     w.u32(m.round);
     put_hash(w, m.block_hash);
@@ -95,10 +110,13 @@ struct SerializeVisitor {
     w.bytes(m.share);
   }
   void operator()(const CupRequestMsg& m) {
+    w.reserve(1 + 4);
     w.u8(static_cast<uint8_t>(MsgType::kCupRequest));
     w.u32(m.above_round);
   }
   void operator()(const CupMsg& m) {
+    w.reserve(1 + 4 + 4 + m.proposal.size() + 4 + m.notarization.size() + 4 +
+              m.finalization.size() + 4 + m.beacon_value.size() + 4 + m.aggregate.size());
     w.u8(static_cast<uint8_t>(MsgType::kCup));
     w.u32(m.round);
     w.bytes(m.proposal);
@@ -108,6 +126,9 @@ struct SerializeVisitor {
     w.bytes(m.aggregate);
   }
   void operator()(const RbcFragmentMsg& m) {
+    w.reserve(1 + 4 + 4 + 32 + 32 + 4 + 4 + 4 + m.fragment.size() + 4 +
+              m.merkle_proof.size() + 4 + m.authenticator.size() + 4 +
+              m.parent_notarization.size());
     w.u8(static_cast<uint8_t>(MsgType::kRbcFragment));
     w.u32(m.round);
     w.u32(m.proposer);
@@ -271,6 +292,7 @@ bool sender_scoped_wire(BytesView serialized) {
 
 Bytes cup_message(Round round, const Hash& block_hash, BytesView beacon_value) {
   Writer w;
+  w.reserve(1 + 4 + 32 + 4 + beacon_value.size());
   w.u8(0x05);  // distinct from authenticator/notarization/finalization/beacon tags
   w.u32(round);
   w.raw(BytesView(block_hash.data(), block_hash.size()));

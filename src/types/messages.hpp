@@ -6,6 +6,7 @@
 // corrupt parties gain nothing from sending garbage.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <variant>
 
@@ -129,6 +130,11 @@ using Message =
 
 Bytes serialize_message(const Message& msg);
 std::optional<Message> parse_message(BytesView bytes);
+
+/// Immutable parsed artifact, shared across receivers by the intern store
+/// (DESIGN.md §7); also handed out by the per-party fidelity decode path so
+/// the consensus layer has one shape either way.
+using SharedMessage = std::shared_ptr<const Message>;
 
 /// Stable artifact id for gossip and ingress dedup (hash of the serialized
 /// message).

@@ -6,17 +6,20 @@ namespace icc::types {
 
 const Block* Pool::block(const Hash& h) const {
   auto it = blocks_.find(h);
-  return it == blocks_.end() ? nullptr : &it->second;
+  return it == blocks_.end() ? nullptr : it->second.get();
 }
 
-bool Pool::add_proposal(const ProposalMsg& msg) {
+bool Pool::add_proposal(const ProposalMsg& msg) { return add_proposal(msg, nullptr); }
+
+bool Pool::add_proposal(const ProposalMsg& msg, std::shared_ptr<const Block> block) {
   const Block& b = msg.block;
   if (b.round < 1 || b.proposer >= n_) return false;
 
   Hash h = b.hash();
   if (blocks_.count(h)) return false;
 
-  blocks_.emplace(h, b);
+  if (!block) block = std::make_shared<const Block>(b);
+  blocks_.emplace(h, std::move(block));
   blocks_by_round_[b.round].push_back(h);
   authentic_.insert(h);
   authenticators_.emplace(h, msg.authenticator);

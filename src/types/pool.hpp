@@ -44,6 +44,10 @@ class Pool {
   // bundled parent_notarization of a ProposalMsg is NOT processed here —
   // the ingress pipeline verifies and routes it through add_notarization.
   bool add_proposal(const ProposalMsg& msg);
+  /// Copy-free variant: `block` must be msg.block (typically an aliasing
+  /// shared_ptr into an interned message, DESIGN.md §7); the pool stores the
+  /// handle instead of cloning the block. Null falls back to copying.
+  bool add_proposal(const ProposalMsg& msg, std::shared_ptr<const Block> block);
   bool add_notarization_share(const NotarizationShareMsg& msg);
   bool add_notarization(const NotarizationMsg& msg);
   bool add_finalization_share(const FinalizationShareMsg& msg);
@@ -114,7 +118,10 @@ class Pool {
  private:
   size_t n_, quorum_;
 
-  std::unordered_map<Hash, Block, HashHasher> blocks_;
+  // Blocks are held by shared handle: with interning on, the handle aliases
+  // the cluster-shared parsed message (one Block for all n pools); without
+  // it, the pool owns a per-party copy — same observable behaviour.
+  std::unordered_map<Hash, std::shared_ptr<const Block>, HashHasher> blocks_;
   std::map<Round, std::vector<Hash>> blocks_by_round_;
   std::unordered_set<Hash, HashHasher> authentic_;
   std::unordered_map<Hash, Bytes, HashHasher> authenticators_;

@@ -1,0 +1,271 @@
+// Cluster-shared artifact interning (DESIGN.md §7): the InternStore parses
+// each distinct wire payload exactly once and never conflates equivocating
+// payloads, the shared verdict memo stays bounded, and — the core contract —
+// interning is behaviour-neutral: committed sequences, logical verifier
+// stats and journal bytes (icc-journal/v2 with causal edges) are identical
+// with interning on or off, at 1, 2 and 8 threads, for all three protocols,
+// including under an equivocating leader.
+#include "pipeline/intern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/cluster.hpp"
+#include "types/messages.hpp"
+
+namespace icc::pipeline {
+namespace {
+
+using types::Block;
+using types::Message;
+
+Block make_block(types::Round round, types::PartyIndex proposer,
+                 const std::string& payload) {
+  Block b;
+  b.round = round;
+  b.proposer = proposer;
+  b.parent_hash = types::root_hash();
+  b.payload = str_bytes(payload);
+  return b;
+}
+
+std::shared_ptr<const Bytes> wire_of(const Message& m) {
+  return std::make_shared<const Bytes>(types::serialize_message(m));
+}
+
+// ---------------------------------------------------------------------------
+// InternStore unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(InternStore, OneParsePerDistinctPayload) {
+  InternStore store;
+  types::NotarizationShareMsg share{1, 0, make_block(1, 0, "p").hash(), 2,
+                                    str_bytes("signature")};
+  auto wire = wire_of(Message{share});
+
+  auto a = store.intern(wire);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(a->msg, nullptr);
+  EXPECT_EQ(a->artifact_id, types::artifact_id(*wire));
+  EXPECT_FALSE(a->sender_scoped);
+  EXPECT_EQ(store.stats().parses, 1u);
+
+  // A second receiver holding a *different allocation* of the same bytes
+  // (the non-broadcast case) still lands on the same interned entry.
+  auto b = store.intern(std::make_shared<const Bytes>(*wire));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->msg.get(), b->msg.get());
+  EXPECT_EQ(store.stats().parses, 1u);
+  EXPECT_EQ(store.stats().decode_hits, 1u);
+}
+
+TEST(InternStore, EquivocatingPayloadsNeverConflate) {
+  // Equivocation-shaped input: same round, same proposer, different payload
+  // bytes. The near-identical wires must intern as distinct entries with
+  // distinct artifact ids — different bytes are different artifacts, always.
+  InternStore store;
+  types::ProposalMsg p1, p2;
+  p1.block = make_block(3, 1, "fork A");
+  p2.block = make_block(3, 1, "fork B");
+  p1.authenticator = p2.authenticator = Bytes(64, 9);
+
+  auto a = store.intern(wire_of(Message{p1}));
+  auto b = store.intern(wire_of(Message{p2}));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a->artifact_id, b->artifact_id);
+  ASSERT_NE(a->msg, nullptr);
+  ASSERT_NE(b->msg, nullptr);
+  EXPECT_NE(std::get<types::ProposalMsg>(*a->msg).block.hash(),
+            std::get<types::ProposalMsg>(*b->msg).block.hash());
+  EXPECT_EQ(store.stats().parses, 2u);
+  EXPECT_EQ(store.stats().decode_hits, 0u);
+}
+
+TEST(InternStore, MalformedPayloadInternsOnceAsNull) {
+  InternStore store;
+  auto junk = std::make_shared<const Bytes>(Bytes{0xEE, 1, 2, 3});
+  auto a = store.intern(junk);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->msg, nullptr);  // null msg = malformed, decided once
+  auto b = store.intern(std::make_shared<const Bytes>(*junk));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(store.stats().parses, 1u);
+  EXPECT_EQ(store.stats().decode_hits, 1u);
+}
+
+TEST(InternStore, SenderScopedFlagMatchesWireHelper) {
+  InternStore store;
+  types::AdvertMsg advert{1, 4, make_block(4, 0, "p").hash(), 1000};
+  auto a = store.intern(wire_of(Message{advert}));
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->sender_scoped);  // adverts bypass dedup per sender
+}
+
+TEST(InternStore, ArtifactTableStaysBounded) {
+  InternStore::Options small;
+  small.artifact_capacity = 64;
+  InternStore store(small);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    types::NotarizationShareMsg s{1 + i, 0, make_block(1 + i, 0, "p").hash(), 0,
+                                  str_bytes("s")};
+    store.intern(wire_of(Message{s}));
+  }
+  EXPECT_EQ(store.stats().parses, 1000u);
+  EXPECT_LE(store.interned_artifacts(), small.artifact_capacity);
+}
+
+TEST(InternStore, VerdictMemoRemembersPrimesAndStaysBounded) {
+  InternStore::Options small;
+  small.verdict_capacity = 64;
+  InternStore store(small);
+
+  types::Hash good = crypto::Sha256::hash("good key");
+  types::Hash bad = crypto::Sha256::hash("bad key");
+  EXPECT_FALSE(store.verdict(good).has_value());
+  store.remember_verdict(good, true);
+  store.remember_verdict(bad, false);
+  ASSERT_TRUE(store.verdict(good).has_value());
+  EXPECT_TRUE(*store.verdict(good));
+  ASSERT_TRUE(store.verdict(bad).has_value());
+  EXPECT_FALSE(*store.verdict(bad));
+
+  types::Hash primed = crypto::Sha256::hash("primed key");
+  store.prime_verdict(primed);
+  ASSERT_TRUE(store.verdict(primed).has_value());
+  EXPECT_TRUE(*store.verdict(primed));
+  EXPECT_EQ(store.stats().verdicts_primed, 1u);
+
+  for (uint32_t i = 0; i < 1000; ++i) {
+    store.remember_verdict(crypto::Sha256::hash("k" + std::to_string(i)), true);
+  }
+  EXPECT_LE(store.cached_verdicts(), small.verdict_capacity);
+}
+
+// ---------------------------------------------------------------------------
+// Behaviour neutrality: intern {on,off} × threads {1,2,8} × protocol
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  std::vector<std::vector<std::pair<harness::Round, types::Hash>>> committed;
+  std::string journal;  ///< icc-journal/v2 bytes (causal edges on)
+  Verifier::Stats vstats;
+  PipelineStats pstats;
+  InternStore::Stats istats;
+};
+
+// An equivocating leader is part of every run: the store must keep the two
+// fork payloads distinct while every honest party still shares one parse of
+// each, and the verdict memo must serve verdicts for *both* forks' shares.
+RunResult run_cluster(harness::Protocol protocol, bool intern, size_t threads) {
+  harness::ClusterOptions o;
+  o.n = 7;
+  o.t = 2;
+  // Seed mirrors pipeline_test: avoids a pre-existing seed-dependent Icc2
+  // liveness stall that reproduces identically with interning on or off.
+  o.seed = 501 + static_cast<uint64_t>(protocol);
+  o.protocol = protocol;
+  o.delta_bnd = sim::msec(120);
+  o.payload_size = 300;
+  o.intern = intern;
+  o.threads = threads;
+  o.obs.enabled = true;
+  o.obs.journal = true;  // journal_causal defaults on → v2 with edges
+  o.delay_model = [](size_t, uint64_t) {
+    return std::make_unique<sim::UniformDelay>(sim::msec(3), sim::msec(18));
+  };
+  consensus::ByzantineBehavior eq;
+  eq.equivocate = true;
+  o.corrupt = {{1, eq}};
+
+  harness::Cluster c(o);
+  c.run_for(sim::seconds(5));
+  EXPECT_FALSE(c.check_safety().has_value());
+
+  RunResult r;
+  for (size_t i = 0; i < o.n; ++i) {
+    std::vector<std::pair<harness::Round, types::Hash>> seq;
+    if (c.is_honest(i) && c.party(i)) {
+      for (const auto& blk : c.party(i)->committed())
+        seq.emplace_back(blk.round, blk.hash);
+      EXPECT_GE(seq.size(), 4u) << "party " << i << " barely progressed";
+    }
+    r.committed.push_back(std::move(seq));
+  }
+  r.journal = c.journal_jsonl();
+  r.vstats = c.verifier_stats();
+  r.pstats = c.pipeline_stats();
+  r.istats = c.intern_stats();
+  return r;
+}
+
+void expect_equal(const RunResult& a, const RunResult& b, const std::string& what) {
+  EXPECT_EQ(a.committed, b.committed) << what;
+  EXPECT_EQ(a.journal, b.journal) << what << " (journal bytes differ)";
+  // Logical stats: what a lone party *would* have verified/decoded — the
+  // F-PIPE / Table 1 numbers must not notice the shared store.
+  EXPECT_EQ(a.vstats.provider_verifications, b.vstats.provider_verifications) << what;
+  EXPECT_EQ(a.vstats.cache_hits, b.vstats.cache_hits) << what;
+  EXPECT_EQ(a.vstats.primed, b.vstats.primed) << what;
+  EXPECT_EQ(a.vstats.batch_calls, b.vstats.batch_calls) << what;
+  EXPECT_EQ(a.vstats.batch_fallbacks, b.vstats.batch_fallbacks) << what;
+  EXPECT_EQ(a.pstats.decoded, b.pstats.decoded) << what;
+  EXPECT_EQ(a.pstats.duplicates, b.pstats.duplicates) << what;
+  EXPECT_EQ(a.pstats.malformed, b.pstats.malformed) << what;
+  EXPECT_EQ(a.pstats.dedup_exempt, b.pstats.dedup_exempt) << what;
+}
+
+class InternMatrixTest : public ::testing::TestWithParam<harness::Protocol> {};
+
+TEST_P(InternMatrixTest, JournalAndCommitsIdenticalInternOnOffAcrossThreads) {
+  harness::Protocol protocol = GetParam();
+  RunResult baseline = run_cluster(protocol, /*intern=*/false, /*threads=*/1);
+  ASSERT_FALSE(baseline.journal.empty());
+  for (bool intern : {false, true}) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      if (!intern && threads == 1) continue;  // that is the baseline itself
+      RunResult r = run_cluster(protocol, intern, threads);
+      expect_equal(r, baseline,
+                   std::string(intern ? "intern on" : "intern off") + ", " +
+                       std::to_string(threads) + " threads");
+    }
+  }
+}
+
+TEST_P(InternMatrixTest, InternActuallyShares) {
+  // The neutrality matrix would pass trivially if the store were never
+  // consulted. At 1 thread the counters are exact: 6 honest receivers of
+  // every broadcast must collapse to ~1 parse, and the shared memo must
+  // absorb most per-party cache misses.
+  RunResult r = run_cluster(GetParam(), /*intern=*/true, /*threads=*/1);
+  EXPECT_GT(r.istats.parses, 0u);
+  EXPECT_GT(r.istats.decode_hits, r.istats.parses)
+      << "expected most decodes to be shared";
+  EXPECT_GT(r.istats.verdict_memo_hits, r.istats.real_verifications)
+      << "expected most verifications to be shared";
+  // Logical accounting is unchanged: the per-party counters still describe
+  // a lone verifier, so they dominate the real cluster-wide work.
+  EXPECT_GT(r.vstats.provider_verifications, r.istats.real_verifications);
+
+  RunResult off = run_cluster(GetParam(), /*intern=*/false, /*threads=*/1);
+  EXPECT_EQ(off.istats.parses, 0u);
+  EXPECT_EQ(off.istats.real_verifications, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, InternMatrixTest,
+                         ::testing::Values(harness::Protocol::kIcc0,
+                                           harness::Protocol::kIcc1,
+                                           harness::Protocol::kIcc2),
+                         [](const auto& info) {
+                           return info.param == harness::Protocol::kIcc0   ? "Icc0"
+                                  : info.param == harness::Protocol::kIcc1 ? "Icc1"
+                                                                           : "Icc2";
+                         });
+
+}  // namespace
+}  // namespace icc::pipeline
