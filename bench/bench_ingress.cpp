@@ -18,21 +18,28 @@
 // `--corrupt-smoke` instead runs a fast-crypto cluster with an equivocating
 // leader and a crashed party and exits non-zero unless the intern-on run
 // commits the exact (round, hash) sequence of the intern-off run.
+// `--runtime` attaches the wall-clock runtime profiler (obs.runtime) to
+// every leg and prints a per-leg utilization / parse / verify line next to
+// blk/s — NON-deterministic, informational only, never part of the JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <fstream>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "harness/cluster.hpp"
+#include "support/log.hpp"
 
 namespace {
 
 using namespace icc;
+
+bool g_runtime = false;
 
 struct Leg {
   size_t blocks = 0;
@@ -41,6 +48,7 @@ struct Leg {
   uint64_t parses = 0;       ///< parse_message executions cluster-wide
   uint64_t decoded = 0;      ///< artifacts delivered past dedup (summed)
   double wall_s = 0;
+  std::string runtime_line;  ///< --runtime: preformatted physical summary
 };
 
 Leg run_leg(size_t n, bool intern, sim::Duration sim_time) {
@@ -55,6 +63,10 @@ Leg run_leg(size_t n, bool intern, sim::Duration sim_time) {
   o.prune_lag = 8;
   o.threads = 1;  // exact counters (see header comment)
   o.intern = intern;
+  // --runtime: observation-only wall-clock profiling; the exact counters
+  // above are unaffected (probes never mutate — tests/obs/runtime_test).
+  o.obs.enabled = g_runtime;
+  o.obs.runtime = g_runtime;
   o.delay_model = [](size_t, uint64_t) {
     return std::make_unique<sim::FixedDelay>(sim::msec(10));
   };
@@ -66,6 +78,33 @@ Leg run_leg(size_t n, bool intern, sim::Duration sim_time) {
   clock_gettime(CLOCK_MONOTONIC, &t1);
 
   Leg l;
+  if (g_runtime) {
+    const obs::RuntimeReport rep = c.runtime_report();
+    const obs::RuntimeAnalysis a = obs::analyze_runtime(rep);
+    int64_t parse_ns = 0, verify_ns = 0;
+    uint64_t parse_spans = 0, verify_spans = 0;
+    for (const auto& w : rep.workers) {
+      const auto& p = w.tasks[static_cast<size_t>(obs::TaskKind::kInternParse)];
+      const auto& v = w.tasks[static_cast<size_t>(obs::TaskKind::kVerifySlice)];
+      parse_ns += p.exclusive_ns;
+      parse_spans += p.count;
+      verify_ns += v.exclusive_ns;
+      verify_spans += v.count;
+    }
+    char buf[224];
+    std::snprintf(buf, sizeof buf,
+                  "       `- runtime (intern %-3s): util %5.1f %% (%s basis) | "
+                  "parse %8.1f ms / %6llu spans | verify %8.1f ms / %6llu spans "
+                  "| rss %lld kB",
+                  intern ? "on" : "off", a.utilization * 100.0,
+                  a.cpu_basis ? "cpu" : "wall",
+                  static_cast<double>(parse_ns) / 1e6,
+                  static_cast<unsigned long long>(parse_spans),
+                  static_cast<double>(verify_ns) / 1e6,
+                  static_cast<unsigned long long>(verify_spans),
+                  static_cast<long long>(rep.rss_kb));
+    l.runtime_line = buf;
+  }
   l.blocks = c.min_honest_committed();
   l.logical_vfy = c.verifier_stats().provider_verifications;
   l.decoded = c.pipeline_stats().decoded;
@@ -170,6 +209,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--corrupt-smoke") == 0) return corrupt_smoke_main();
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+    if (std::strcmp(argv[i], "--runtime") == 0) g_runtime = true;
   }
 
   std::printf("F-INTERN: cluster-shared artifact interning "
@@ -218,6 +258,11 @@ int main(int argc, char** argv) {
                 n, on.blocks, per_off, per_on, speedup, parses_per,
                 off.wall_s > 0 ? static_cast<double>(off.blocks) / off.wall_s : 0,
                 on.wall_s > 0 ? static_cast<double>(on.blocks) / on.wall_s : 0);
+    if (g_runtime) {
+      // Line-atomic with any worker ICC_LOG output (support/log.hpp).
+      std::lock_guard<std::mutex> lk(log_sink_mutex());
+      std::printf("%s\n%s\n", off.runtime_line.c_str(), on.runtime_line.c_str());
+    }
 
     std::string prefix = "n" + std::to_string(n);
     results.push_back({prefix + "/blocks", static_cast<double>(on.blocks), "count"});

@@ -16,6 +16,11 @@
 // (back-to-back off/on pairs, median of the within-pair ratios, 9–17
 // pairs until the median stabilizes); exits 1 if enabling telemetry
 // costs >= 5%.
+//
+// `--runtime-overhead` is the same gate for the wall-clock runtime
+// profiler (obs.runtime) on top of an already-instrumented 2-thread run;
+// `--parallel --runtime` adds a per-leg utilization / serial-fraction /
+// Amdahl line to the F-PAR table (F-RUNTIME in EXPERIMENTS.md).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -24,11 +29,13 @@
 #include <ctime>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "harness/baseline_cluster.hpp"
 #include "harness/cluster.hpp"
+#include "support/log.hpp"
 
 namespace {
 
@@ -48,6 +55,10 @@ size_t g_threads = 0;
 // every virtual-time number is identical either way, which is exactly why
 // the JSON baselines stay valid with either setting.
 bool g_intern = true;
+// --runtime (F-PAR only): wall-clock runtime profiler per leg. Prints the
+// utilization / serial-fraction summary next to each row; the virtual-time
+// columns (the CI gate) are unchanged — probes are observation-only.
+bool g_runtime = false;
 
 Measured run_icc(harness::Protocol proto, sim::Duration delta, sim::Duration delta_bnd) {
   harness::ClusterOptions o;
@@ -104,7 +115,8 @@ Measured run_baseline(harness::BaselineKind kind, sim::Duration delta,
 // other tenants of a shared core — on a 1-CPU CI container, wall-clock
 // minima still wander by more than the 5% budget when a neighbour bursts,
 // CPU-time minima do not.
-double timed_run_s(bool obs_enabled) {
+double timed_run_s(bool obs_enabled, bool runtime_enabled = false,
+                   size_t threads = 0) {
   harness::ClusterOptions o;
   o.n = 7;
   o.t = 2;
@@ -114,10 +126,12 @@ double timed_run_s(bool obs_enabled) {
   o.payload_size = 256;
   o.prune_lag = 8;
   o.record_payloads = false;
+  o.threads = threads;
   // The "on" leg enables the full recorder stack — metrics, tracing AND the
   // event journal — so the <5% budget covers the flight recorder too.
   o.obs.enabled = obs_enabled;
   o.obs.journal = obs_enabled;
+  o.obs.runtime = runtime_enabled;
   // Fidelity mode, regardless of --intern: the budget is telemetry cost
   // relative to a real replica's CPU, and the shared intern store would
   // shrink the denominator (it is a different knob than the one under
@@ -141,22 +155,30 @@ double timed_run_s(bool obs_enabled) {
          static_cast<double>(end.tv_nsec - start.tv_nsec) * 1e-9;
 }
 
-int obs_overhead_main() {
+// Back-to-back off/on pairs, judged by the *median* of the within-pair
+// ratios. Residual noise in CPU time (cache pollution from
+// context-switch bursts on a shared core) arrives in sub-second bursts
+// that hit whichever leg happens to be running — each pair's ratio is
+// the true ratio perturbed symmetrically, so the median converges on
+// the true overhead while averaging the noise down by ~1/sqrt(pairs).
+// Order statistics do not: a per-leg minimum needs two independently
+// lucky quiet runs and a quietest-pair needs one lucky 8 s window, and
+// both were observed to misread by ±10% under sustained neighbour load
+// when luck was uneven between the legs. The loop is adaptive: at least
+// 9 pairs, then keep sampling until the running median has moved less
+// than 0.3 pp over 3 straight pairs, hard-capped at 17. Shared by the
+// F-OBS and F-RUNTIME gates, which differ only in what the two legs run.
+struct PairedOverhead {
+  double median_ratio;
+  size_t pairs;
+  double last_off_s;
+};
+
+template <typename OffLeg, typename OnLeg>
+PairedOverhead paired_overhead(OffLeg off_leg, OnLeg on_leg) {
   // Warm-up both variants (allocator, page cache, branch predictors).
-  timed_run_s(false);
-  timed_run_s(true);
-  // Back-to-back off/on pairs, judged by the *median* of the within-pair
-  // ratios. Residual noise in CPU time (cache pollution from
-  // context-switch bursts on a shared core) arrives in sub-second bursts
-  // that hit whichever leg happens to be running — each pair's ratio is
-  // the true ratio perturbed symmetrically, so the median converges on
-  // the true overhead while averaging the noise down by ~1/sqrt(pairs).
-  // Order statistics do not: a per-leg minimum needs two independently
-  // lucky quiet runs and a quietest-pair needs one lucky 8 s window, and
-  // both were observed to misread by ±10% under sustained neighbour load
-  // when luck was uneven between the legs. The loop is adaptive: at least
-  // 9 pairs, then keep sampling until the running median has moved less
-  // than 0.3 pp over 3 straight pairs, hard-capped at 17.
+  off_leg();
+  on_leg();
   std::vector<double> ratios;
   auto median = [&ratios] {
     std::vector<double> s = ratios;
@@ -167,8 +189,8 @@ int obs_overhead_main() {
   int stable = 0;
   double med = 0, last_off = 0;
   while (ratios.size() < 9 || (stable < 3 && ratios.size() < 17)) {
-    const double off = last_off = timed_run_s(false);
-    const double on = timed_run_s(true);
+    const double off = last_off = off_leg();
+    const double on = on_leg();
     ratios.push_back(on / off);
     std::fprintf(stderr, "  pair %2zu: off %.3f on %.3f CPU s (%+.2f %%)\n",
                  ratios.size(), off, on, (on / off - 1.0) * 100.0);
@@ -179,10 +201,36 @@ int obs_overhead_main() {
     else
       stable = 0;
   }
-  const double overhead_pct = (med - 1.0) * 100.0;
+  return {med, ratios.size(), last_off};
+}
+
+int obs_overhead_main() {
+  const PairedOverhead r = paired_overhead([] { return timed_run_s(false); },
+                                           [] { return timed_run_s(true); });
+  const double overhead_pct = (r.median_ratio - 1.0) * 100.0;
   std::printf("F-OBS: telemetry overhead on the F-LAT ICC1 workload\n");
   std::printf("  median of %zu off/on pair ratios, ~%.1f CPU s per leg per run\n",
-              ratios.size(), last_off);
+              r.pairs, r.last_off_s);
+  std::printf("  overhead:      %+.2f %%  (median pair ratio; budget < 5 %%)\n",
+              overhead_pct);
+  return overhead_pct < 5.0 ? 0 : 1;
+}
+
+// F-RUNTIME gate: marginal CPU cost of the wall-clock runtime profiler on
+// top of an already-instrumented run. Both legs enable the full telemetry
+// stack (metrics + tracing + journal) at 2 worker threads so the executor,
+// verifier-shard and intern-shard probe paths are actually exercised; only
+// obs.runtime differs. Same median-of-pairs judgement and <5% budget as
+// F-OBS.
+int runtime_overhead_main() {
+  const PairedOverhead r =
+      paired_overhead([] { return timed_run_s(true, false, 2); },
+                      [] { return timed_run_s(true, true, 2); });
+  const double overhead_pct = (r.median_ratio - 1.0) * 100.0;
+  std::printf("F-RUNTIME: runtime-profiler overhead on the instrumented "
+              "F-LAT ICC1 workload (2 threads)\n");
+  std::printf("  median of %zu off/on pair ratios, ~%.1f CPU s per leg per run\n",
+              r.pairs, r.last_off_s);
   std::printf("  overhead:      %+.2f %%  (median pair ratio; budget < 5 %%)\n",
               overhead_pct);
   return overhead_pct < 5.0 ? 0 : 1;
@@ -247,6 +295,11 @@ int parallel_main(const char* json_path) {
     o.prune_lag = 8;
     o.threads = threads;
     o.intern = g_intern;
+    // --runtime: profile every leg identically (probes are observation-only,
+    // so the virtual-time gate columns below cannot move — asserted by
+    // tests/obs/runtime_test).
+    o.obs.enabled = o.obs.enabled || g_runtime;
+    o.obs.runtime = g_runtime;
     o.delay_model = [](size_t, uint64_t) {
       return std::make_unique<sim::FixedDelay>(sim::msec(10));
     };
@@ -265,6 +318,20 @@ int parallel_main(const char* json_path) {
     std::printf("%5zu    | %9.2f s  | %7.2fx   | %14llu | %14llu | %10llu\n", threads,
                 wall, wall > 0 ? base_wall / wall : 0, (unsigned long long)blocks,
                 (unsigned long long)vfy, (unsigned long long)msgs);
+    if (g_runtime) {
+      // Wall-clock profile of the leg just finished: NON-deterministic,
+      // informational only (never part of the JSON baseline). One line per
+      // row so the serial fraction can be read next to the speedup it
+      // explains; emitted under the log sink mutex so worker ICC_LOG lines
+      // cannot split it.
+      const obs::RuntimeReport rep = c.runtime_report();
+      const obs::RuntimeAnalysis a = obs::analyze_runtime(rep);
+      std::lock_guard<std::mutex> lk(log_sink_mutex());
+      std::printf("         `- runtime: util %5.1f %% (%s basis) | serial f = %.4f "
+                  "| Amdahl max %.2fx | parallel-region share %.1f %%\n",
+                  a.utilization * 100.0, a.cpu_basis ? "cpu" : "wall",
+                  a.serial_fraction, a.amdahl_max, a.parallel_region_share * 100.0);
+    }
     if (threads == 1) {
       ref_blocks = blocks;
       ref_vfy = vfy;
@@ -303,6 +370,8 @@ int parallel_main(const char* json_path) {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--obs-overhead") == 0) return obs_overhead_main();
+  if (argc > 1 && std::strcmp(argv[1], "--runtime-overhead") == 0)
+    return runtime_overhead_main();
   bool parallel = false;
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -312,6 +381,8 @@ int main(int argc, char** argv) {
       g_threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--intern") == 0 && i + 1 < argc) {
       g_intern = std::strcmp(argv[++i], "off") != 0;
+    } else if (std::strcmp(argv[i], "--runtime") == 0) {
+      g_runtime = true;
     } else if (std::strcmp(argv[i], "--parallel") == 0) {
       parallel = true;
     }

@@ -42,7 +42,19 @@ _TIME_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 def load(path):
     with open(path) as f:
-        doc = json.load(f)
+        text = f.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        # Tolerate human summary lines ahead of the document — e.g. a bench
+        # invoked with --runtime prints its (non-deterministic) profiler
+        # lines to stdout, and a pipeline that redirects stdout into the
+        # artifact must still gate cleanly. The JSON document always starts
+        # at the first line whose first character is '{'.
+        start = text.find("\n{")
+        if start < 0:
+            raise
+        doc = json.loads(text[start + 1 :])
     if "benchmarks" in doc:  # google-benchmark JSON
         return doc
     if doc.get("schema") != "icc-bench/v1":

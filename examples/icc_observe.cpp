@@ -22,6 +22,15 @@
 //                                    the hop/latency decomposition into the
 //                                    digest; implies --journal (default path
 //                                    journal.jsonl if none given)
+//     --runtime                      wall-clock runtime profiler
+//                                    (obs/runtime.hpp): per-worker spans,
+//                                    lock-wait sampling, executor health.
+//                                    Writes an icc-runtime/v1 report (feed it
+//                                    to tools/icc_runtime) and merges the
+//                                    wall-clock worker lanes into the Chrome
+//                                    trace. Output is NON-DETERMINISTIC;
+//                                    journal/metrics bytes are unchanged.
+//     --runtime-report <path>        report output (default runtime.json)
 //     --trace-capacity <int>         span ring slots (default 65536)
 //     --journal-capacity <int>       journal event bound (default 1<<22 here;
 //                                    the causal layer records every transfer)
@@ -65,6 +74,7 @@ int main(int argc, char** argv) {
   const char* trace_path = "trace.json";
   const char* metrics_path = "metrics.json";
   const char* journal_path = nullptr;
+  const char* runtime_path = "runtime.json";
   bool critpath = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +109,11 @@ int main(int argc, char** argv) {
       o.obs.journal = true;
     }
     else if (is("--no-causal")) o.obs.journal_causal = false;
+    else if (is("--runtime")) o.obs.runtime = true;
+    else if (is("--runtime-report")) {
+      runtime_path = next();
+      o.obs.runtime = true;
+    }
     else if (is("--critpath")) {
       critpath = true;
       o.obs.journal = true;
@@ -177,6 +192,19 @@ int main(int argc, char** argv) {
   std::printf("wire messages:       %lu  (%lu MB)\n",
               static_cast<unsigned long>(nm.total_messages),
               static_cast<unsigned long>(nm.total_bytes >> 20));
+  if (o.intern) {
+    // PHYSICAL counters: the real/hit split depends on wall-clock arrival
+    // interleaving, so these numbers are non-deterministic under threads>1 —
+    // never diff them across runs (unlike every metric above).
+    const auto is = cluster.intern_stats();
+    std::printf("intern (physical):   %lu parses, %lu decode hits, %lu real "
+                "verifications, %lu memo hits, %lu primed\n",
+                static_cast<unsigned long>(is.parses),
+                static_cast<unsigned long>(is.decode_hits),
+                static_cast<unsigned long>(is.real_verifications),
+                static_cast<unsigned long>(is.verdict_memo_hits),
+                static_cast<unsigned long>(is.verdicts_primed));
+  }
   std::printf("trace events:        %lu recorded, %lu dropped\n",
               static_cast<unsigned long>(cluster.obs()->tracer().recorded()),
               static_cast<unsigned long>(cluster.obs()->tracer().dropped()));
@@ -200,12 +228,27 @@ int main(int argc, char** argv) {
   }
   mf << cluster.metrics_json() << "\n";
   mf.close();
-  if (!cluster.dump_trace(trace_path)) {
+  // With --runtime the trace file carries both clocks: virtual-time party
+  // tracks plus wall-clock worker lanes, in one trace_event container.
+  const bool trace_ok = o.obs.runtime ? cluster.dump_runtime_trace(trace_path)
+                                      : cluster.dump_trace(trace_path);
+  if (!trace_ok) {
     std::fprintf(stderr, "cannot write %s\n", trace_path);
     return 1;
   }
   std::printf("\nwrote %s and %s — open the trace in chrome://tracing or ui.perfetto.dev\n",
               metrics_path, trace_path);
+
+  // --- wall-clock runtime profile (non-deterministic by design) ---
+  if (o.obs.runtime) {
+    const obs::RuntimeReport rep = cluster.runtime_report();
+    obs::print_runtime_summary(stdout, rep, obs::analyze_runtime(rep));
+    if (!cluster.dump_runtime_report(runtime_path)) {
+      std::fprintf(stderr, "cannot write %s\n", runtime_path);
+      return 1;
+    }
+    std::printf("wrote %s — analyze with tools/icc_runtime\n", runtime_path);
+  }
 
   // --- flight recorder + inline offline audit (icc_audit semantics) ---
   size_t audit_violations = 0;

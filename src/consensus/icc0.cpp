@@ -35,6 +35,7 @@ Icc0Party::Icc0Party(PartyIndex self, const PartyConfig& config)
   pipeline_.attach_obs(config.obs);
   verifier_.attach_obs(config.obs);
   verifier_.attach_executor(config.executor);
+  verifier_.attach_runtime(config.obs != nullptr ? config.obs->runtime() : nullptr);
   // The shared verdict memo keys off the per-party cache keys; without the
   // cache stage it would never be consulted on the share paths, so the
   // store is only wired through the Verifier when the cache is on. The

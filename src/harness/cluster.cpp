@@ -1,6 +1,7 @@
 #include "harness/cluster.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -41,6 +42,17 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   if (options.obs.enabled) {
     obs_ = std::make_unique<obs::Obs>(options.obs);
     sim_->network().attach_obs(obs_.get());
+    if (obs::RuntimeProfiler* rt = obs_->runtime()) {
+      // Wall-clock observatory: executor health through the TaskProbe hook,
+      // engine batch/region spans, intern shard lock sampling. Parties wire
+      // their verifiers in icc0.cpp via pc.obs. Destruction order is safe:
+      // obs_ is declared before executor_, so the pool (and its workers) is
+      // torn down while the profiler is still alive.
+      rt->set_threads(threads);
+      if (executor_) executor_->set_probe(rt);
+      sim_->engine().set_runtime(rt);
+      if (intern_) intern_->set_runtime(rt);
+    }
     if (obs::Journal* j = obs_->journal()) {
       const char* proto = options.protocol == Protocol::kIcc0   ? "icc0"
                           : options.protocol == Protocol::kIcc1 ? "icc1"
@@ -310,6 +322,51 @@ std::string Cluster::trace_json() const { return obs_ ? obs_->tracer().to_json()
 
 bool Cluster::dump_trace(const std::string& path) const {
   return obs_ && obs_->tracer().write_json(path);
+}
+
+obs::RuntimeReport Cluster::runtime_report() const {
+  const obs::RuntimeProfiler* rt = runtime();
+  if (rt == nullptr) return {};
+  obs::RuntimeReport rep = rt->make_report();
+  if (intern_) {
+    // Physical counters (benignly racy, scheduling-dependent): they belong
+    // in this non-deterministic report, never in metrics_json().
+    const auto is = intern_->stats();
+    rep.has_intern = true;
+    rep.intern_parses = is.parses;
+    rep.intern_decode_hits = is.decode_hits;
+    rep.intern_real_verifications = is.real_verifications;
+    rep.intern_memo_hits = is.verdict_memo_hits;
+    rep.intern_primed = is.verdicts_primed;
+  }
+  return rep;
+}
+
+std::string Cluster::runtime_report_json() const {
+  if (runtime() == nullptr) return "{}";
+  return obs::runtime_report_json(runtime_report());
+}
+
+bool Cluster::dump_runtime_report(const std::string& path) const {
+  if (runtime() == nullptr) return false;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << runtime_report_json();
+  return static_cast<bool>(out);
+}
+
+std::string Cluster::runtime_trace_json() const {
+  const obs::RuntimeProfiler* rt = runtime();
+  if (rt == nullptr) return "{}";
+  return rt->trace_json(obs_ ? &obs_->tracer() : nullptr);
+}
+
+bool Cluster::dump_runtime_trace(const std::string& path) const {
+  if (runtime() == nullptr) return false;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << runtime_trace_json();
+  return static_cast<bool>(out);
 }
 
 obs::Journal* Cluster::journal() const {

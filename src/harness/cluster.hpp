@@ -167,6 +167,24 @@ class Cluster {
   /// Write trace_json() to `path`; false when disabled or on I/O error.
   bool dump_trace(const std::string& path) const;
 
+  // --- wall-clock runtime profiling (ClusterOptions::obs.runtime) ---
+  /// The live profiler; null unless obs.enabled && obs.runtime. Its output
+  /// is NON-DETERMINISTIC (obs/runtime.hpp) and never feeds metrics_json()
+  /// or the journal.
+  obs::RuntimeProfiler* runtime() const { return obs_ ? obs_->runtime() : nullptr; }
+  /// Report of the run so far, with the intern store's physical counters
+  /// folded in (labeled physical — scheduling-dependent). Call at a
+  /// quiescent point (between runs). Meaningless when profiling is off.
+  obs::RuntimeReport runtime_report() const;
+  /// runtime_report() as an icc-runtime/v1 document; "{}" when off.
+  std::string runtime_report_json() const;
+  /// Write runtime_report_json() to `path`; false when off or on I/O error.
+  bool dump_runtime_report(const std::string& path) const;
+  /// Merged Chrome trace: wall-clock worker lanes next to the virtual-time
+  /// tracer spans in one container. "{}" when profiling is off.
+  std::string runtime_trace_json() const;
+  bool dump_runtime_trace(const std::string& path) const;
+
   // --- flight recorder (ClusterOptions::obs.journal) ---
   /// The run's event journal; null unless obs.enabled && obs.journal. Meta
   /// (n, t, protocol, seed) is stamped at construction.

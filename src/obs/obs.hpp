@@ -20,6 +20,7 @@
 
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/runtime.hpp"
 #include "obs/trace.hpp"
 
 namespace icc::obs {
@@ -41,6 +42,12 @@ struct ObsConfig {
   /// icc-journal/v2; obs/causal.hpp). On by default when the journal is on;
   /// switch off to produce byte-light v1 journals.
   bool journal_causal = true;
+  /// Wall-clock runtime profiler (obs/runtime.hpp). Opt-in on top of
+  /// `enabled`; its output is explicitly NON-DETERMINISTIC (steady_clock
+  /// spans, lock waits, executor health) and never feeds journal or metrics
+  /// bytes — the determinism matrices stay green with it on.
+  bool runtime = false;
+  size_t runtime_span_capacity = 1 << 15;  ///< span-ring slots per lane
 };
 
 class Obs {
@@ -48,7 +55,10 @@ class Obs {
   explicit Obs(const ObsConfig& config)
       : config_(config),
         tracer_(config.enabled ? config.trace_capacity : 0),
-        journal_((config.enabled && config.journal) ? config.journal_capacity : 0) {}
+        journal_((config.enabled && config.journal) ? config.journal_capacity : 0) {
+    if (config.enabled && config.runtime)
+      runtime_ = std::make_unique<RuntimeProfiler>(config.runtime_span_capacity);
+  }
 
   bool enabled() const { return config_.enabled; }
   const ObsConfig& config() const { return config_; }
@@ -60,12 +70,17 @@ class Obs {
   /// (JournalScribe::attach) null-attach exactly like probes do.
   Journal* journal() { return journal_.enabled() ? &journal_ : nullptr; }
   const Journal* journal() const { return journal_.enabled() ? &journal_ : nullptr; }
+  /// Wall-clock profiler; null when off, so instrumentation sites null-check
+  /// exactly like every other probe.
+  RuntimeProfiler* runtime() { return runtime_.get(); }
+  const RuntimeProfiler* runtime() const { return runtime_.get(); }
 
  private:
   ObsConfig config_;
   Registry registry_;
   Tracer tracer_;
   Journal journal_;
+  std::unique_ptr<RuntimeProfiler> runtime_;
 };
 
 // ---------------------------------------------------------------------------

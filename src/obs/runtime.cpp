@@ -1,0 +1,790 @@
+#include "obs/runtime.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"  // json_escape
+#include "obs/trace.hpp"
+#include "support/log.hpp"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+namespace icc::obs {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+const char* const kTaskNames[kTaskKinds] = {
+    "engine_batch", "parallel_region", "party_group",
+    "defer_replay", "verify_slice",    "intern_parse",
+};
+const char* const kLockNames[kLockSites] = {
+    "executor_queue",
+    "verifier_cache",
+    "intern_artifacts",
+    "intern_verdicts",
+};
+
+uint64_t os_thread_id() {
+#if defined(__linux__)
+  return static_cast<uint64_t>(::syscall(SYS_gettid));
+#else
+  return 0;
+#endif
+}
+
+int64_t thread_cpu_ns() {
+#if defined(__linux__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return -1;
+  return ts.tv_sec * 1'000'000'000LL + ts.tv_nsec;
+#else
+  return -1;
+#endif
+}
+
+/// Total CPU (utime + stime) of thread `tid` since it started, via
+/// /proc/self/task/<tid>/stat. -1 when unavailable. Tick-granular (~10 ms),
+/// which is plenty against multi-second profiling windows.
+int64_t proc_thread_cpu_ns(uint64_t tid) {
+#if defined(__linux__)
+  char path[64];
+  std::snprintf(path, sizeof path, "/proc/self/task/%" PRIu64 "/stat", tid);
+  std::ifstream in(path);
+  if (!in) return -1;
+  std::string line;
+  std::getline(in, line);
+  // Field 2 (comm) may contain spaces; skip to the closing paren first.
+  const size_t close = line.rfind(')');
+  if (close == std::string::npos) return -1;
+  std::istringstream is(line.substr(close + 1));
+  std::string tok;
+  // Fields 3..13 precede utime (field 14) and stime (field 15).
+  for (int f = 3; f <= 13; ++f) {
+    if (!(is >> tok)) return -1;
+  }
+  uint64_t utime = 0, stime = 0;
+  if (!(is >> utime >> stime)) return -1;
+  const long hz = ::sysconf(_SC_CLK_TCK);
+  if (hz <= 0) return -1;
+  return static_cast<int64_t>((utime + stime) * (1'000'000'000ULL / static_cast<uint64_t>(hz)));
+#else
+  (void)tid;
+  return -1;
+#endif
+}
+
+/// VmRSS / VmHWM in kB from /proc/self/status; -1 when unavailable.
+void proc_rss_kb(int64_t* rss_kb, int64_t* peak_kb) {
+  *rss_kb = -1;
+  *peak_kb = -1;
+#if defined(__linux__)
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    int64_t* dst = nullptr;
+    if (line.rfind("VmRSS:", 0) == 0) dst = rss_kb;
+    else if (line.rfind("VmHWM:", 0) == 0) dst = peak_kb;
+    if (dst != nullptr) *dst = std::strtoll(line.c_str() + 6, nullptr, 10);
+  }
+#endif
+}
+
+}  // namespace
+
+const char* task_kind_name(TaskKind kind) {
+  const size_t i = static_cast<size_t>(kind);
+  return i < kTaskKinds ? kTaskNames[i] : "?";
+}
+
+const char* lock_site_name(LockSite site) {
+  const size_t i = static_cast<size_t>(site);
+  return i < kLockSites ? kLockNames[i] : "?";
+}
+
+int64_t RuntimeProfiler::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RuntimeProfiler::RuntimeProfiler(size_t span_capacity)
+    : span_capacity_(span_capacity), lanes_(new Lane[kMaxLanes]) {
+  start_ns_ = now_ns();
+  // The constructing thread is the coordinator: registering it here pins it
+  // to lane 0 ("main") and starts its window with the profiler's.
+  (void)lane();
+}
+
+RuntimeProfiler::~RuntimeProfiler() = default;
+
+RuntimeProfiler::Lane& RuntimeProfiler::register_lane() {
+  uint32_t slot = next_lane_.fetch_add(1, kRelaxed);
+  if (slot >= kMaxLanes) slot = kMaxLanes - 1;  // overflow lane (see kMaxLanes)
+  Lane& l = lanes_[slot];
+  l.start_ns = now_ns();
+  l.tid = os_thread_id();
+  l.cpu_start_ns = thread_cpu_ns();
+  if (span_capacity_ > 0) l.spans.resize(span_capacity_);
+  l.used.store(true, std::memory_order_release);
+  return l;
+}
+
+RuntimeProfiler::Lane& RuntimeProfiler::lane() {
+  struct TlsRef {
+    RuntimeProfiler* owner = nullptr;
+    Lane* lane = nullptr;
+  };
+  thread_local TlsRef tls;
+  if (tls.owner != this) {
+    tls.owner = this;
+    tls.lane = &register_lane();
+  }
+  return *tls.lane;
+}
+
+void RuntimeProfiler::record_span(TaskKind kind, int64_t t0_ns, int64_t t1_ns,
+                                  uint64_t arg0, uint64_t arg1) {
+  Lane& l = lane();
+  if (l.spans.empty()) return;
+  Span& s = l.spans[l.spans_recorded % l.spans.size()];
+  s.t0_ns = t0_ns;
+  s.t1_ns = t1_ns;
+  s.arg0 = arg0;
+  s.arg1 = arg1;
+  s.kind = kind;
+  l.spans_recorded++;
+}
+
+void RuntimeProfiler::lock_sample(LockSite site, int64_t wait_ns) {
+  Lane& l = lane();
+  LockStat& st = l.locks[static_cast<size_t>(site)];
+  st.acquisitions++;
+  if (wait_ns > 0) {
+    st.contended++;
+    st.wait_ns += wait_ns;
+    if (wait_ns > st.max_wait_ns) st.max_wait_ns = wait_ns;
+  }
+}
+
+void RuntimeProfiler::idle_begin(bool worker) {
+  Lane& l = lane();
+  if (worker) l.is_worker.store(true, kRelaxed);
+  l.wait_since_ns.store(now_ns(), kRelaxed);
+}
+
+void RuntimeProfiler::idle_end() {
+  Lane& l = lane();
+  const int64_t since = l.wait_since_ns.load(kRelaxed);
+  if (since == 0) return;
+  l.wait_since_ns.store(0, kRelaxed);
+  l.idle_ns.fetch_add(now_ns() - since, kRelaxed);
+}
+
+void RuntimeProfiler::slice(bool stolen) {
+  Lane& l = lane();
+  if (stolen) {
+    l.stolen++;
+  } else {
+    l.claimed++;
+  }
+}
+
+RuntimeReport RuntimeProfiler::make_report() const {
+  const int64_t now = now_ns();
+  RuntimeReport rep;
+  rep.threads = static_cast<uint32_t>(threads_);
+  rep.wall_ns = now - start_ns_;
+  rep.defer_high_water = defer_high_water_;
+  proc_rss_kb(&rep.rss_kb, &rep.peak_rss_kb);
+
+  const uint32_t lanes = std::min<uint32_t>(next_lane_.load(kRelaxed), kMaxLanes);
+  for (uint32_t i = 0; i < lanes; ++i) {
+    const Lane& l = lanes_[i];
+    if (!l.used.load(std::memory_order_acquire)) continue;
+    WorkerReport w;
+    w.name = i == 0                      ? "main"
+             : l.is_worker.load(kRelaxed) ? "worker-" + std::to_string(i)
+                                          : "thread-" + std::to_string(i);
+    // Idle = completed waits plus the still-open wait of a parked thread
+    // (workers sit in cv_.wait between runs and at export time).
+    int64_t idle = l.idle_ns.load(kRelaxed);
+    if (const int64_t since = l.wait_since_ns.load(kRelaxed); since != 0)
+      idle += now - since;
+    const int64_t window = now - l.start_ns;
+    w.idle_ns = std::min(idle, window);
+    w.busy_ns = window - w.idle_ns;
+    if (l.cpu_start_ns >= 0 && l.tid != 0) {
+      const int64_t cpu_end = proc_thread_cpu_ns(l.tid);
+      if (cpu_end >= 0) w.cpu_ns = std::max<int64_t>(0, cpu_end - l.cpu_start_ns);
+    }
+    w.claimed = l.claimed;
+    w.stolen = l.stolen;
+    w.spans_recorded = l.spans_recorded;
+    w.spans_dropped =
+        l.spans.empty() || l.spans_recorded <= l.spans.size() ? 0
+                                                              : l.spans_recorded - l.spans.size();
+    w.locks = l.locks;
+
+    // Per-kind aggregation with exclusive time: spans on one lane are
+    // properly nested (RAII scopes), so each span's direct parent is the
+    // innermost enclosing one — subtract children from it. A ring that
+    // overwrote (spans_dropped > 0) can present orphaned children; the
+    // clamp below keeps exclusive totals sane rather than negative.
+    const size_t live = std::min<uint64_t>(l.spans_recorded, l.spans.size());
+    std::vector<const Span*> spans;
+    spans.reserve(live);
+    for (size_t k = 0; k < live; ++k) spans.push_back(&l.spans[k]);
+    std::sort(spans.begin(), spans.end(), [](const Span* a, const Span* b) {
+      if (a->t0_ns != b->t0_ns) return a->t0_ns < b->t0_ns;
+      return a->t1_ns > b->t1_ns;
+    });
+    std::vector<std::pair<const Span*, int64_t>> stack;  // (span, child time)
+    auto close_top = [&] {
+      auto [sp, child_ns] = stack.back();
+      stack.pop_back();
+      const int64_t dur = sp->t1_ns - sp->t0_ns;
+      TaskAgg& agg = w.tasks[static_cast<size_t>(sp->kind)];
+      agg.exclusive_ns += std::max<int64_t>(0, dur - child_ns);
+    };
+    for (const Span* sp : spans) {
+      const int64_t dur = std::max<int64_t>(0, sp->t1_ns - sp->t0_ns);
+      TaskAgg& agg = w.tasks[static_cast<size_t>(sp->kind)];
+      agg.count++;
+      agg.total_ns += dur;
+      if (dur > agg.max_ns) agg.max_ns = dur;
+      while (!stack.empty() && stack.back().first->t1_ns <= sp->t0_ns) close_top();
+      if (!stack.empty()) stack.back().second += dur;
+      stack.emplace_back(sp, 0);
+    }
+    while (!stack.empty()) close_top();
+
+    rep.workers.push_back(std::move(w));
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export (merged with the virtual-time tracer)
+// ---------------------------------------------------------------------------
+
+std::string RuntimeProfiler::trace_json(const Tracer* virtual_tracer) const {
+  // One process for all wall-clock lanes, far above any party index the
+  // virtual tracer uses as pid.
+  constexpr uint32_t kRuntimePid = 1'000'000;
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& ev) {
+    if (!first) os << ",\n";
+    first = false;
+    os << ev;
+  };
+  if (virtual_tracer != nullptr) {
+    std::string inner = virtual_tracer->events_json();
+    if (!inner.empty()) {
+      os << inner;
+      first = false;
+    }
+  }
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(kRuntimePid) +
+       ",\"tid\":0,\"args\":{\"name\":\"icc-runtime (wall-clock, non-deterministic)\"}}");
+
+  uint64_t recorded = 0, dropped = 0;
+  const uint32_t lanes = std::min<uint32_t>(next_lane_.load(kRelaxed), kMaxLanes);
+  for (uint32_t i = 0; i < lanes; ++i) {
+    const Lane& l = lanes_[i];
+    if (!l.used.load(std::memory_order_acquire)) continue;
+    const std::string lane_name =
+        i == 0 ? "main" : (l.is_worker.load(kRelaxed) ? "worker-" : "thread-") + std::to_string(i);
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + std::to_string(kRuntimePid) +
+         ",\"tid\":" + std::to_string(i) + ",\"args\":{\"name\":\"" + lane_name + "\"}}");
+    recorded += l.spans_recorded;
+    const size_t live = std::min<uint64_t>(l.spans_recorded, l.spans.size());
+    if (l.spans_recorded > live) dropped += l.spans_recorded - live;
+    for (size_t k = 0; k < live; ++k) {
+      const Span& s = l.spans[k];
+      std::ostringstream ev;
+      ev << "{\"name\":\"" << task_kind_name(s.kind) << "\",\"cat\":\"runtime\",\"ph\":\"X\""
+         << ",\"ts\":" << (s.t0_ns - start_ns_) / 1000
+         << ",\"dur\":" << std::max<int64_t>(0, s.t1_ns - s.t0_ns) / 1000
+         << ",\"pid\":" << kRuntimePid << ",\"tid\":" << i << ",\"args\":{\"arg0\":" << s.arg0
+         << ",\"arg1\":" << s.arg1 << "}}";
+      emit(ev.str());
+    }
+  }
+  os << "],\"metadata\":{";
+  if (virtual_tracer != nullptr) {
+    os << "\"recorded\":" << virtual_tracer->recorded()
+       << ",\"dropped\":" << virtual_tracer->dropped()
+       << ",\"capacity\":" << virtual_tracer->capacity() << ",";
+  }
+  os << "\"runtime\":{\"recorded\":" << recorded << ",\"dropped\":" << dropped
+     << ",\"lane_capacity\":" << span_capacity_ << "}},\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// icc-runtime/v1 JSON serialization
+// ---------------------------------------------------------------------------
+
+std::string runtime_report_json(const RuntimeReport& rep) {
+  std::ostringstream os;
+  os << "{\"schema\":\"icc-runtime/v1\",\"nondeterministic\":true"
+     << ",\"threads\":" << rep.threads << ",\"wall_ns\":" << rep.wall_ns
+     << ",\"defer_high_water\":" << rep.defer_high_water << ",\"rss_kb\":" << rep.rss_kb
+     << ",\"peak_rss_kb\":" << rep.peak_rss_kb;
+  if (rep.has_intern) {
+    os << ",\"intern\":{\"physical\":true,\"parses\":" << rep.intern_parses
+       << ",\"decode_hits\":" << rep.intern_decode_hits
+       << ",\"real_verifications\":" << rep.intern_real_verifications
+       << ",\"memo_hits\":" << rep.intern_memo_hits << ",\"primed\":" << rep.intern_primed
+       << "}";
+  }
+  os << ",\"workers\":[";
+  for (size_t i = 0; i < rep.workers.size(); ++i) {
+    const WorkerReport& w = rep.workers[i];
+    if (i) os << ",";
+    os << "\n {\"name\":\"" << json_escape(w.name) << "\",\"busy_ns\":" << w.busy_ns
+       << ",\"idle_ns\":" << w.idle_ns << ",\"cpu_ns\":" << w.cpu_ns
+       << ",\"claimed\":" << w.claimed << ",\"stolen\":" << w.stolen
+       << ",\"spans_recorded\":" << w.spans_recorded
+       << ",\"spans_dropped\":" << w.spans_dropped << ",\"tasks\":[";
+    bool first = true;
+    for (size_t k = 0; k < kTaskKinds; ++k) {
+      const TaskAgg& t = w.tasks[k];
+      if (t.count == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"kind\":\"" << kTaskNames[k] << "\",\"count\":" << t.count
+         << ",\"total_ns\":" << t.total_ns << ",\"exclusive_ns\":" << t.exclusive_ns
+         << ",\"max_ns\":" << t.max_ns << "}";
+    }
+    os << "],\"locks\":[";
+    first = true;
+    for (size_t k = 0; k < kLockSites; ++k) {
+      const LockStat& s = w.locks[k];
+      if (s.acquisitions == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"site\":\"" << kLockNames[k] << "\",\"acquisitions\":" << s.acquisitions
+         << ",\"contended\":" << s.contended << ",\"wait_ns\":" << s.wait_ns
+         << ",\"max_wait_ns\":" << s.max_wait_ns << "}";
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+// --- minimal recursive-descent parser for exactly this schema ---
+
+namespace {
+
+struct Cursor {
+  const char* p;
+  const char* end;
+  std::string* err;
+
+  bool fail(const std::string& msg) {
+    if (err != nullptr && err->empty()) {
+      *err = msg + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+  size_t pos_ = 0;
+  void advance(size_t k) {
+    p += k;
+    pos_ += k;
+  }
+  void skip_ws() {
+    while (p < end && (std::isspace(static_cast<unsigned char>(*p)) != 0)) advance(1);
+  }
+  bool lit(char c) {
+    skip_ws();
+    if (p >= end || *p != c) return fail(std::string("expected '") + c + "'");
+    advance(1);
+    return true;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return p < end && *p == c;
+  }
+};
+
+bool parse_string(Cursor& c, std::string* out) {
+  if (!c.lit('"')) return false;
+  out->clear();
+  while (c.p < c.end && *c.p != '"') {
+    if (*c.p == '\\') {
+      c.advance(1);
+      if (c.p >= c.end) return c.fail("truncated escape");
+    }
+    out->push_back(*c.p);
+    c.advance(1);
+  }
+  if (c.p >= c.end) return c.fail("unterminated string");
+  c.advance(1);
+  return true;
+}
+
+bool parse_i64(Cursor& c, int64_t* out) {
+  c.skip_ws();
+  char* endp = nullptr;
+  const long long v = std::strtoll(c.p, &endp, 10);
+  if (endp == c.p || endp > c.end) return c.fail("expected integer");
+  c.advance(static_cast<size_t>(endp - c.p));
+  *out = v;
+  return true;
+}
+
+bool skip_value(Cursor& c);
+
+bool skip_composite(Cursor& c, char open, char close) {
+  if (!c.lit(open)) return false;
+  if (c.peek(close)) return c.lit(close);
+  for (;;) {
+    if (open == '{') {
+      std::string key;
+      if (!parse_string(c, &key) || !c.lit(':')) return false;
+    }
+    if (!skip_value(c)) return false;
+    if (c.peek(',')) {
+      c.lit(',');
+      continue;
+    }
+    return c.lit(close);
+  }
+}
+
+bool skip_value(Cursor& c) {
+  c.skip_ws();
+  if (c.p >= c.end) return c.fail("truncated value");
+  switch (*c.p) {
+    case '{': return skip_composite(c, '{', '}');
+    case '[': return skip_composite(c, '[', ']');
+    case '"': {
+      std::string s;
+      return parse_string(c, &s);
+    }
+    default: {
+      const char* start = c.p;
+      while (c.p < c.end && std::strchr(",]}\n\r\t ", *c.p) == nullptr) c.advance(1);
+      if (c.p == start) return c.fail("truncated value");
+      return true;
+    }
+  }
+}
+
+/// Parse an object, dispatching each key to `field(key)`; `field` must
+/// consume the value (or return false on error). Unknown keys are skipped by
+/// the caller returning skip_value.
+template <typename FieldFn>
+bool parse_object(Cursor& c, FieldFn&& field) {
+  if (!c.lit('{')) return false;
+  if (c.peek('}')) return c.lit('}');
+  for (;;) {
+    std::string key;
+    if (!parse_string(c, &key) || !c.lit(':')) return false;
+    if (!field(key)) return false;
+    if (c.peek(',')) {
+      c.lit(',');
+      continue;
+    }
+    return c.lit('}');
+  }
+}
+
+template <typename ItemFn>
+bool parse_array(Cursor& c, ItemFn&& item) {
+  if (!c.lit('[')) return false;
+  if (c.peek(']')) return c.lit(']');
+  for (;;) {
+    if (!item()) return false;
+    if (c.peek(',')) {
+      c.lit(',');
+      continue;
+    }
+    return c.lit(']');
+  }
+}
+
+int kind_index(const std::string& name) {
+  for (size_t k = 0; k < kTaskKinds; ++k) {
+    if (name == kTaskNames[k]) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+int site_index(const std::string& name) {
+  for (size_t k = 0; k < kLockSites; ++k) {
+    if (name == kLockNames[k]) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+bool parse_worker(Cursor& c, WorkerReport* w) {
+  return parse_object(c, [&](const std::string& key) -> bool {
+    int64_t v = 0;
+    if (key == "name") return parse_string(c, &w->name);
+    if (key == "busy_ns") return parse_i64(c, &w->busy_ns);
+    if (key == "idle_ns") return parse_i64(c, &w->idle_ns);
+    if (key == "cpu_ns") return parse_i64(c, &w->cpu_ns);
+    if (key == "claimed") {
+      if (!parse_i64(c, &v)) return false;
+      w->claimed = static_cast<uint64_t>(v);
+      return true;
+    }
+    if (key == "stolen") {
+      if (!parse_i64(c, &v)) return false;
+      w->stolen = static_cast<uint64_t>(v);
+      return true;
+    }
+    if (key == "spans_recorded") {
+      if (!parse_i64(c, &v)) return false;
+      w->spans_recorded = static_cast<uint64_t>(v);
+      return true;
+    }
+    if (key == "spans_dropped") {
+      if (!parse_i64(c, &v)) return false;
+      w->spans_dropped = static_cast<uint64_t>(v);
+      return true;
+    }
+    if (key == "tasks") {
+      return parse_array(c, [&]() -> bool {
+        std::string kind;
+        TaskAgg agg;
+        if (!parse_object(c, [&](const std::string& tk) -> bool {
+              int64_t tv = 0;
+              if (tk == "kind") return parse_string(c, &kind);
+              if (tk == "count") {
+                if (!parse_i64(c, &tv)) return false;
+                agg.count = static_cast<uint64_t>(tv);
+                return true;
+              }
+              if (tk == "total_ns") return parse_i64(c, &agg.total_ns);
+              if (tk == "exclusive_ns") return parse_i64(c, &agg.exclusive_ns);
+              if (tk == "max_ns") return parse_i64(c, &agg.max_ns);
+              return skip_value(c);
+            }))
+          return false;
+        const int idx = kind_index(kind);
+        if (idx >= 0) w->tasks[static_cast<size_t>(idx)] = agg;
+        return true;  // unknown kinds: forward compatibility, ignore
+      });
+    }
+    if (key == "locks") {
+      return parse_array(c, [&]() -> bool {
+        std::string site;
+        LockStat st;
+        if (!parse_object(c, [&](const std::string& lk) -> bool {
+              int64_t lv = 0;
+              if (lk == "site") return parse_string(c, &site);
+              if (lk == "acquisitions") {
+                if (!parse_i64(c, &lv)) return false;
+                st.acquisitions = static_cast<uint64_t>(lv);
+                return true;
+              }
+              if (lk == "contended") {
+                if (!parse_i64(c, &lv)) return false;
+                st.contended = static_cast<uint64_t>(lv);
+                return true;
+              }
+              if (lk == "wait_ns") return parse_i64(c, &st.wait_ns);
+              if (lk == "max_wait_ns") return parse_i64(c, &st.max_wait_ns);
+              return skip_value(c);
+            }))
+          return false;
+        const int idx = site_index(site);
+        if (idx >= 0) w->locks[static_cast<size_t>(idx)] = st;
+        return true;
+      });
+    }
+    return skip_value(c);
+  });
+}
+
+}  // namespace
+
+std::optional<RuntimeReport> parse_runtime_report(const std::string& json,
+                                                  std::string* error) {
+  std::string local_err;
+  std::string* err = error != nullptr ? error : &local_err;
+  err->clear();
+  Cursor c{json.data(), json.data() + json.size(), err};
+  RuntimeReport rep;
+  bool saw_schema = false;
+  const bool ok = parse_object(c, [&](const std::string& key) -> bool {
+    int64_t v = 0;
+    if (key == "schema") {
+      std::string s;
+      if (!parse_string(c, &s)) return false;
+      if (s != "icc-runtime/v1") return c.fail("unsupported schema \"" + s + "\"");
+      saw_schema = true;
+      return true;
+    }
+    if (key == "threads") {
+      if (!parse_i64(c, &v)) return false;
+      rep.threads = static_cast<uint32_t>(v);
+      return true;
+    }
+    if (key == "wall_ns") return parse_i64(c, &rep.wall_ns);
+    if (key == "defer_high_water") {
+      if (!parse_i64(c, &v)) return false;
+      rep.defer_high_water = static_cast<uint64_t>(v);
+      return true;
+    }
+    if (key == "rss_kb") return parse_i64(c, &rep.rss_kb);
+    if (key == "peak_rss_kb") return parse_i64(c, &rep.peak_rss_kb);
+    if (key == "intern") {
+      rep.has_intern = true;
+      return parse_object(c, [&](const std::string& ik) -> bool {
+        int64_t iv = 0;
+        auto u64 = [&](uint64_t* dst) {
+          if (!parse_i64(c, &iv)) return false;
+          *dst = static_cast<uint64_t>(iv);
+          return true;
+        };
+        if (ik == "parses") return u64(&rep.intern_parses);
+        if (ik == "decode_hits") return u64(&rep.intern_decode_hits);
+        if (ik == "real_verifications") return u64(&rep.intern_real_verifications);
+        if (ik == "memo_hits") return u64(&rep.intern_memo_hits);
+        if (ik == "primed") return u64(&rep.intern_primed);
+        return skip_value(c);
+      });
+    }
+    if (key == "workers") {
+      return parse_array(c, [&]() -> bool {
+        WorkerReport w;
+        if (!parse_worker(c, &w)) return false;
+        rep.workers.push_back(std::move(w));
+        return true;
+      });
+    }
+    return skip_value(c);
+  });
+  if (!ok) return std::nullopt;
+  if (!saw_schema) {
+    c.fail("missing schema field");
+    return std::nullopt;
+  }
+  if (rep.wall_ns <= 0) {
+    c.fail("non-positive wall_ns");
+    return std::nullopt;
+  }
+  if (rep.threads == 0) {
+    c.fail("zero threads");
+    return std::nullopt;
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-efficiency analysis
+// ---------------------------------------------------------------------------
+
+RuntimeAnalysis analyze_runtime(const RuntimeReport& rep) {
+  RuntimeAnalysis a;
+  const double wall = static_cast<double>(rep.wall_ns);
+  const double threads = std::max<uint32_t>(1, rep.threads);
+  if (wall <= 0 || rep.workers.empty()) return a;
+
+  // CPU basis when every lane reported a per-thread CPU delta: wall-minus-
+  // idle overcounts busy on an oversubscribed host (runnable-but-descheduled
+  // looks busy), while CPU time stays honest there.
+  a.cpu_basis = std::all_of(rep.workers.begin(), rep.workers.end(),
+                            [](const WorkerReport& w) { return w.cpu_ns >= 0; });
+  double total_busy = 0;
+  double region_ns = 0;
+  for (const WorkerReport& w : rep.workers) {
+    const double busy = static_cast<double>(a.cpu_basis ? w.cpu_ns : w.busy_ns);
+    total_busy += std::clamp(busy, 0.0, wall);
+    region_ns +=
+        static_cast<double>(w.tasks[static_cast<size_t>(TaskKind::kParallelRegion)].total_ns);
+  }
+  total_busy = std::min(total_busy, threads * wall);
+  a.utilization = total_busy / (threads * wall);
+  // Single-run Amdahl estimate: with T threads over wall W, perfectly
+  // parallel work would keep all T busy; every idle thread-second is serial
+  // section exposure. f = (T*W - sum busy) / ((T-1) * W), clamped into
+  // (0, 1] so downstream projections stay finite.
+  if (rep.threads <= 1) {
+    a.serial_fraction = 1.0;
+  } else {
+    a.serial_fraction =
+        std::clamp((threads * wall - total_busy) / ((threads - 1.0) * wall), 1e-6, 1.0);
+  }
+  a.amdahl_max = 1.0 / a.serial_fraction;
+  a.parallel_region_share = std::clamp(region_ns / wall, 0.0, 1.0);
+  return a;
+}
+
+void print_runtime_summary(std::FILE* out, const RuntimeReport& rep,
+                           const RuntimeAnalysis& a) {
+  // One block under the log sink mutex: pool workers may still emit ICC_LOG
+  // lines (their own dtor-time warnings, say) and those must not interleave
+  // mid-summary. Nothing below may itself use ICC_LOG (the sink mutex is not
+  // recursive).
+  std::lock_guard<std::mutex> lk(log_sink_mutex());
+  std::fprintf(out,
+               "runtime: wall %.2f s, %u threads, utilization %.0f%% (%s basis), "
+               "serial fraction f=%.3f -> Amdahl max %.2fx\n",
+               static_cast<double>(rep.wall_ns) * 1e-9, rep.threads, a.utilization * 100.0,
+               a.cpu_basis ? "cpu" : "wall", a.serial_fraction, a.amdahl_max);
+  for (const WorkerReport& w : rep.workers) {
+    std::fprintf(out,
+                 "  %-10s busy %8.3f s  idle %8.3f s  cpu %8.3f s  "
+                 "claimed %8llu  stolen %8llu%s\n",
+                 w.name.c_str(), static_cast<double>(w.busy_ns) * 1e-9,
+                 static_cast<double>(w.idle_ns) * 1e-9,
+                 w.cpu_ns >= 0 ? static_cast<double>(w.cpu_ns) * 1e-9 : 0.0,
+                 static_cast<unsigned long long>(w.claimed),
+                 static_cast<unsigned long long>(w.stolen),
+                 w.spans_dropped > 0 ? "  [ring overflowed]" : "");
+  }
+  // Contention hot-list, aggregated across lanes, worst wait first.
+  struct Hot {
+    size_t site;
+    LockStat total;
+    uint32_t holders = 0;
+  };
+  std::vector<Hot> hot;
+  for (size_t k = 0; k < kLockSites; ++k) {
+    Hot h{k, {}, 0};
+    for (const WorkerReport& w : rep.workers) {
+      const LockStat& s = w.locks[k];
+      if (s.acquisitions == 0) continue;
+      h.holders++;
+      h.total.acquisitions += s.acquisitions;
+      h.total.contended += s.contended;
+      h.total.wait_ns += s.wait_ns;
+      h.total.max_wait_ns = std::max(h.total.max_wait_ns, s.max_wait_ns);
+    }
+    if (h.total.acquisitions > 0) hot.push_back(h);
+  }
+  std::sort(hot.begin(), hot.end(),
+            [](const Hot& x, const Hot& y) { return x.total.wait_ns > y.total.wait_ns; });
+  for (const Hot& h : hot) {
+    std::fprintf(out,
+                 "  lock %-16s %10llu acq, %8llu contended, %9.3f ms waited "
+                 "(max %.3f ms, %u holders)\n",
+                 kLockNames[h.site], static_cast<unsigned long long>(h.total.acquisitions),
+                 static_cast<unsigned long long>(h.total.contended),
+                 static_cast<double>(h.total.wait_ns) * 1e-6,
+                 static_cast<double>(h.total.max_wait_ns) * 1e-6, h.holders);
+  }
+  std::fflush(out);
+}
+
+}  // namespace icc::obs

@@ -31,7 +31,7 @@ uint64_t Tracer::dropped() const {
   return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
 }
 
-std::string Tracer::to_json() const {
+std::string Tracer::events_json() const {
   // Collect the live slots and restore time order (the ring wraps, and
   // events are recorded at their *end* for 'X' spans, so ts is not
   // monotone even without wrapping).
@@ -42,7 +42,6 @@ std::string Tracer::to_json() const {
                    [](const TraceEvent* a, const TraceEvent* b) { return a->ts < b->ts; });
 
   std::ostringstream os;
-  os << "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent* ev : events) {
     if (!first) os << ",\n";
@@ -60,10 +59,16 @@ std::string Tracer::to_json() const {
     }
     os << "}";
   }
+  return os.str();
+}
+
+std::string Tracer::to_json() const {
+  std::ostringstream os;
   // Self-describing ring accounting: exported files say whether (and how
   // much) the ring overwrote without needing the live Tracer.
-  os << "],\"metadata\":{\"recorded\":" << recorded_ << ",\"dropped\":" << dropped()
-     << ",\"capacity\":" << ring_.size() << "},\"displayTimeUnit\":\"ms\"}";
+  os << "{\"traceEvents\":[" << events_json() << "],\"metadata\":{\"recorded\":" << recorded_
+     << ",\"dropped\":" << dropped() << ",\"capacity\":" << ring_.size()
+     << "},\"displayTimeUnit\":\"ms\"}";
   return os.str();
 }
 

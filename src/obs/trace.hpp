@@ -64,6 +64,10 @@ class Tracer {
 
   /// {"traceEvents":[...],"displayTimeUnit":"ms"} — events sorted by ts.
   std::string to_json() const;
+  /// The comma-joined event objects alone (no envelope), sorted by ts —
+  /// for embedding into a merged trace container (obs/runtime.hpp places
+  /// wall-clock lanes next to these virtual-time events in one file).
+  std::string events_json() const;
   /// Write to_json() to `path`; false on I/O error.
   bool write_json(const std::string& path) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/runtime.hpp"
 #include "support/fingerprint.hpp"
 
 namespace icc::pipeline {
@@ -33,7 +34,7 @@ std::shared_ptr<const InternedArtifact> InternStore::intern(
     const std::shared_ptr<const Bytes>& payload) {
   const uint64_t fp = support::fingerprint64(payload->data(), payload->size());
   ArtifactShard& s = artifact_shard(fp);
-  std::lock_guard<std::mutex> lk(s.mu);
+  obs::SampledLock lk(s.mu, runtime_, obs::LockSite::kInternArtifacts);
   std::shared_ptr<const InternedArtifact> hit;
   if (find_in(s.current, fp, *payload, &hit) || find_in(s.previous, fp, *payload, &hit)) {
     stats_.decode_hits.fetch_add(1, kRelaxed);
@@ -44,6 +45,7 @@ std::shared_ptr<const InternedArtifact> InternStore::intern(
   // here is what makes `parses` exact at any thread count (concurrent
   // receivers of the same broadcast block briefly and then share the one
   // entry) and publishes the Block hash memo with a happens-before edge.
+  obs::SpanScope parse_span(runtime_, obs::TaskKind::kInternParse, payload->size());
   auto entry = std::make_shared<InternedArtifact>();
   entry->bytes = payload;
   entry->artifact_id = types::artifact_id(*payload);
@@ -69,7 +71,7 @@ std::shared_ptr<const InternedArtifact> InternStore::intern(
 
 std::optional<bool> InternStore::verdict(const types::Hash& key) const {
   const VerdictShard& s = verdict_shard(key);
-  std::lock_guard<std::mutex> lk(s.mu);
+  obs::SampledLock lk(s.mu, runtime_, obs::LockSite::kInternVerdicts);
   if (auto it = s.current.find(key); it != s.current.end()) return it->second;
   if (auto it = s.previous.find(key); it != s.previous.end()) return it->second;
   return std::nullopt;
@@ -78,7 +80,7 @@ std::optional<bool> InternStore::verdict(const types::Hash& key) const {
 void InternStore::remember_verdict(const types::Hash& key, bool verdict) {
   if (options_.verdict_capacity == 0) return;
   VerdictShard& s = verdict_shard(key);
-  std::lock_guard<std::mutex> lk(s.mu);
+  obs::SampledLock lk(s.mu, runtime_, obs::LockSite::kInternVerdicts);
   if (s.current.size() >= std::max<size_t>(1, options_.verdict_capacity / (2 * kShards))) {
     s.previous = std::move(s.current);
     s.current.clear();

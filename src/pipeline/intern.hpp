@@ -46,6 +46,10 @@
 
 #include "types/messages.hpp"
 
+namespace icc::obs {
+class RuntimeProfiler;
+}
+
 namespace icc::pipeline {
 
 /// One interned wire payload. Immutable after publication (the shard lock
@@ -97,6 +101,11 @@ class InternStore {
   size_t interned_artifacts() const;
   size_t cached_verdicts() const;
 
+  /// Attach the wall-clock profiler (obs/runtime.hpp): shard lock waits are
+  /// sampled and first-parse work gets wall-time spans. Observation only —
+  /// interning results and counters are unchanged. Not owned.
+  void set_runtime(obs::RuntimeProfiler* runtime) { runtime_ = runtime; }
+
  private:
   static constexpr auto kRelaxed = std::memory_order_relaxed;
   static constexpr size_t kShards = 8;
@@ -123,6 +132,7 @@ class InternStore {
   }
 
   Options options_;
+  obs::RuntimeProfiler* runtime_ = nullptr;
   std::array<ArtifactShard, kShards> artifacts_;
   std::array<VerdictShard, kShards> verdicts_;
 

@@ -30,7 +30,7 @@ types::Hash Verifier::cache_key(Domain domain, crypto::PartyIndex signer, BytesV
 std::optional<bool> Verifier::lookup(const types::Hash& key) {
   if (!options_.cache) return std::nullopt;
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lk(s.mu);
+  obs::SampledLock lk(s.mu, runtime_, obs::LockSite::kVerifierCache);
   if (auto it = s.current.find(key); it != s.current.end()) return it->second;
   if (auto it = s.previous.find(key); it != s.previous.end()) return it->second;
   return std::nullopt;
@@ -39,7 +39,7 @@ std::optional<bool> Verifier::lookup(const types::Hash& key) {
 void Verifier::remember(const types::Hash& key, bool verdict) {
   if (!options_.cache || options_.cache_capacity == 0) return;
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lk(s.mu);
+  obs::SampledLock lk(s.mu, runtime_, obs::LockSite::kVerifierCache);
   if (s.current.size() >= rotate_threshold()) {
     s.previous = std::move(s.current);
     s.current.clear();
@@ -241,7 +241,10 @@ std::vector<uint8_t> Verifier::run_share_batch(
   size_t slices = 1;
   if (executor_ != nullptr && executor_->threads() > 1)
     slices = std::min(executor_->threads(), pending.size() / kMinSliceShares);
-  if (slices <= 1) return provider_->threshold_verify_share_batch(scheme, message, pending);
+  if (slices <= 1) {
+    obs::SpanScope span(runtime_, obs::TaskKind::kVerifySlice, pending.size());
+    return provider_->threshold_verify_share_batch(scheme, message, pending);
+  }
   // Slice the pending set into near-equal contiguous chunks; each pool
   // job runs the provider's batch equation over its chunk and writes
   // verdicts into a disjoint range. Crypto providers are stateless
@@ -253,6 +256,7 @@ std::vector<uint8_t> Verifier::run_share_batch(
   for (size_t c = 0; c < slices; ++c) begin[c + 1] = begin[c] + base + (c < extra ? 1 : 0);
   executor_->parallel_for(slices, [&](size_t c) {
     auto chunk = pending.subspan(begin[c], begin[c + 1] - begin[c]);
+    obs::SpanScope span(runtime_, obs::TaskKind::kVerifySlice, chunk.size());
     std::vector<uint8_t> out = provider_->threshold_verify_share_batch(scheme, message, chunk);
     std::copy(out.begin(), out.end(), batch.begin() + static_cast<ptrdiff_t>(begin[c]));
   });
@@ -322,7 +326,7 @@ Verifier::Stats Verifier::stats() const {
 size_t Verifier::cached_verdicts() const {
   size_t total = 0;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lk(s.mu);
+    obs::SampledLock lk(s.mu, runtime_, obs::LockSite::kVerifierCache);
     total += s.current.size() + s.previous.size();
   }
   return total;

@@ -139,6 +139,11 @@ class Verifier {
   /// single-call path. The verifier does not own the executor.
   void attach_executor(support::Executor* executor) { executor_ = executor; }
 
+  /// Attach the wall-clock profiler (obs/runtime.hpp): verdict-shard lock
+  /// waits are sampled and batch slices get wall-time spans. Observation
+  /// only — verdicts, stats and rotation are unchanged. Not owned.
+  void attach_runtime(obs::RuntimeProfiler* runtime) { runtime_ = runtime; }
+
   /// Attach the cluster-shared intern store (DESIGN.md §7). Its verdict memo
   /// is consulted *after* a per-party cache miss and filled alongside every
   /// real verification / sign-time prime, so one party's work answers every
@@ -192,6 +197,7 @@ class Verifier {
   PipelineOptions options_;
   support::Executor* executor_ = nullptr;
   InternStore* intern_ = nullptr;
+  obs::RuntimeProfiler* runtime_ = nullptr;
   obs::Histogram* batch_size_hist_ = nullptr;
 
   struct StatsCells {

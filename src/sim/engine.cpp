@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/runtime.hpp"
+
 namespace icc::sim {
 
 EventId Engine::schedule_at(Time at, EventFn fn, uint32_t owner) {
@@ -106,6 +108,7 @@ void Engine::exec_slot(ExecSlot& slot, bool defer) {
 
 void Engine::run_batch(Time t) {
   now_ = t;
+  const int64_t rb_t0 = runtime_ != nullptr ? obs::RuntimeProfiler::now_ns() : 0;
 
   // Extract every live event at t in (time, id) order — the exact firing
   // order of the classic loop — and give each execution its deterministic
@@ -154,26 +157,43 @@ void Engine::run_batch(Time t) {
       if (inserted) groups.emplace_back();
       groups[it->second].push_back(k);
     }
-    executor_->parallel_for(groups.size(), [&](size_t g) {
-      for (size_t k : groups[g]) {
-        if (batch[k].skip.load(std::memory_order_acquire)) continue;
-        exec_slot(batch[k], true);
-      }
-    });
+    {
+      obs::SpanScope region(runtime_, obs::TaskKind::kParallelRegion, groups.size());
+      executor_->parallel_for(groups.size(), [&](size_t g) {
+        obs::SpanScope span(runtime_, obs::TaskKind::kPartyGroup,
+                            batch[groups[g][0]].owner, groups[g].size());
+        for (size_t k : groups[g]) {
+          if (batch[k].skip.load(std::memory_order_acquire)) continue;
+          exec_slot(batch[k], true);
+        }
+      });
+    }
+    uint64_t replayed = 0;
+    obs::SpanScope replay_span(runtime_, obs::TaskKind::kDeferReplay);
     for (size_t k = i; k < j; ++k) {
       // Replay with the event's slot reinstalled (but no defer queue), so a
       // deferred closure that itself schedules — a harness commit callback,
       // say — draws ids from the same block it would have used inline.
+      if (runtime_ != nullptr) {
+        replayed += batch[k].defers.size();
+        runtime_->defer_depth(batch[k].defers.size());
+      }
       ExecSlot*& tls = tl_slot();
       tls = &batch[k];
       batch[k].defers.replay();
       tls = nullptr;
     }
+    replay_span.set_arg0(replayed);
     i = j;
   }
 
   batch_ = nullptr;
   batch_index_ = nullptr;
+  if (runtime_ != nullptr) {
+    runtime_->record_span(obs::TaskKind::kEngineBatch, rb_t0,
+                          obs::RuntimeProfiler::now_ns(), batch_seq_, batch.size());
+  }
+  batch_seq_++;
 }
 
 }  // namespace icc::sim

@@ -46,6 +46,10 @@
 #include "support/defer.hpp"
 #include "support/executor.hpp"
 
+namespace icc::obs {
+class RuntimeProfiler;
+}
+
 namespace icc::sim {
 
 using EventFn = std::function<void()>;
@@ -78,6 +82,12 @@ class Engine {
   /// the classic sequential loop. The engine does not own the executor.
   void set_executor(support::Executor* executor) { executor_ = executor; }
   support::Executor* executor() const { return executor_; }
+
+  /// Attach the wall-clock profiler (obs/runtime.hpp); null detaches. Spans
+  /// record batch/region/group/replay wall time — observation only, never
+  /// simulation state, so virtual-time outcomes are unchanged (the probe
+  /// discipline of obs.hpp). Not owned.
+  void set_runtime(obs::RuntimeProfiler* runtime) { runtime_ = runtime; }
 
   /// Run a single event (classic sequential path). Returns false when the
   /// queue is empty.
@@ -154,6 +164,8 @@ class Engine {
   // queue is a cancelled event awaiting reap.
   std::unordered_map<EventId, Callback> callbacks_;
   support::Executor* executor_ = nullptr;
+  obs::RuntimeProfiler* runtime_ = nullptr;
+  uint64_t batch_seq_ = 0;  ///< run_batch invocations (profiler span arg)
 
   // Valid only while run_batch executes a segment: lets cancel() reach
   // not-yet-run events of the current batch (read-only map; the atomic skip

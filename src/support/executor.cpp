@@ -1,6 +1,7 @@
 #include "support/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 namespace icc::support {
@@ -27,10 +28,11 @@ Executor::~Executor() {
   for (auto& w : workers_) w.join();
 }
 
-void Executor::run_slices(Batch& b) {
+void Executor::run_slices(Batch& b, TaskProbe* probe, bool stolen) {
   for (;;) {
     size_t idx = b.next.fetch_add(1, std::memory_order_relaxed);
     if (idx >= b.count) return;
+    if (probe != nullptr) probe->slice(stolen);
     (*b.body)(idx);
     if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.count) {
       // Last body done: wake the batch's caller. The lock pairs with the
@@ -45,9 +47,20 @@ void Executor::run_slices(Batch& b) {
 void Executor::worker_loop() {
   for (;;) {
     std::shared_ptr<Batch> b;
+    TaskProbe* p;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || !batches_.empty(); });
+      p = probe();
+      if (p != nullptr && !stop_ && batches_.empty()) {
+        // About to block: bracket the wait so the profiler can attribute
+        // this window as idle (the wait releases mu_, so the probe's clock
+        // reads never extend the critical section).
+        p->idle_begin(true);
+        cv_.wait(lk, [&] { return stop_ || !batches_.empty(); });
+        p->idle_end();
+      } else {
+        cv_.wait(lk, [&] { return stop_ || !batches_.empty(); });
+      }
       if (stop_) return;  // destructor runs only after every batch completed
       // Drop exhausted batches (their remaining bodies are in flight on
       // other threads; the shared_ptr keeps the object alive for them).
@@ -59,7 +72,7 @@ void Executor::worker_loop() {
       if (batches_.empty()) continue;
       b = batches_.front();
     }
-    run_slices(*b);
+    run_slices(*b, p, /*stolen=*/true);
   }
 }
 
@@ -72,14 +85,36 @@ void Executor::parallel_for(size_t count, const std::function<void(size_t)>& bod
   auto b = std::make_shared<Batch>();
   b->count = count;
   b->body = &body;
-  {
+  TaskProbe* p = probe();
+  if (p == nullptr) {
     std::lock_guard<std::mutex> lk(mu_);
     batches_.push_back(b);
+  } else {
+    // Try-lock-first sampling of the publish-side queue acquisition (the
+    // worker side interleaves with cv waits and is not sampled). Only the
+    // contended path reads a clock.
+    int64_t wait_ns = 0;
+    if (!mu_.try_lock()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      mu_.lock();
+      wait_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    }
+    batches_.push_back(b);
+    mu_.unlock();
+    p->queue_lock_wait(wait_ns);
   }
   cv_.notify_all();
-  run_slices(*b);  // caller participates
+  run_slices(*b, p, /*stolen=*/false);  // caller participates
   std::unique_lock<std::mutex> lk(b->done_mu);
-  b->done_cv.wait(lk, [&] { return b->done.load(std::memory_order_acquire) == count; });
+  if (p != nullptr && b->done.load(std::memory_order_acquire) != count) {
+    p->idle_begin(false);
+    b->done_cv.wait(lk, [&] { return b->done.load(std::memory_order_acquire) == count; });
+    p->idle_end();
+  } else {
+    b->done_cv.wait(lk, [&] { return b->done.load(std::memory_order_acquire) == count; });
+  }
 }
 
 }  // namespace icc::support

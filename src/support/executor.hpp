@@ -36,6 +36,27 @@
 
 namespace icc::support {
 
+/// Wall-clock instrumentation hooks for the pool. Implemented by
+/// obs::RuntimeProfiler — support/ cannot depend on obs/, so the executor
+/// sees only this interface. A null probe must cost exactly one pointer
+/// check per site; the probe callbacks observe scheduling, never influence
+/// it, so attaching one cannot change which thread runs which body.
+class TaskProbe {
+ public:
+  virtual ~TaskProbe() = default;
+  /// This thread is about to block waiting for work (`worker` = pool thread
+  /// in worker_loop, else a parallel_for caller waiting on its join).
+  virtual void idle_begin(bool worker) = 0;
+  /// The matching wake-up. Always paired with idle_begin on one thread.
+  virtual void idle_end() = 0;
+  /// One batch index executed on this thread; `stolen` = the batch was
+  /// published by some other thread.
+  virtual void slice(bool stolen) = 0;
+  /// Publish-side acquisition of the batch-queue mutex; wait_ns = 0 when it
+  /// was uncontended (try_lock-first sampling, see obs/runtime.hpp).
+  virtual void queue_lock_wait(int64_t wait_ns) = 0;
+};
+
 class Executor {
  public:
   /// `threads` = total concurrency including the caller; 0 resolves via
@@ -56,6 +77,11 @@ class Executor {
   /// ICC_THREADS environment variable (clamped to [1, 256]); 1 if unset.
   static size_t default_threads();
 
+  /// Attach wall-clock instrumentation (obs::RuntimeProfiler). Null detaches.
+  /// Set before the first parallel_for of the measured window; the probe must
+  /// outlive the executor (workers call it until their final join).
+  void set_probe(TaskProbe* probe) { probe_.store(probe, std::memory_order_release); }
+
  private:
   struct Batch {
     size_t count = 0;
@@ -67,8 +93,11 @@ class Executor {
   };
 
   void worker_loop();
-  /// Pull indices from `b` until its cursor is exhausted.
-  static void run_slices(Batch& b);
+  /// Pull indices from `b` until its cursor is exhausted. `stolen` tags the
+  /// probe's slice accounting: false on the publishing caller's own thread.
+  static void run_slices(Batch& b, TaskProbe* probe, bool stolen);
+
+  TaskProbe* probe() const { return probe_.load(std::memory_order_acquire); }
 
   size_t threads_;
   std::vector<std::thread> workers_;
@@ -76,6 +105,7 @@ class Executor {
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Batch>> batches_;
   bool stop_ = false;
+  std::atomic<TaskProbe*> probe_{nullptr};
 };
 
 }  // namespace icc::support

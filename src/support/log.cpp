@@ -25,6 +25,11 @@ std::atomic<LogLevel>& log_level() {
   return level;
 }
 
+std::mutex& log_sink_mutex() {
+  static std::mutex sink_mu;
+  return sink_mu;
+}
+
 namespace detail {
 
 namespace {
@@ -49,8 +54,7 @@ LogLine::~LogLine() {
   // One mutex-guarded write per line: pool workers (support/executor.hpp)
   // log concurrently, and operator<< on a shared stream is not atomic —
   // without the lock two lines can interleave mid-byte.
-  static std::mutex sink_mu;
-  std::lock_guard<std::mutex> lk(sink_mu);
+  std::lock_guard<std::mutex> lk(log_sink_mutex());
   std::cerr << stream_.str();
 }
 

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -25,6 +26,12 @@ std::atomic<LogLevel>& log_level();
 inline void set_log_level(LogLevel level) {
   log_level().store(level, std::memory_order_relaxed);
 }
+
+/// The process-wide line-atomic sink mutex every ICC_LOG line is written
+/// under. Multi-line summary printers (bench results, runtime profiles) hold
+/// it for the whole block so concurrent worker-thread log lines cannot land
+/// mid-summary. NOT recursive: never ICC_LOG while holding it.
+std::mutex& log_sink_mutex();
 
 namespace detail {
 class LogLine {
