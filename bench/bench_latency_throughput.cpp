@@ -127,10 +127,12 @@ double timed_run_s(bool obs_enabled, bool runtime_enabled = false,
   o.prune_lag = 8;
   o.record_payloads = false;
   o.threads = threads;
-  // The "on" leg enables the full recorder stack — metrics, tracing AND the
-  // event journal — so the <5% budget covers the flight recorder too.
+  // The "on" leg enables the full recorder stack — metrics, tracing, the
+  // event journal AND the windowed time-series recorder — so the <5% budget
+  // covers the flight recorder and the longitudinal stream too.
   o.obs.enabled = obs_enabled;
   o.obs.journal = obs_enabled;
+  o.obs.series = obs_enabled;
   o.obs.runtime = runtime_enabled;
   // Fidelity mode, regardless of --intern: the budget is telemetry cost
   // relative to a real replica's CPU, and the shared intern store would

@@ -31,14 +31,20 @@ std::vector<double> windowed_throughput(const std::vector<sim::Time>& commits,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const sim::Duration window = sim::seconds(5);
   const sim::Time end = sim::seconds(40);
+  // Optional sink for the ICC run's windowed series (icc-series/v1 JSONL).
+  const char* series_path = argc > 1 ? argv[1] : nullptr;
 
   // --- (a) windowed throughput, faults from the start -------------------
   std::printf("F-ROB (a): committed blocks/s in 5-s windows, n = 7, t = 2 corrupt\n\n");
 
-  std::vector<sim::Time> icc_commits;
+  // The ICC windows come from the obs::TimeSeries recorder (one window per
+  // 5 s of virtual time) instead of an ad-hoc commit-time scan — the same
+  // stream icc_soak emits, so the numbers here and a soak run's are
+  // directly comparable.
+  std::vector<double> icc_tp;
   {
     harness::ClusterOptions o;
     o.n = 7;
@@ -48,6 +54,9 @@ int main() {
     o.payload_size = 128;
     o.record_payloads = false;
     o.prune_lag = 8;
+    o.obs.enabled = true;
+    o.obs.series = true;
+    o.obs.series_window_us = window;
     o.delay_model = [](size_t, uint64_t) {
       return std::make_unique<sim::FixedDelay>(sim::msec(10));
     };
@@ -55,11 +64,18 @@ int main() {
     b.withhold_proposal = true;  // corrupt leaders propose nothing
     b.withhold_finalization = true;
     o.corrupt = {{1, b}, {4, b}};
-    o.on_commit = [&](sim::PartyIndex self, const consensus::CommittedBlock& blk) {
-      if (self == 0) icc_commits.push_back(blk.committed_at);
-    };
     harness::Cluster c(o);
+    if (series_path && !c.stream_series(series_path))
+      std::fprintf(stderr, "cannot open series sink %s\n", series_path);
     c.run_for(end);
+    const size_t honest = o.n - o.corrupt.size();
+    for (const obs::SeriesWindow* w : c.series()->windows()) {
+      uint64_t committed = 0;  // counter delta, summed over honest parties
+      for (const auto& [name, delta] : w->counters)
+        if (name == "consensus.blocks_committed") committed = delta;
+      icc_tp.push_back(static_cast<double>(committed) / static_cast<double>(honest) /
+                       sim::to_sec(window * static_cast<sim::Duration>(w->res)));
+    }
     auto safety = c.check_safety();
     if (safety) std::fprintf(stderr, "SAFETY: %s\n", safety->c_str());
   }
@@ -87,7 +103,6 @@ int main() {
     return commits;
   };
 
-  auto icc_tp = windowed_throughput(icc_commits, window, end);
   auto pbft_crash_tp = windowed_throughput(run_pbft(true, false), window, end);
   auto pbft_slow_tp = windowed_throughput(run_pbft(false, true), window, end);
   std::printf("%-22s", "window");

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare a freshly generated BENCH_*.json against a committed baseline.
 
-Two input formats are understood, detected per file:
+Three input formats are understood, detected per file:
 
 icc-bench/v1 (virtual-time harness benches — machine-independent):
 
@@ -18,6 +18,14 @@ each mean is normalised by the geometric mean of all means and the
 comparison runs on those dimensionless ratios — the *shape* of the profile.
 A kernel that regresses relative to its peers still trips the gate, a
 uniformly slower CI machine does not.
+
+icc-series/v1 JSONL (windowed soak telemetry from examples/icc_soak /
+icc_observe --series): the first line is a meta object with
+"schema": "icc-series/v1", followed by one "type":"w" window per line.
+The stream is reduced to throughput aggregates — window count and the
+geometric means of per-window committed blocks and rounds (decimated
+windows are scaled by their res) — then gated exactly like icc-bench/v1.
+The config is the meta line's (n, t, protocol, seed, window_us).
 
 Relative deviation bands (defaults):
   warn  > ±10 %  -> reported, exit 0
@@ -40,9 +48,60 @@ import sys
 _TIME_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
+def load_series(text, path):
+    """Reduce an icc-series/v1 JSONL stream to icc-bench/v1 shape."""
+    meta, windows = None, []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        d = json.loads(line)
+        if d.get("type") == "meta":
+            meta = d
+        elif d.get("type") == "w":
+            windows.append(d)
+    if meta is None or meta.get("schema") != "icc-series/v1":
+        sys.exit(f"{path}: not an icc-series/v1 stream")
+    if not windows:
+        sys.exit(f"{path}: icc-series/v1 stream has no windows")
+
+    def per_window(values):
+        positive = [v for v in values if v > 0]
+        if not positive:
+            return 0.0
+        return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+    committed = [
+        w.get("counters", {}).get("consensus.blocks_committed", 0) / w.get("res", 1)
+        for w in windows
+    ]
+    rounds = [w.get("rounds", 0) / w.get("res", 1) for w in windows]
+    return {
+        "schema": "icc-bench/v1",
+        "bench": "soak-series",
+        "config": {k: meta.get(k) for k in ("n", "t", "protocol", "seed", "window_us")},
+        "results": [
+            {"name": "series.windows", "value": float(len(windows)), "unit": "count"},
+            {
+                "name": "series.committed_per_window_geomean",
+                "value": per_window(committed),
+                "unit": "blocks",
+            },
+            {
+                "name": "series.rounds_per_window_geomean",
+                "value": per_window(rounds),
+                "unit": "rounds",
+            },
+        ],
+    }
+
+
 def load(path):
     with open(path) as f:
         text = f.read()
+    first = text.lstrip().splitlines()[0] if text.strip() else ""
+    if '"icc-series/v1"' in first:
+        return load_series(text, path)
     try:
         doc = json.loads(text)
     except json.JSONDecodeError:

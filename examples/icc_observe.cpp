@@ -35,6 +35,13 @@
 //     --journal-capacity <int>       journal event bound (default 1<<22 here;
 //                                    the causal layer records every transfer)
 //     --stage-wall-timing            wall-clock decode/verify histograms
+//     --series <path>                windowed time-series stream, icc-series/v1
+//                                    JSONL (obs/timeseries.hpp) — analyze with
+//                                    tools/icc_drift; deterministic bytes at
+//                                    any thread count
+//     --window-us <int>              series window length in virtual µs
+//                                    (default 1000000; only meaningful with
+//                                    --series)
 //     --seed <int>                   run seed, echoed in the digest so a
 //                                    failing run's journal/trace can be
 //                                    reproduced exactly from the CLI
@@ -75,6 +82,7 @@ int main(int argc, char** argv) {
   const char* metrics_path = "metrics.json";
   const char* journal_path = nullptr;
   const char* runtime_path = "runtime.json";
+  const char* series_path = nullptr;
   bool critpath = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -123,6 +131,11 @@ int main(int argc, char** argv) {
     else if (is("--journal-capacity"))
       o.obs.journal_capacity = static_cast<size_t>(atoll(next()));
     else if (is("--stage-wall-timing")) o.obs.stage_wall_timing = true;
+    else if (is("--series")) {
+      series_path = next();
+      o.obs.series = true;
+    }
+    else if (is("--window-us")) o.obs.series_window_us = atoll(next());
     else if (is("--seed")) o.seed = static_cast<uint64_t>(atoll(next()));
     else {
       std::fprintf(stderr, "unknown flag %s (see header of examples/icc_observe.cpp)\n",
@@ -166,6 +179,10 @@ int main(int argc, char** argv) {
   std::printf("icc_observe: %s, n=%zu t=%zu, %d s virtual, seed %llu, telemetry on\n",
               proto_name, o.n, o.t, seconds,
               static_cast<unsigned long long>(o.seed));
+  if (series_path != nullptr && !cluster.stream_series(series_path)) {
+    std::fprintf(stderr, "cannot open series sink %s\n", series_path);
+    return 1;
+  }
   cluster.run_for(sim::seconds(seconds));
 
   // --- console digest of the key metrics ---
@@ -238,6 +255,20 @@ int main(int argc, char** argv) {
   }
   std::printf("\nwrote %s and %s — open the trace in chrome://tracing or ui.perfetto.dev\n",
               metrics_path, trace_path);
+
+  // --- windowed time-series (icc-series/v1 stream) ---
+  if (series_path != nullptr) {
+    obs::TimeSeries* ts = cluster.series();
+    ts->flush();
+    std::printf("series windows:      %lu closed -> %s  (analyze with tools/icc_drift)\n",
+                static_cast<unsigned long>(ts->windows_closed()), series_path);
+    if (ts->dropped() > 0)
+      std::fprintf(stderr,
+                   "*** WARNING: %lu series lines failed to write — %s is "
+                   "TRUNCATED (disk full?) and icc_drift trends over it are "
+                   "unreliable.\n",
+                   static_cast<unsigned long>(ts->dropped()), series_path);
+  }
 
   // --- wall-clock runtime profile (non-deterministic by design) ---
   if (o.obs.runtime) {

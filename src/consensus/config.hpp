@@ -104,6 +104,11 @@ struct PartyConfig {
   /// Keep full payload bytes in committed(); disable in long benchmarks to
   /// bound memory (payload_size is always recorded).
   bool record_payloads = true;
+  /// Bound committed() to the newest this many blocks (0 = unbounded).
+  /// committed_total() keeps the true count; on_commit still fires for every
+  /// block. Soak runs set a small bound so a party's output history cannot
+  /// grow without limit over millions of rounds.
+  Round committed_history = 0;
   /// Prune the pool below (last finalized round - prune_lag); 0 disables.
   Round prune_lag = 16;
   /// Stop participating after this round (benchmark runs); 0 = unbounded.

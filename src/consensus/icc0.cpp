@@ -494,7 +494,7 @@ bool Icc0Party::adopt_cup(sim::Context& ctx, const types::CupMsg& msg) {
     if (config_.on_commit) config_.on_commit(self_, c);
     probe_.on_commit(c.round, c.committed_at);
     journal_.commit(c.round, c.hash, c.committed_at);
-    committed_.push_back(std::move(c));
+    push_committed(std::move(c));
     k_max_ = msg.round;
   }
 
@@ -670,7 +670,7 @@ void Icc0Party::check_finalization(sim::Context& ctx) {
       maybe_emit_cup_share(ctx, c);
       probe_.on_commit(c.round, c.committed_at);
       journal_.commit(c.round, c.hash, c.committed_at);
-      committed_.push_back(std::move(c));
+      push_committed(std::move(c));
     }
     probe_.on_finalized(b->round, b->round - k_max_, ctx.now());
     journal_.finalized(b->round, *target, ctx.now());

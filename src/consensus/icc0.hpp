@@ -38,7 +38,12 @@ class Icc0Party : public sim::Process {
                       const std::shared_ptr<const Bytes>& payload) override;
 
   // --- observability (tests, benches, examples) ---
+  /// Retained output history: everything when PartyConfig::committed_history
+  /// is 0, otherwise the newest blocks up to that bound.
   const std::vector<CommittedBlock>& committed() const { return committed_; }
+  /// Total blocks ever committed (monotonic, unaffected by the history
+  /// bound) — what throughput statistics should read.
+  uint64_t committed_total() const { return committed_total_; }
   Round current_round() const { return round_; }
   Round last_finalized_round() const { return k_max_; }
   const types::Pool& pool() const { return pool_; }
@@ -129,6 +134,19 @@ class Icc0Party : public sim::Process {
   // Finalization subprotocol (Fig. 2).
   Round k_max_ = 0;
   std::vector<CommittedBlock> committed_;
+  uint64_t committed_total_ = 0;  ///< lifetime count (history may be bounded)
+
+  /// Append to committed_ honouring PartyConfig::committed_history: trims
+  /// the oldest half-bound in one move when the vector reaches 1.5× the
+  /// bound, so the amortized cost per commit stays O(1).
+  void push_committed(CommittedBlock c) {
+    committed_total_++;
+    committed_.push_back(std::move(c));
+    const size_t bound = static_cast<size_t>(config_.committed_history);
+    if (bound != 0 && committed_.size() > bound + bound / 2)
+      committed_.erase(committed_.begin(),
+                       committed_.begin() + static_cast<ptrdiff_t>(committed_.size() - bound));
+  }
 
   // Proposal timestamps (for latency measurements; local blocks only).
   std::map<Hash, sim::Time> proposal_times_;

@@ -63,6 +63,23 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
                                                : obs::JournalMeta::kSchemaV1;
       j->set_meta(meta);
     }
+    if (obs::TimeSeries* ts = obs_->series()) {
+      obs::SeriesMeta& sm = ts->meta();
+      sm.n = static_cast<uint32_t>(options.n);
+      sm.t = static_cast<uint32_t>(options.t);
+      sm.protocol = options.protocol == Protocol::kIcc0   ? "icc0"
+                    : options.protocol == Protocol::kIcc1 ? "icc1"
+                                                          : "icc2";
+      sm.seed = options.seed;
+      for (const auto& [slot, behaviour] : options.corrupt)
+        sm.corrupt.push_back(static_cast<uint32_t>(slot));
+      std::sort(sm.corrupt.begin(), sm.corrupt.end());
+      // Window boundaries ride the engine's virtual-time tick: fired on the
+      // coordinating thread between batches, never injecting events, so ids
+      // and journal bytes are unchanged with the recorder on or off.
+      sim_->engine().set_tick(options.obs.series_window_us,
+                              [ts](sim::Time b) { ts->on_boundary(b); });
+    }
   }
 
   PartyConfig pc;
@@ -71,6 +88,7 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   pc.delays.epsilon = options.epsilon;
   pc.payload = std::make_shared<consensus::FixedSizePayload>(options.payload_size);
   pc.record_payloads = options.record_payloads;
+  pc.committed_history = options.committed_history;
   pc.prune_lag = options.prune_lag;
   pc.max_round = options.max_round;
   pc.cup_interval = options.cup_interval;
@@ -162,11 +180,24 @@ void Cluster::record_propose(sim::PartyIndex, Round round, const types::Hash& ha
 
 void Cluster::record_commit(sim::PartyIndex self, const CommittedBlock& block) {
   if (!honest_[self]) return;
-  auto& pending = pending_latency_[{block.round, block.hash}];
+  auto it = pending_latency_.emplace(std::make_pair(block.round, block.hash),
+                                     PendingLatency{})
+                .first;
+  PendingLatency& pending = it->second;
   pending.commits++;
-  if (pending.commits == honest_count_ && pending.proposed_at >= 0) {
-    latencies_.push_back(LatencySample{block.round, block.committed_at - pending.proposed_at});
+  if (pending.commits == honest_count_) {
+    if (options_.record_latencies && pending.proposed_at >= 0) {
+      latencies_.push_back(
+          LatencySample{block.round, block.committed_at - pending.proposed_at});
+    }
+    // Complete entries are done; stale ones (a proposal that never fully
+    // committed, e.g. across a crash window) are swept once the frontier
+    // has moved well past them. Both bounds keep soak-length runs flat.
+    pending_latency_.erase(it);
   }
+  while (!pending_latency_.empty() &&
+         pending_latency_.begin()->first.first + 64 < block.round)
+    pending_latency_.erase(pending_latency_.begin());
   if (options_.on_commit) options_.on_commit(self, block);
 }
 
@@ -243,7 +274,7 @@ size_t Cluster::min_honest_committed() const {
   size_t m = SIZE_MAX;
   for (size_t i = 0; i < parties_.size(); ++i) {
     if (!honest_[i] || !parties_[i]) continue;
-    m = std::min(m, parties_[i]->committed().size());
+    m = std::min(m, static_cast<size_t>(parties_[i]->committed_total()));
   }
   return m == SIZE_MAX ? 0 : m;
 }
@@ -387,10 +418,25 @@ bool Cluster::dump_journal(const std::string& path) const {
   return j && j->write_jsonl(path);
 }
 
+bool Cluster::stream_series(const std::string& path) {
+  obs::TimeSeries* ts = series();
+  return ts != nullptr && ts->open_stream(path);
+}
+
+std::string Cluster::series_jsonl() const {
+  const obs::TimeSeries* ts = series();
+  return ts ? ts->to_jsonl() : std::string();
+}
+
+bool Cluster::dump_series(const std::string& path) const {
+  const obs::TimeSeries* ts = series();
+  return ts != nullptr && ts->write_jsonl(path);
+}
+
 double Cluster::blocks_per_second(sim::Duration window) const {
   for (size_t i = 0; i < parties_.size(); ++i) {
     if (honest_[i] && parties_[i]) {
-      return static_cast<double>(parties_[i]->committed().size()) / sim::to_sec(window);
+      return static_cast<double>(parties_[i]->committed_total()) / sim::to_sec(window);
     }
   }
   return 0.0;

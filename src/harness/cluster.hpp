@@ -43,6 +43,14 @@ struct ClusterOptions {
   sim::Duration epsilon = sim::msec(0);
   size_t payload_size = 256;
   bool record_payloads = true;
+  /// Keep per-block latency samples (latencies()). Soak drivers switch this
+  /// off: a million-round run must not grow an unbounded sample vector.
+  bool record_latencies = true;
+  /// Bound each party's committed() history to the newest this many blocks
+  /// (0 = unbounded). committed_total() still counts everything; safety
+  /// checks compare the retained overlapping suffixes. Soak drivers set a
+  /// small bound so RSS stays flat over millions of rounds.
+  Round committed_history = 0;
   Round max_round = 0;
   Round prune_lag = 16;
   /// Worker threads for the run (engine party-parallel stepping + verifier
@@ -193,6 +201,21 @@ class Cluster {
   std::string journal_jsonl() const;
   /// Write journal_jsonl() to `path`; false when disabled or on I/O error.
   bool dump_journal(const std::string& path) const;
+
+  // --- windowed time-series (ClusterOptions::obs.series) ---
+  /// The run's longitudinal recorder; null unless obs.enabled && obs.series.
+  /// Windows close at virtual-time boundaries (deterministic bytes at any
+  /// thread count); obs.series_wall adds labeled non-deterministic wall
+  /// lines. Meta (n, t, protocol, seed, corrupt slots) is stamped at
+  /// construction.
+  obs::TimeSeries* series() const { return obs_ ? obs_->series() : nullptr; }
+  /// Open the append-only icc-series/v1 stream sink (call before running);
+  /// false when the recorder is off or on I/O error.
+  bool stream_series(const std::string& path);
+  /// Decimated in-memory series as icc-series/v1 JSONL; "" when off.
+  std::string series_jsonl() const;
+  /// Write series_jsonl() to `path`; false when off or on I/O error.
+  bool dump_series(const std::string& path) const;
 
  private:
   void record_propose(sim::PartyIndex self, Round round, const types::Hash& hash,

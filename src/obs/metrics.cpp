@@ -134,6 +134,16 @@ void Registry::merge(const Registry& o) {
   for (const auto& [name, h] : o.histograms_) histogram(name, h->bounds()).merge(*h);
 }
 
+void Registry::visit_counters(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  for (const auto& [name, c] : counters_) fn(name, *c);
+}
+
+void Registry::visit_gauges(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  for (const auto& [name, g] : gauges_) fn(name, *g);
+}
+
 const Counter* Registry::find_counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();

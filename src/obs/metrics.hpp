@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -140,6 +141,13 @@ class Registry {
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+
+  /// Visit every counter / gauge in name order. Coordinating-thread-only,
+  /// like every reader here; the time-series recorder (obs/timeseries.hpp)
+  /// diffs successive visits at window boundaries.
+  void visit_counters(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void visit_gauges(const std::function<void(const std::string&, const Gauge&)>& fn) const;
 
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;

@@ -72,6 +72,9 @@ void PartyProbe::on_round_done(uint64_t round, uint32_t leader, bool leader_bloc
   if (clean) rounds_clean_->add();
   const bool honest = honesty_ ? honesty_(leader) : leader_block;
   (honest ? rounds_honest_leader_ : rounds_corrupt_leader_)->add();
+  // Beacon-bias feed for the windowed time-series (dedup by round inside).
+  if (TimeSeries* ts = obs_->series())
+    ts->on_round(round, leader, honest, leader_block, clean);
 
   RoundState* s = state(round);
   if (s && s->start >= 0) {

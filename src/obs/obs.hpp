@@ -21,6 +21,7 @@
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runtime.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace icc::obs {
@@ -48,6 +49,16 @@ struct ObsConfig {
   /// bytes — the determinism matrices stay green with it on.
   bool runtime = false;
   size_t runtime_span_capacity = 1 << 15;  ///< span-ring slots per lane
+  /// Longitudinal windowed time-series (obs/timeseries.hpp). Opt-in on top
+  /// of `enabled`; windows close at virtual-time boundaries (engine tick),
+  /// so the series bytes are deterministic like the journal. series_wall
+  /// additionally emits explicitly-labeled NON-deterministic wall lines
+  /// (RSS, stream drops) — the runtime-profiler exemption, never mixed into
+  /// the deterministic window records.
+  bool series = false;
+  int64_t series_window_us = 1'000'000;  ///< window length (virtual µs)
+  size_t series_full_res = 512;          ///< full-resolution windows kept
+  bool series_wall = false;              ///< wall lines (soak drivers only)
 };
 
 class Obs {
@@ -58,6 +69,13 @@ class Obs {
         journal_((config.enabled && config.journal) ? config.journal_capacity : 0) {
     if (config.enabled && config.runtime)
       runtime_ = std::make_unique<RuntimeProfiler>(config.runtime_span_capacity);
+    if (config.enabled && config.series) {
+      SeriesConfig sc;
+      sc.window_us = config.series_window_us;
+      sc.full_res = config.series_full_res;
+      sc.wall = config.series_wall;
+      series_ = std::make_unique<TimeSeries>(&registry_, sc);
+    }
   }
 
   bool enabled() const { return config_.enabled; }
@@ -74,6 +92,9 @@ class Obs {
   /// exactly like every other probe.
   RuntimeProfiler* runtime() { return runtime_.get(); }
   const RuntimeProfiler* runtime() const { return runtime_.get(); }
+  /// Windowed time-series recorder; null when off (probe sites null-check).
+  TimeSeries* series() { return series_.get(); }
+  const TimeSeries* series() const { return series_.get(); }
 
  private:
   ObsConfig config_;
@@ -81,6 +102,7 @@ class Obs {
   Tracer tracer_;
   Journal journal_;
   std::unique_ptr<RuntimeProfiler> runtime_;
+  std::unique_ptr<TimeSeries> series_;
 };
 
 // ---------------------------------------------------------------------------

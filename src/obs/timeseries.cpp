@@ -1,0 +1,483 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/defer.hpp"
+
+namespace icc::obs {
+
+namespace {
+
+/// VmRSS / VmHWM in kB from /proc/self/status; -1 when unavailable.
+void proc_rss_kb(int64_t* rss_kb, int64_t* peak_kb) {
+  *rss_kb = -1;
+  *peak_kb = -1;
+#if defined(__linux__)
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    int64_t* dst = nullptr;
+    if (line.rfind("VmRSS:", 0) == 0) dst = rss_kb;
+    else if (line.rfind("VmHWM:", 0) == 0) dst = peak_kb;
+    if (dst != nullptr) *dst = std::strtoll(line.c_str() + 6, nullptr, 10);
+  }
+#endif
+}
+
+// --- line parsing (same convention as obs/journal.cpp: good enough for the
+// recorder's own output — keys always carry the quoted-colon form) ---
+
+size_t value_offset(const std::string& line, const char* key) {
+  std::string pat = std::string("\"") + key + "\":";
+  size_t at = line.find(pat);
+  return at == std::string::npos ? std::string::npos : at + pat.size();
+}
+
+bool parse_u64(const std::string& line, const char* key, uint64_t* out) {
+  size_t at = value_offset(line, key);
+  if (at == std::string::npos) return false;
+  *out = std::strtoull(line.c_str() + at, nullptr, 10);
+  return true;
+}
+
+bool parse_i64(const std::string& line, const char* key, int64_t* out) {
+  size_t at = value_offset(line, key);
+  if (at == std::string::npos) return false;
+  *out = std::strtoll(line.c_str() + at, nullptr, 10);
+  return true;
+}
+
+bool parse_string(const std::string& line, const char* key, std::string* out) {
+  size_t at = value_offset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') return false;
+  size_t end = line.find('"', at + 1);
+  if (end == std::string::npos) return false;
+  *out = line.substr(at + 1, end - at - 1);
+  return true;
+}
+
+/// Substring of the {...} or [...] value starting at `at` (depth-matched,
+/// delimiters included); empty on malformed input.
+std::string nested_span(const std::string& line, size_t at) {
+  if (at == std::string::npos || at >= line.size()) return {};
+  const char open = line[at];
+  const char close = open == '{' ? '}' : open == '[' ? ']' : '\0';
+  if (close == '\0') return {};
+  int depth = 0;
+  for (size_t i = at; i < line.size(); ++i) {
+    if (line[i] == open) depth++;
+    else if (line[i] == close && --depth == 0) return line.substr(at, i - at + 1);
+  }
+  return {};
+}
+
+/// Parse a flat {"name":int,...} object into name/value pairs.
+template <typename Int>
+void parse_flat_map(const std::string& span,
+                    std::vector<std::pair<std::string, Int>>* out) {
+  size_t p = 0;
+  while ((p = span.find('"', p)) != std::string::npos) {
+    size_t end = span.find('"', p + 1);
+    if (end == std::string::npos) return;
+    std::string name = span.substr(p + 1, end - p - 1);
+    size_t colon = span.find(':', end);
+    if (colon == std::string::npos) return;
+    out->emplace_back(std::move(name),
+                      static_cast<Int>(std::strtoll(span.c_str() + colon + 1, nullptr, 10)));
+    p = span.find(',', colon);
+    if (p == std::string::npos) return;
+  }
+}
+
+/// Parse [[a,b],...] into pairs.
+void parse_pair_array(const std::string& span,
+                      std::vector<std::pair<uint32_t, uint64_t>>* out) {
+  size_t p = 0;
+  while ((p = span.find('[', p + 1)) != std::string::npos) {
+    char* next = nullptr;
+    const uint32_t a =
+        static_cast<uint32_t>(std::strtoul(span.c_str() + p + 1, &next, 10));
+    if (next == span.c_str() + p + 1 || *next != ',') return;
+    const uint64_t b = std::strtoull(next + 1, nullptr, 10);
+    out->emplace_back(a, b);
+    p = span.find(']', p);
+    if (p == std::string::npos) return;
+  }
+}
+
+bool parse_u32_array(const std::string& line, const char* key, std::vector<uint32_t>* out) {
+  size_t at = value_offset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '[') return false;
+  size_t end = line.find(']', at);
+  if (end == std::string::npos) return false;
+  out->clear();
+  const char* p = line.c_str() + at + 1;
+  const char* stop = line.c_str() + end;
+  while (p < stop) {
+    char* next = nullptr;
+    unsigned long v = std::strtoul(p, &next, 10);
+    if (next == p) break;
+    out->push_back(static_cast<uint32_t>(v));
+    p = next;
+    while (p < stop && (*p == ',' || *p == ' ')) ++p;
+  }
+  return true;
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(Registry* registry, SeriesConfig config)
+    : registry_(registry), config_(std::move(config)) {
+  if (config_.window_us <= 0) config_.window_us = 1'000'000;
+  // Decimation merges exactly 10 windows at a time; a tiny full_res would
+  // leave the level unable to shed windows.
+  config_.full_res = std::max<uint64_t>(config_.full_res, 16);
+  meta_.window_us = config_.window_us;
+  meta_.full_res = config_.full_res;
+  meta_.wall = config_.wall;
+  levels_.emplace_back();
+}
+
+bool TimeSeries::open_stream(const std::string& path) {
+  stream_.open(path, std::ios::binary | std::ios::trunc);
+  if (!stream_) return false;
+  stream_ << meta_json() << "\n";
+  return static_cast<bool>(stream_);
+}
+
+void TimeSeries::flush() {
+  if (stream_.is_open()) stream_.flush();
+}
+
+void TimeSeries::on_round(uint64_t round, uint32_t leader, bool honest, bool leader_block,
+                          bool clean) {
+  // Shared tallies mutate non-commutatively (first report of a round wins),
+  // so the update rides the defer queue to the canonical replay point —
+  // exactly the Gauge::set discipline.
+  if (support::DeferQueue::maybe_defer([this, round, leader, honest, leader_block, clean] {
+        on_round_in_order(round, leader, honest, leader_block, clean);
+      }))
+    return;
+  on_round_in_order(round, leader, honest, leader_block, clean);
+}
+
+void TimeSeries::on_round_in_order(uint64_t round, uint32_t leader, bool honest,
+                                   bool leader_block, bool clean) {
+  // Every honest party reports each round; count it once. The set is pruned
+  // well behind the frontier (parties lag by at most the prune/CUP bounds).
+  if (!seen_rounds_.insert(round).second) return;
+  while (!seen_rounds_.empty() && *seen_rounds_.begin() + 256 < *seen_rounds_.rbegin())
+    seen_rounds_.erase(seen_rounds_.begin());
+  open_rounds_++;
+  open_leaders_[leader]++;
+  if (leader_block) open_leader_block_++;
+  if (clean) open_clean_++;
+  (honest ? open_honest_ : open_corrupt_)++;
+}
+
+void TimeSeries::on_boundary(int64_t boundary_us) {
+  close_window(boundary_us);
+  decimate();
+}
+
+void TimeSeries::close_window(int64_t boundary_us) {
+  SeriesWindow w;
+  w.seq = next_seq_++;
+  w.start_us = last_boundary_;
+  w.end_us = boundary_us;
+  last_boundary_ = boundary_us;
+
+  w.rounds = open_rounds_;
+  w.leader_block = open_leader_block_;
+  w.clean = open_clean_;
+  w.honest_leader = open_honest_;
+  w.corrupt_leader = open_corrupt_;
+  w.leaders.assign(open_leaders_.begin(), open_leaders_.end());
+  open_rounds_ = open_leader_block_ = open_clean_ = open_honest_ = open_corrupt_ = 0;
+  open_leaders_.clear();
+
+  // Counter deltas against the previous boundary. Names registered mid-run
+  // diff against an implicit 0; zero deltas are omitted to keep lines lean.
+  registry_->visit_counters([&](const std::string& name, const Counter& c) {
+    const uint64_t cur = c.value();
+    uint64_t& prev = prev_counters_[name];
+    if (cur != prev) w.counters.emplace_back(name, cur - prev);
+    prev = cur;
+  });
+
+  registry_->visit_gauges([&](const std::string& name, const Gauge& g) {
+    w.gauges.emplace_back(name, g.value());
+  });
+
+  // Windowed histograms: cumulative snapshot diffing, never a reset — the
+  // final metrics snapshot is byte-identical with the recorder on or off.
+  for (const std::string& name : config_.hist_names) {
+    const Histogram* h = registry_->find_histogram(name);
+    if (h == nullptr) continue;
+    const std::vector<uint64_t> cur = h->bucket_counts();
+    HistPrev& prev = prev_hists_[name];
+    if (prev.buckets.size() != cur.size()) prev.buckets.assign(cur.size(), 0);
+    SeriesHist sh;
+    sh.count = h->count() - prev.count;
+    sh.sum = h->sum() - prev.sum;
+    sh.overflow = h->overflow() - prev.overflow;
+    sh.buckets.resize(cur.size());
+    for (size_t i = 0; i < cur.size(); ++i) sh.buckets[i] = cur[i] - prev.buckets[i];
+    prev.buckets = cur;
+    prev.overflow = h->overflow();
+    prev.count = h->count();
+    prev.sum = h->sum();
+    if (sh.count == 0) continue;
+    resolve_hist(&sh, h->bounds());
+    w.hists.emplace_back(name, std::move(sh));
+  }
+
+  if (stream_.is_open()) {
+    stream_ << window_json(w) << "\n";
+    if (!stream_) dropped_++;
+  }
+  if (config_.wall) {
+    SeriesWall ws;
+    ws.seq = w.seq;
+    proc_rss_kb(&ws.rss_kb, &ws.peak_rss_kb);
+    ws.dropped = dropped_;
+    if (stream_.is_open()) {
+      stream_ << wall_json(ws) << "\n";
+      if (!stream_) dropped_++;
+    }
+    wall_.push_back(ws);
+    while (wall_.size() > (size_t{1} << 16)) wall_.pop_front();
+  }
+  levels_[0].push_back(std::move(w));
+}
+
+void TimeSeries::resolve_hist(SeriesHist* h, const std::vector<int64_t>& bounds) {
+  const uint64_t total = h->count;
+  if (total == 0) return;
+  auto pct = [&](double q) -> int64_t {
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total) + 0.999999);
+    rank = std::max<uint64_t>(1, std::min(rank, total));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < h->buckets.size() && i < bounds.size(); ++i) {
+      seen += h->buckets[i];
+      if (seen >= rank) return bounds[i];
+    }
+    return bounds.empty() ? 0 : bounds.back();  // rank in the overflow bucket
+  };
+  h->p50 = pct(0.50);
+  h->p90 = pct(0.90);
+  h->p99 = pct(0.99);
+  h->max_le = 0;
+  for (size_t i = 0; i < h->buckets.size() && i < bounds.size(); ++i)
+    if (h->buckets[i] != 0) h->max_le = bounds[i];
+  if (h->overflow != 0 && !bounds.empty()) h->max_le = bounds.back();
+}
+
+void TimeSeries::decimate() {
+  for (size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    while (levels_[lvl].size() > config_.full_res) {
+      SeriesWindow merged = merge_windows(levels_[lvl], 10);
+      if (lvl + 1 == levels_.size()) levels_.emplace_back();
+      levels_[lvl + 1].push_back(std::move(merged));
+    }
+  }
+}
+
+SeriesWindow TimeSeries::merge_windows(std::deque<SeriesWindow>& level, size_t count) {
+  count = std::min(count, level.size());
+  SeriesWindow out = std::move(level.front());
+  level.pop_front();
+  std::map<std::string, uint64_t> counters(out.counters.begin(), out.counters.end());
+  std::map<uint32_t, uint64_t> leaders(out.leaders.begin(), out.leaders.end());
+  std::map<std::string, SeriesHist> hists;
+  for (auto& [name, h] : out.hists) hists.emplace(name, std::move(h));
+
+  for (size_t k = 1; k < count; ++k) {
+    SeriesWindow w = std::move(level.front());
+    level.pop_front();
+    out.end_us = w.end_us;
+    out.res += w.res;
+    out.rounds += w.rounds;
+    out.leader_block += w.leader_block;
+    out.clean += w.clean;
+    out.honest_leader += w.honest_leader;
+    out.corrupt_leader += w.corrupt_leader;
+    for (auto& [p, c] : w.leaders) leaders[p] += c;
+    for (auto& [name, v] : w.counters) counters[name] += v;
+    out.gauges = std::move(w.gauges);  // gauge = instantaneous: newest wins
+    for (auto& [name, h] : w.hists) {
+      auto it = hists.find(name);
+      if (it == hists.end()) {
+        hists.emplace(name, std::move(h));
+        continue;
+      }
+      SeriesHist& dst = it->second;
+      dst.count += h.count;
+      dst.sum += h.sum;
+      dst.overflow += h.overflow;
+      if (dst.buckets.size() < h.buckets.size()) dst.buckets.resize(h.buckets.size(), 0);
+      for (size_t i = 0; i < h.buckets.size(); ++i) dst.buckets[i] += h.buckets[i];
+    }
+  }
+  out.counters.assign(counters.begin(), counters.end());
+  out.leaders.assign(leaders.begin(), leaders.end());
+  out.hists.clear();
+  for (auto& [name, h] : hists) {
+    const Histogram* live = registry_->find_histogram(name);
+    if (live != nullptr) resolve_hist(&h, live->bounds());
+    out.hists.emplace_back(name, std::move(h));
+  }
+  return out;
+}
+
+std::vector<const SeriesWindow*> TimeSeries::windows() const {
+  std::vector<const SeriesWindow*> out;
+  // Higher levels hold strictly older data (merges always take the oldest),
+  // so deepest-first front-to-back is time order.
+  for (size_t lvl = levels_.size(); lvl-- > 0;)
+    for (const SeriesWindow& w : levels_[lvl]) out.push_back(&w);
+  return out;
+}
+
+std::string TimeSeries::meta_json() const {
+  std::ostringstream os;
+  os << "{\"type\":\"meta\",\"schema\":\"" << SeriesMeta::kSchema << "\",\"n\":" << meta_.n
+     << ",\"t\":" << meta_.t << ",\"protocol\":\"" << json_escape(meta_.protocol)
+     << "\",\"seed\":" << meta_.seed << ",\"window_us\":" << meta_.window_us
+     << ",\"full_res\":" << meta_.full_res << ",\"wall\":" << (meta_.wall ? 1 : 0)
+     << ",\"corrupt\":[";
+  for (size_t i = 0; i < meta_.corrupt.size(); ++i) {
+    if (i) os << ",";
+    os << meta_.corrupt[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string TimeSeries::window_json(const SeriesWindow& w) {
+  std::ostringstream os;
+  os << "{\"type\":\"w\",\"seq\":" << w.seq << ",\"start_us\":" << w.start_us
+     << ",\"end_us\":" << w.end_us << ",\"res\":" << w.res << ",\"rounds\":" << w.rounds
+     << ",\"leader_block\":" << w.leader_block << ",\"clean\":" << w.clean
+     << ",\"honest_leader\":" << w.honest_leader
+     << ",\"corrupt_leader\":" << w.corrupt_leader << ",\"leaders\":[";
+  for (size_t i = 0; i < w.leaders.size(); ++i) {
+    if (i) os << ",";
+    os << "[" << w.leaders[i].first << "," << w.leaders[i].second << "]";
+  }
+  os << "],\"counters\":{";
+  for (size_t i = 0; i < w.counters.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << json_escape(w.counters[i].first) << "\":" << w.counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < w.gauges.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << json_escape(w.gauges[i].first) << "\":" << w.gauges[i].second;
+  }
+  os << "},\"hist\":{";
+  for (size_t i = 0; i < w.hists.size(); ++i) {
+    if (i) os << ",";
+    const SeriesHist& h = w.hists[i].second;
+    os << "\"" << json_escape(w.hists[i].first) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"p50\":" << h.p50 << ",\"p90\":" << h.p90
+       << ",\"p99\":" << h.p99 << ",\"max_le\":" << h.max_le << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string TimeSeries::wall_json(const SeriesWall& w) {
+  std::ostringstream os;
+  os << "{\"type\":\"wall\",\"seq\":" << w.seq << ",\"rss_kb\":" << w.rss_kb
+     << ",\"peak_rss_kb\":" << w.peak_rss_kb << ",\"dropped\":" << w.dropped << "}";
+  return os.str();
+}
+
+std::string TimeSeries::to_jsonl() const {
+  std::ostringstream os;
+  os << meta_json() << "\n";
+  for (const SeriesWindow* w : windows()) os << window_json(*w) << "\n";
+  if (config_.wall)
+    for (const SeriesWall& ws : wall_) os << wall_json(ws) << "\n";
+  return os.str();
+}
+
+bool TimeSeries::write_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_jsonl();
+  return static_cast<bool>(out);
+}
+
+TimeSeries::Parsed TimeSeries::parse_jsonl(const std::string& text) {
+  Parsed out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string type;
+    if (!parse_string(line, "type", &type)) continue;
+    if (type == "meta") {
+      SeriesMeta& m = out.meta;
+      uint64_t u = 0;
+      if (parse_u64(line, "n", &u)) m.n = static_cast<uint32_t>(u);
+      if (parse_u64(line, "t", &u)) m.t = static_cast<uint32_t>(u);
+      parse_string(line, "protocol", &m.protocol);
+      parse_u64(line, "seed", &m.seed);
+      parse_i64(line, "window_us", &m.window_us);
+      parse_u64(line, "full_res", &m.full_res);
+      if (parse_u64(line, "wall", &u)) m.wall = u != 0;
+      parse_u32_array(line, "corrupt", &m.corrupt);
+      out.has_meta = true;
+    } else if (type == "w") {
+      SeriesWindow w;
+      uint64_t u = 0;
+      parse_u64(line, "seq", &w.seq);
+      parse_i64(line, "start_us", &w.start_us);
+      parse_i64(line, "end_us", &w.end_us);
+      if (parse_u64(line, "res", &u)) w.res = static_cast<uint32_t>(u);
+      parse_u64(line, "rounds", &w.rounds);
+      parse_u64(line, "leader_block", &w.leader_block);
+      parse_u64(line, "clean", &w.clean);
+      parse_u64(line, "honest_leader", &w.honest_leader);
+      parse_u64(line, "corrupt_leader", &w.corrupt_leader);
+      parse_pair_array(nested_span(line, value_offset(line, "leaders")), &w.leaders);
+      parse_flat_map(nested_span(line, value_offset(line, "counters")), &w.counters);
+      parse_flat_map(nested_span(line, value_offset(line, "gauges")), &w.gauges);
+      const std::string hists = nested_span(line, value_offset(line, "hist"));
+      size_t p = 0;
+      while (p + 1 < hists.size() && (p = hists.find('"', p + 1)) != std::string::npos) {
+        size_t end = hists.find('"', p + 1);
+        if (end == std::string::npos) break;
+        std::string name = hists.substr(p + 1, end - p - 1);
+        size_t brace = hists.find('{', end);
+        if (brace == std::string::npos) break;
+        const std::string span = nested_span(hists, brace);
+        if (span.empty()) break;
+        SeriesHist h;
+        parse_u64(span, "count", &h.count);
+        parse_i64(span, "sum", &h.sum);
+        parse_i64(span, "p50", &h.p50);
+        parse_i64(span, "p90", &h.p90);
+        parse_i64(span, "p99", &h.p99);
+        parse_i64(span, "max_le", &h.max_le);
+        w.hists.emplace_back(std::move(name), std::move(h));
+        p = brace + span.size();
+      }
+      out.windows.push_back(std::move(w));
+    } else if (type == "wall") {
+      SeriesWall ws;
+      parse_u64(line, "seq", &ws.seq);
+      parse_i64(line, "rss_kb", &ws.rss_kb);
+      parse_i64(line, "peak_rss_kb", &ws.peak_rss_kb);
+      parse_u64(line, "dropped", &ws.dropped);
+      out.wall.push_back(ws);
+    }
+  }
+  return out;
+}
+
+}  // namespace icc::obs

@@ -74,8 +74,12 @@ void Engine::run_until(Time deadline) {
       continue;
     }
     if (ev.at > deadline) break;
+    // A boundary at exactly ev.at closes before the event runs: events at
+    // time B belong to the window starting at B.
+    fire_ticks(ev.at);
     step();
   }
+  if (deadline != kTimeMax) fire_ticks(deadline);
   if (now_ < deadline && deadline != kTimeMax) now_ = deadline;
 }
 
@@ -87,8 +91,12 @@ void Engine::run_until_parallel(Time deadline) {
       continue;
     }
     if (ev.at > deadline) break;
+    // Between batches is a quiescent point: deferred effects of the previous
+    // batch are already replayed, so the hook observes canonical state.
+    fire_ticks(ev.at);
     run_batch(ev.at);
   }
+  if (deadline != kTimeMax) fire_ticks(deadline);
   if (now_ < deadline && deadline != kTimeMax) now_ = deadline;
 }
 

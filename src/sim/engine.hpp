@@ -55,6 +55,10 @@ namespace icc::sim {
 using EventFn = std::function<void()>;
 using EventId = uint64_t;
 
+/// Periodic virtual-time boundary hook (set_tick); receives the boundary
+/// timestamp k*interval being crossed.
+using TickFn = std::function<void(Time boundary)>;
+
 class Engine {
  public:
   /// Owner tag for events tied to no party: such events are barriers in
@@ -82,6 +86,27 @@ class Engine {
   /// the classic sequential loop. The engine does not own the executor.
   void set_executor(support::Executor* executor) { executor_ = executor; }
   support::Executor* executor() const { return executor_; }
+
+  /// Install a periodic virtual-time hook: `fn(k*interval)` fires once for
+  /// every boundary k*interval (k = 1, 2, ...) that a run crosses, on the
+  /// coordinating thread, at a quiescent point — after every event strictly
+  /// before the boundary has run (and its deferred effects replayed) and
+  /// before any event at or after it. The hook never injects events, so id
+  /// assignment, tie-breaking and the journal byte stream are unchanged
+  /// whether a tick is installed or not; the firing sequence is a pure
+  /// function of virtual time, hence identical at any thread count. Interval
+  /// <= 0 (or a null fn) uninstalls. Boundaries the engine has already moved
+  /// past are not retro-fired.
+  void set_tick(Duration interval, TickFn fn) {
+    if (interval <= 0 || !fn) {
+      tick_interval_ = 0;
+      tick_fn_ = nullptr;
+      return;
+    }
+    tick_interval_ = interval;
+    tick_fn_ = std::move(fn);
+    next_tick_ = (now_ / interval + 1) * interval;
+  }
 
   /// Attach the wall-clock profiler (obs/runtime.hpp); null detaches. Spans
   /// record batch/region/group/replay wall time — observation only, never
@@ -148,6 +173,17 @@ class Engine {
     return slot;
   }
 
+  /// Fire every installed tick boundary <= `upto` that has not fired yet.
+  /// Called from the run loops only (coordinating thread, between events).
+  void fire_ticks(Time upto) {
+    if (tick_interval_ <= 0) return;
+    while (next_tick_ <= upto) {
+      const Time b = next_tick_;
+      next_tick_ += tick_interval_;
+      tick_fn_(b);
+    }
+  }
+
   void run_until_parallel(Time deadline);
   /// Execute every live event at time `t` (they are already the queue
   /// minimum) in owner-parallel segments, then replay deferred effects.
@@ -165,6 +201,9 @@ class Engine {
   std::unordered_map<EventId, Callback> callbacks_;
   support::Executor* executor_ = nullptr;
   obs::RuntimeProfiler* runtime_ = nullptr;
+  Duration tick_interval_ = 0;  ///< 0 = no tick installed
+  Time next_tick_ = 0;          ///< next unfired boundary (k * tick_interval_)
+  TickFn tick_fn_;
   uint64_t batch_seq_ = 0;  ///< run_batch invocations (profiler span arg)
 
   // Valid only while run_batch executes a segment: lets cancel() reach

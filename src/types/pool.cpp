@@ -212,18 +212,27 @@ void Pool::prune_below(Round round) {
       authenticators_.erase(h);
       notar_shares_.erase(h);
       final_shares_.erase(h);
-      finalizations_.erase(h);
       // The validity verdict must go with the block: a stale entry would
       // make a replayed copy of the pruned block look valid even though its
       // ancestry is no longer checkable.
       valid_cache_.erase(h);
-      // Notarization aggregates are retained: children's validity checks
-      // reference them. They are tiny compared to block payloads.
     }
     it = blocks_by_round_.erase(it);
   }
+  // Aggregates go with their rounds. Their removal is driven by the by-round
+  // indices, not blocks_by_round_: an aggregate can be added without its
+  // block ever arriving, and a per-block-hash erase would strand such
+  // entries forever (the pool lives for millions of rounds in soak runs).
+  // No surviving block's validity consults a pruned round's notarization —
+  // is_valid needs the parent *block* too, and that is already gone.
+  for (auto it = notarized_by_round_.begin();
+       it != notarized_by_round_.end() && it->first < round;) {
+    for (const Hash& h : it->second) notarizations_.erase(h);
+    it = notarized_by_round_.erase(it);
+  }
   for (auto it = finalized_by_round_.begin();
        it != finalized_by_round_.end() && it->first < round;) {
+    for (const Hash& h : it->second) finalizations_.erase(h);
     it = finalized_by_round_.erase(it);
   }
 }

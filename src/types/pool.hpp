@@ -94,12 +94,13 @@ class Pool {
   /// needed block is missing from the pool.
   std::vector<const Block*> chain_to(const Hash& h, Round above_round = 0) const;
 
-  /// Drop blocks and shares for rounds < round (checkpointing). Notarization
-  /// aggregates are kept (children's validity may still be checked against
-  /// them); block payloads dominate memory anyway. Cached validity verdicts
-  /// of the pruned blocks are dropped with them, so a pruned hash cannot
-  /// resurrect as "valid" if its bytes are replayed after its ancestry is
-  /// gone.
+  /// Drop blocks, shares and aggregates for rounds < round (checkpointing).
+  /// Nothing below the cutoff is consulted again: is_valid needs the parent
+  /// block, which is pruned with its round, so retaining the parent's
+  /// notarization could never rescue a verdict (survivors keep their cached
+  /// verdicts). Cached validity verdicts of the pruned blocks are dropped
+  /// with them, so a pruned hash cannot resurrect as "valid" if its bytes
+  /// are replayed after its ancestry is gone.
   void prune_below(Round round);
 
   /// Install a catch-up checkpoint: a block whose ancestry this pool does

@@ -152,7 +152,7 @@ TEST_F(PoolFixture, ChainToWalksAncestry) {
   EXPECT_EQ(suffix[0]->round, 2u);
 }
 
-TEST_F(PoolFixture, PruneDropsOldBlocksKeepsNotarizations) {
+TEST_F(PoolFixture, PruneDropsOldBlocksAndAggregates) {
   Block b1 = make_block(1, 0, root_hash());
   Block b2 = make_block(2, 1, b1.hash());
   pool.add_proposal(make_proposal(b1));
@@ -163,7 +163,11 @@ TEST_F(PoolFixture, PruneDropsOldBlocksKeepsNotarizations) {
   pool.prune_below(2);
   EXPECT_EQ(pool.block(b1.hash()), nullptr);
   EXPECT_NE(pool.block(b2.hash()), nullptr);
-  // Validity of the survivor is preserved (cache + retained notarization).
+  // The pruned round's aggregate goes with its block: soak runs would
+  // otherwise accrete one notarization per round forever.
+  EXPECT_EQ(pool.notarization_for(b1.hash()), nullptr);
+  EXPECT_TRUE(pool.notarized_blocks_at(1).empty());
+  // Validity of the survivor is preserved via the cached verdict.
   EXPECT_TRUE(pool.is_valid(b2.hash()));
 }
 
@@ -181,7 +185,7 @@ TEST_F(PoolFixture, PruneDropsStaleValidityVerdicts) {
   ASSERT_TRUE(pool.is_valid(b1.hash()));  // populate the validity cache
   ASSERT_TRUE(pool.is_valid(b2.hash()));
 
-  pool.prune_below(3);  // drops both blocks (notarizations are retained)
+  pool.prune_below(3);  // drops both blocks and their aggregates
   EXPECT_EQ(pool.block(b2.hash()), nullptr);
 
   // Replay b2's proposal alone: its parent block b1 is gone, so validity
